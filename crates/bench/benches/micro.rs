@@ -1,0 +1,113 @@
+//! Microbenchmarks of the simulator's hot kernels: the per-cycle network
+//! pipeline, wait-for-graph construction and knot detection, the recovery
+//! lane, and workload generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdd_core::{build_waitfor_graph, PatternSpec, Scheme, SimConfig, Simulator};
+use mdd_deadlock::{RecoveryLane, WaitForGraph};
+use mdd_protocol::{IdAlloc, PatternSpec as Pat};
+use mdd_topology::{RecoveryRing, Topology, TopologyKind};
+use mdd_traffic::{DestPattern, SyntheticTraffic, TrafficSource};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn saturated_sim() -> Simulator {
+    let mut cfg = SimConfig::paper_default(
+        Scheme::ProgressiveRecovery,
+        PatternSpec::pat271(),
+        4,
+        0.30,
+    );
+    cfg.warmup = 0;
+    cfg.measure = 0;
+    let mut sim = Simulator::new(cfg).unwrap();
+    sim.run_cycles(2_000); // reach steady state
+    sim
+}
+
+fn bench_network_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("router_cycle");
+    let mut sim = saturated_sim();
+    g.bench_function("pr_8x8_vc4_loaded_100cycles", |b| {
+        b.iter(|| {
+            sim.run_cycles(100);
+            black_box(sim.cycle())
+        })
+    });
+    g.finish();
+}
+
+fn bench_cwg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cwg_detection");
+    let sim = saturated_sim();
+    g.bench_function("build_8x8_loaded", |b| {
+        b.iter(|| black_box(build_waitfor_graph(&sim).num_edges()))
+    });
+    g.bench_function("build_and_knots_8x8_loaded", |b| {
+        b.iter(|| black_box(build_waitfor_graph(&sim).knots().len()))
+    });
+    let mut big = WaitForGraph::new(4096);
+    let mut x = 12345u64;
+    for _ in 0..16384 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let a = (x >> 33) % 4096;
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let b = (x >> 33) % 4096;
+        big.add_edge(a as u32, b as u32);
+    }
+    g.bench_function("tarjan_4096v_16384e", |b| {
+        b.iter(|| black_box(big.sccs().len()))
+    });
+    g.finish();
+}
+
+fn bench_recovery_lane(c: &mut Criterion) {
+    let mut g = c.benchmark_group("recovery_lane");
+    let topo = Topology::new(TopologyKind::Torus, &[8, 8], 1);
+    let ring = RecoveryRing::new(&topo);
+    let pat = Pat::pat271();
+    let mut tr = SyntheticTraffic::new(Arc::new(pat), 64, 0.2, DestPattern::Random, 1);
+    let mut ids = IdAlloc::new();
+    let msg = tr.make_request(mdd_topology::NicId(0), 0, &mut ids);
+    g.bench_function("send_poll_roundtrip", |b| {
+        let mut lane = RecoveryLane::new(ring.clone(), 1);
+        let mut now = 0u64;
+        b.iter(|| {
+            let arrive = lane.send(msg.clone(), mdd_topology::NodeId(0), mdd_topology::NodeId(37), now);
+            now = arrive;
+            black_box(lane.poll(now).is_some())
+        })
+    });
+    g.finish();
+}
+
+fn bench_traffic_gen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traffic_generation");
+    let pat = Arc::new(Pat::pat271());
+    g.bench_function("synthetic_64nodes_1kcycles", |b| {
+        let mut tr = SyntheticTraffic::new(pat.clone(), 64, 0.4, DestPattern::Random, 7);
+        let mut ids = IdAlloc::new();
+        let mut cycle = 0u64;
+        b.iter(|| {
+            for _ in 0..1000 {
+                tr.tick(cycle, &mut ids);
+                cycle += 1;
+            }
+            // Drain the backlog so memory stays bounded across iterations.
+            for n in 0..64 {
+                while tr.pop_pending(mdd_topology::NicId(n)).is_some() {}
+            }
+            black_box(tr.generated)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_network_cycle,
+    bench_cwg,
+    bench_recovery_lane,
+    bench_traffic_gen
+);
+criterion_main!(benches);

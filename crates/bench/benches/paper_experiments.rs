@@ -1,0 +1,137 @@
+//! Criterion benches, one per paper table/figure: each runs a scaled-down
+//! but structurally identical slice of the corresponding experiment
+//! (same topology, scheme wiring and measurement path), so `cargo bench`
+//! exercises every harness and tracks simulator performance per
+//! configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdd_bench::characterize_app;
+use mdd_core::{run_point, PatternSpec, QueueOrg, Scheme, SimConfig};
+use mdd_traffic::AppModel;
+use std::hint::black_box;
+
+const SA: Scheme = Scheme::StrictAvoidance {
+    shared_adaptive: false,
+};
+
+/// One short measurement at a moderate load for a figure configuration.
+fn point(scheme: Scheme, pattern: PatternSpec, vcs: u8, org: Option<QueueOrg>) -> f64 {
+    let mut cfg = SimConfig::paper_default(scheme, pattern, vcs, 0.0);
+    cfg.queue_org = org;
+    cfg.warmup = 300;
+    cfg.measure = 700;
+    run_point(&cfg, 0.20).expect("feasible").throughput
+}
+
+fn bench_fig8_vc4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_vc4");
+    g.sample_size(10);
+    g.bench_function("pr_pat721", |b| {
+        b.iter(|| black_box(point(Scheme::ProgressiveRecovery, PatternSpec::pat721(), 4, None)))
+    });
+    g.bench_function("dr_pat721", |b| {
+        b.iter(|| black_box(point(Scheme::DeflectiveRecovery, PatternSpec::pat721(), 4, None)))
+    });
+    g.bench_function("sa_pat100", |b| {
+        b.iter(|| black_box(point(SA, PatternSpec::pat100(), 4, None)))
+    });
+    g.finish();
+}
+
+fn bench_fig9_vc8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_vc8");
+    g.sample_size(10);
+    for (name, scheme) in [
+        ("sa", SA),
+        ("dr", Scheme::DeflectiveRecovery),
+        ("pr", Scheme::ProgressiveRecovery),
+    ] {
+        g.bench_function(format!("{name}_pat271"), |b| {
+            b.iter(|| black_box(point(scheme, PatternSpec::pat271(), 8, None)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig10_vc16(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_vc16");
+    g.sample_size(10);
+    for (name, scheme) in [
+        ("sa", SA),
+        ("dr", Scheme::DeflectiveRecovery),
+        ("pr", Scheme::ProgressiveRecovery),
+    ] {
+        g.bench_function(format!("{name}_pat451"), |b| {
+            b.iter(|| black_box(point(scheme, PatternSpec::pat451(), 16, None)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig11_queue_sep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_queue_sep");
+    g.sample_size(10);
+    g.bench_function("pr_shared", |b| {
+        b.iter(|| black_box(point(Scheme::ProgressiveRecovery, PatternSpec::pat271(), 16, None)))
+    });
+    g.bench_function("pr_qa", |b| {
+        b.iter(|| {
+            black_box(point(
+                Scheme::ProgressiveRecovery,
+                PatternSpec::pat271(),
+                16,
+                Some(QueueOrg::PerType),
+            ))
+        })
+    });
+    g.bench_function("dr_qa", |b| {
+        b.iter(|| {
+            black_box(point(
+                Scheme::DeflectiveRecovery,
+                PatternSpec::pat271(),
+                16,
+                Some(QueueOrg::PerType),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig6_loads(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_loads");
+    g.sample_size(10);
+    g.bench_function("radix_4x4", |b| {
+        b.iter(|| black_box(characterize_app(AppModel::radix(), &[4, 4], 1, 4_000, 42).mean_load))
+    });
+    g.finish();
+}
+
+fn bench_table1_traces(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_traces");
+    g.sample_size(10);
+    g.bench_function("water_4x4", |b| {
+        b.iter(|| black_box(characterize_app(AppModel::water(), &[4, 4], 1, 4_000, 42).table1))
+    });
+    g.finish();
+}
+
+fn bench_deadlock_freq(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deadlock_freq");
+    g.sample_size(10);
+    g.bench_function("bristled_2x2_fft", |b| {
+        b.iter(|| black_box(characterize_app(AppModel::fft(), &[2, 2], 4, 4_000, 42).deadlocks))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig8_vc4,
+    bench_fig9_vc8,
+    bench_fig10_vc16,
+    bench_fig11_queue_sep,
+    bench_fig6_loads,
+    bench_table1_traces,
+    bench_deadlock_freq
+);
+criterion_main!(benches);

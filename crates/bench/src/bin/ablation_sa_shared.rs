@@ -1,0 +1,58 @@
+//! Ablation A1: the Martinez-Torrellas-Duato shared-adaptive variant of
+//! strict avoidance ([21], discussed in Section 2.1) against plain SA —
+//! only the escape channels stay partitioned per type; all remaining
+//! channels form a common adaptive pool.
+//!
+//! `cargo run -p mdd-bench --release --bin ablation_sa_shared [--smoke]`
+
+use mdd_core::{default_loads, run_curve, PatternSpec, Scheme, SimConfig};
+use mdd_bench::{write_results, RunScale};
+use mdd_stats::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--smoke") {
+        RunScale::smoke()
+    } else if args.iter().any(|a| a == "--fast") {
+        RunScale::fast()
+    } else {
+        RunScale::full()
+    };
+    let mut t = Table::new(vec!["vcs", "scheme", "load", "throughput", "latency"]);
+    let mut csv = String::from("vcs,scheme,load,throughput,latency\n");
+    for vcs in [8u8, 16] {
+        let loads = default_loads(0.05, 0.50, scale.load_points);
+        for (label, shared) in [("SA", false), ("SA+", true)] {
+            let mut cfg = SimConfig::paper_default(
+                Scheme::StrictAvoidance {
+                    shared_adaptive: shared,
+                },
+                PatternSpec::pat271(),
+                vcs,
+                0.0,
+            );
+            cfg.warmup = scale.warmup;
+            cfg.measure = scale.measure;
+            let (curve, _) = run_curve(&cfg, &loads, label).expect("feasible at 8+ VCs");
+            for p in &curve.points {
+                t.row(vec![
+                    vcs.to_string(),
+                    label.to_string(),
+                    format!("{:.3}", p.applied_load),
+                    format!("{:.4}", p.throughput),
+                    format!("{:.1}", p.latency),
+                ]);
+                csv.push_str(&format!(
+                    "{vcs},{label},{:.4},{:.6},{:.3}\n",
+                    p.applied_load, p.throughput, p.latency
+                ));
+            }
+        }
+    }
+    println!("Ablation A1 — SA vs SA+ (shared adaptive pool), PAT271\n");
+    print!("{}", t.render());
+    match write_results("ablation_sa_shared.csv", &csv) {
+        Ok(p) => println!("\nwrote {p}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

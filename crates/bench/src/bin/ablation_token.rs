@@ -1,0 +1,64 @@
+//! Ablation A3: cost of the token/recovery-lane path. The paper notes the
+//! token "can be transmitted as a control packet multiplexed over network
+//! bandwidth" — here the per-hop latency of the token tour and of the
+//! recovery lane is scaled x1/x2/x4 to bound how much a slower (shared)
+//! path would cost PR.
+//!
+//! `cargo run -p mdd-bench --release --bin ablation_token [--smoke]`
+
+use mdd_bench::{write_results, RunScale};
+use mdd_core::{run_point, PatternSpec, Scheme, SimConfig};
+use mdd_stats::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--smoke") {
+        RunScale::smoke()
+    } else if args.iter().any(|a| a == "--fast") {
+        RunScale::fast()
+    } else {
+        RunScale::full()
+    };
+    let mut t = Table::new(vec![
+        "hop cost",
+        "load",
+        "throughput",
+        "latency",
+        "detections",
+        "rescues",
+    ]);
+    let mut csv = String::from("hop,load,throughput,latency,detections,rescues\n");
+    for hop in [1u64, 2, 4] {
+        for load in [0.30, 0.38] {
+            let mut cfg = SimConfig::paper_default(
+                Scheme::ProgressiveRecovery,
+                PatternSpec::pat271(),
+                4,
+                0.0,
+            );
+            cfg.token_hop = hop;
+            cfg.lane_hop = hop;
+            cfg.warmup = scale.warmup;
+            cfg.measure = scale.measure;
+            let r = run_point(&cfg, load).expect("PR always configurable");
+            t.row(vec![
+                format!("x{hop}"),
+                format!("{load:.2}"),
+                format!("{:.4}", r.throughput),
+                format!("{:.1}", r.avg_latency),
+                r.deadlocks.to_string(),
+                r.rescues.to_string(),
+            ]);
+            csv.push_str(&format!(
+                "{hop},{load:.4},{:.6},{:.3},{},{}\n",
+                r.throughput, r.avg_latency, r.deadlocks, r.rescues
+            ));
+        }
+    }
+    println!("Ablation A3 — token/lane per-hop cost (PR, PAT271, 4 VCs)\n");
+    print!("{}", t.render());
+    match write_results("ablation_token.csv", &csv) {
+        Ok(p) => println!("\nwrote {p}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

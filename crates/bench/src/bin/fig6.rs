@@ -1,0 +1,49 @@
+//! Regenerate Figure 6: load-rate distributions of the four modelled
+//! Splash-2 applications on the 4x4 torus (16 processors, MSI directory).
+//!
+//! `cargo run -p mdd-bench --release --bin fig6 [--smoke]`
+
+use mdd_bench::{characterize_all, write_results};
+use mdd_stats::Table;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let horizon = if smoke { 20_000 } else { 120_000 };
+    let rows = characterize_all(horizon);
+
+    // Histogram table: fraction of execution time per load bucket.
+    let buckets = [
+        (0.00, 0.05),
+        (0.05, 0.10),
+        (0.10, 0.15),
+        (0.15, 0.20),
+        (0.20, 0.25),
+        (0.25, 0.30),
+        (0.30, 0.50),
+    ];
+    let mut t = Table::new(vec![
+        "app", "<5%", "5-10%", "10-15%", "15-20%", "20-25%", "25-30%", ">=30%", "mean",
+    ]);
+    let mut csv_rows = String::from("app,bucket_lo,bucket_hi,fraction\n");
+    for r in &rows {
+        let mut cells = vec![r.app.to_string()];
+        for &(lo, hi) in &buckets {
+            let frac = r.load_hist.fraction_below(hi) - r.load_hist.fraction_below(lo);
+            cells.push(format!("{:.1}%", frac * 100.0));
+            csv_rows.push_str(&format!("{},{lo},{hi},{frac:.6}\n", r.app));
+        }
+        cells.push(format!("{:.1}%", r.mean_load * 100.0));
+        t.row(cells);
+    }
+    println!("Figure 6 — load-rate distributions (fraction of execution time)\n");
+    print!("{}", t.render());
+    println!(
+        "\nPaper: FFT/LU/Water under 5% of capacity for 92-99% of execution \
+         time;\nRadix up to 30% of capacity, under 5% for ~50% of the time, \
+         mean 19.4%."
+    );
+    match write_results("fig6.csv", &csv_rows) {
+        Ok(p) => println!("\nwrote {p}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

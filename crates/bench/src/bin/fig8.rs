@@ -1,0 +1,26 @@
+//! Regenerate Figure 8: BNF curves for all five transaction patterns on
+//! the 8x8 torus with 4 virtual channels per link.
+//!
+//! `cargo run -p mdd-bench --release --bin fig8 [--smoke]`
+
+use mdd_bench::{figure8, write_results, RunScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--smoke") {
+        RunScale::smoke()
+    } else if args.iter().any(|a| a == "--fast") {
+        RunScale::fast()
+    } else {
+        RunScale::full()
+    };
+    let fig = figure8(scale);
+    print!("{}", fig.render());
+    println!();
+    print!("{}", fig.render_plots());
+    print!("{}", fig.render_summary());
+    match write_results("fig8.csv", &fig.to_csv()) {
+        Ok(p) => println!("\nwrote {p}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

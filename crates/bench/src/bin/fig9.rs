@@ -1,0 +1,26 @@
+//! Regenerate Figure 9: BNF curves with 8 virtual channels per link on
+//! the 8x8 torus.
+//!
+//! `cargo run -p mdd-bench --release --bin fig9 [--smoke]`
+
+use mdd_bench::{figure9, write_results, RunScale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--smoke") {
+        RunScale::smoke()
+    } else if args.iter().any(|a| a == "--fast") {
+        RunScale::fast()
+    } else {
+        RunScale::full()
+    };
+    let fig = figure9(scale);
+    print!("{}", fig.render());
+    println!();
+    print!("{}", fig.render_plots());
+    print!("{}", fig.render_summary());
+    match write_results("fig9.csv", &fig.to_csv()) {
+        Ok(p) => println!("\nwrote {p}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,161 @@
+//! `mddsim` — ad-hoc simulation driver.
+//!
+//! Run a single configuration or a load sweep from the command line:
+//!
+//! ```text
+//! mddsim --scheme pr --pattern pat271 --vcs 4 --load 0.30
+//! mddsim --scheme dr --pattern pat721 --vcs 8 --sweep 0.05:0.45:9 --plot
+//! mddsim --scheme sa --pattern pat100 --vcs 4 --radix 4x4 --measure 10000
+//! ```
+//!
+//! Options (defaults in brackets):
+//!   --scheme sa|sa+|dr|pr        [pr]
+//!   --pattern pat100|pat721|pat451|pat271|pat280  [pat271]
+//!   --vcs N                      [4]
+//!   --load F                     [0.2]   (ignored with --sweep)
+//!   --sweep LO:HI:N              run a Burton-Normal-Form sweep
+//!   --radix KxK[xK...]           [8x8]
+//!   --bristle N                  [1]
+//!   --queue-org shared|pernet|pertype   [scheme default]
+//!   --warmup N / --measure N     [10000 / 30000]
+//!   --seed N                     [0x5eed]
+//!   --plot                       render the ASCII BNF plot (sweep mode)
+
+use mdd_core::{
+    default_loads, run_curve, run_point, PatternSpec, QueueOrg, Scheme, SimConfig,
+};
+use mdd_stats::{render_bnf, Table};
+
+fn die(msg: &str) -> ! {
+    eprintln!("mddsim: {msg}\nsee the module docs (--help is this header)");
+    std::process::exit(2)
+}
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn flag(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
+    }
+    fn value(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.value(name) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| die(&format!("bad value for {name}: {v}"))),
+        }
+    }
+}
+
+fn main() {
+    let args = Args(std::env::args().skip(1).collect());
+    if args.flag("--help") || args.flag("-h") {
+        println!("{}", include_str!("mddsim.rs").lines().take_while(|l| l.starts_with("//!")).map(|l| l.trim_start_matches("//!").trim_start()).collect::<Vec<_>>().join("\n"));
+        return;
+    }
+    let scheme = match args.value("--scheme").unwrap_or("pr") {
+        "sa" => Scheme::StrictAvoidance {
+            shared_adaptive: false,
+        },
+        "sa+" => Scheme::StrictAvoidance {
+            shared_adaptive: true,
+        },
+        "dr" => Scheme::DeflectiveRecovery,
+        "pr" => Scheme::ProgressiveRecovery,
+        other => die(&format!("unknown scheme {other}")),
+    };
+    let pattern = match args.value("--pattern").unwrap_or("pat271") {
+        "pat100" => PatternSpec::pat100(),
+        "pat721" => PatternSpec::pat721(),
+        "pat451" => PatternSpec::pat451(),
+        "pat271" => PatternSpec::pat271(),
+        "pat280" => PatternSpec::pat280(),
+        other => die(&format!("unknown pattern {other}")),
+    };
+    let vcs: u8 = args.parse("--vcs", 4);
+    let load: f64 = args.parse("--load", 0.2);
+    let mut cfg = SimConfig::paper_default(scheme, pattern, vcs, load);
+    if let Some(radix) = args.value("--radix") {
+        cfg.radix = radix
+            .split('x')
+            .map(|k| k.parse().unwrap_or_else(|_| die("bad --radix")))
+            .collect();
+    }
+    cfg.bristle = args.parse("--bristle", 1);
+    cfg.warmup = args.parse("--warmup", 10_000);
+    cfg.measure = args.parse("--measure", 30_000);
+    cfg.seed = args.parse("--seed", 0x5eed);
+    cfg.queue_org = match args.value("--queue-org") {
+        None => None,
+        Some("shared") => Some(QueueOrg::Shared),
+        Some("pernet") => Some(QueueOrg::PerNetwork),
+        Some("pertype") => Some(QueueOrg::PerType),
+        Some(other) => die(&format!("unknown queue org {other}")),
+    };
+
+    if let Some(sweep) = args.value("--sweep") {
+        let parts: Vec<&str> = sweep.split(':').collect();
+        if parts.len() != 3 {
+            die("--sweep wants LO:HI:N");
+        }
+        let lo: f64 = parts[0].parse().unwrap_or_else(|_| die("bad sweep lo"));
+        let hi: f64 = parts[1].parse().unwrap_or_else(|_| die("bad sweep hi"));
+        let n: usize = parts[2].parse().unwrap_or_else(|_| die("bad sweep n"));
+        let loads = default_loads(lo, hi, n);
+        let (curve, results) = match run_curve(&cfg, &loads, scheme.label()) {
+            Ok(x) => x,
+            Err(e) => die(&format!("infeasible configuration: {e}")),
+        };
+        let mut t = Table::new(vec![
+            "load", "throughput", "latency", "txns", "deadlocks", "deflects", "rescues",
+        ]);
+        for r in &results {
+            t.row(vec![
+                format!("{:.3}", r.applied_load),
+                format!("{:.4}", r.throughput),
+                format!("{:.1}", r.avg_latency),
+                r.transactions.to_string(),
+                r.deadlocks.to_string(),
+                r.deflections.to_string(),
+                r.rescues.to_string(),
+            ]);
+        }
+        print!("{}", t.render());
+        if args.flag("--plot") {
+            println!();
+            print!("{}", render_bnf(std::slice::from_ref(&curve), 64, 18));
+        }
+        println!("\nsaturation throughput: {:.4}", curve.saturation_throughput());
+    } else {
+        let r = match run_point(&cfg, load) {
+            Ok(r) => r,
+            Err(e) => die(&format!("infeasible configuration: {e}")),
+        };
+        println!(
+            "scheme {} | load {:.3} -> throughput {:.4} flits/node/cycle, \
+             latency {:.1} cycles",
+            scheme.label(),
+            r.applied_load,
+            r.throughput,
+            r.avg_latency
+        );
+        println!(
+            "transactions {} | messages {} | deadlocks {} | deflections {} | \
+             rescues {} | router rescues {} | MC util {:.1}%",
+            r.transactions,
+            r.messages_delivered,
+            r.deadlocks,
+            r.deflections,
+            r.rescues,
+            r.router_rescues,
+            r.mc_utilization * 100.0
+        );
+    }
+}

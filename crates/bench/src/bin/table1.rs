@@ -1,0 +1,50 @@
+//! Regenerate Table 1: types and frequencies of responses to request
+//! messages for the four modelled Splash-2 applications.
+//!
+//! `cargo run -p mdd-bench --release --bin table1 [--smoke]`
+
+use mdd_bench::{characterize_all, write_results};
+use mdd_stats::Table;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let horizon = if smoke { 20_000 } else { 120_000 };
+    let rows = characterize_all(horizon);
+
+    let paper = [
+        ("FFT", 98.7, 0.9, 0.4),
+        ("LU", 96.5, 3.0, 0.5),
+        ("Radix", 95.5, 3.6, 0.8),
+        ("Water", 15.2, 50.1, 34.7),
+    ];
+    let mut t = Table::new(vec![
+        "app",
+        "direct",
+        "inval",
+        "fwd",
+        "paper direct",
+        "paper inval",
+        "paper fwd",
+    ]);
+    let mut csv = String::from("app,direct,inval,fwd\n");
+    for r in &rows {
+        let (d, i, f) = r.table1;
+        let p = paper.iter().find(|(n, ..)| *n == r.app).unwrap();
+        t.row(vec![
+            r.app.to_string(),
+            format!("{:.1}%", d * 100.0),
+            format!("{:.1}%", i * 100.0),
+            format!("{:.1}%", f * 100.0),
+            format!("{:.1}%", p.1),
+            format!("{:.1}%", p.2),
+            format!("{:.1}%", p.3),
+        ]);
+        csv.push_str(&format!("{},{d:.6},{i:.6},{f:.6}\n", r.app));
+    }
+    println!("Table 1 — response types to request messages\n");
+    print!("{}", t.render());
+    match write_results("table1.csv", &csv) {
+        Ok(p) => println!("\nwrote {p}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

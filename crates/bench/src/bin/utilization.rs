@@ -1,0 +1,80 @@
+//! Channel-utilization analysis: quantify the paper's Section 4.3.2
+//! explanation that strict avoidance's partitioning causes "unbalanced
+//! use of network resources" while fully shared routing spreads traffic
+//! evenly. Reports mean/max per-VC utilization and the coefficient of
+//! variation for each scheme across VC counts.
+//!
+//! `cargo run -p mdd-bench --release --bin utilization [--smoke]`
+
+use mdd_bench::{write_results, RunScale};
+use mdd_core::{run_point, PatternSpec, Scheme, SimConfig};
+use mdd_stats::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = if args.iter().any(|a| a == "--smoke") {
+        RunScale::smoke()
+    } else if args.iter().any(|a| a == "--fast") {
+        RunScale::fast()
+    } else {
+        RunScale::full()
+    };
+    let load = 0.25; // below every scheme's saturation: equal delivered load
+    let mut t = Table::new(vec![
+        "vcs",
+        "scheme",
+        "throughput",
+        "vc util mean",
+        "vc util max",
+        "imbalance (CV)",
+    ]);
+    let mut csv = String::from("vcs,scheme,throughput,util_mean,util_max,util_cv\n");
+    for vcs in [8u8, 16] {
+        for (label, scheme) in [
+            (
+                "SA",
+                Scheme::StrictAvoidance {
+                    shared_adaptive: false,
+                },
+            ),
+            (
+                "SA+",
+                Scheme::StrictAvoidance {
+                    shared_adaptive: true,
+                },
+            ),
+            ("DR", Scheme::DeflectiveRecovery),
+            ("PR", Scheme::ProgressiveRecovery),
+        ] {
+            let mut cfg = SimConfig::paper_default(scheme, PatternSpec::pat721(), vcs, 0.0);
+            cfg.warmup = scale.warmup;
+            cfg.measure = scale.measure;
+            let r = run_point(&cfg, load).expect("feasible at 8+ VCs");
+            t.row(vec![
+                vcs.to_string(),
+                label.to_string(),
+                format!("{:.4}", r.throughput),
+                format!("{:.4}", r.vc_util_mean),
+                format!("{:.4}", r.vc_util_max),
+                format!("{:.3}", r.vc_util_cv),
+            ]);
+            csv.push_str(&format!(
+                "{vcs},{label},{:.6},{:.6},{:.6},{:.6}\n",
+                r.throughput, r.vc_util_mean, r.vc_util_max, r.vc_util_cv
+            ));
+        }
+    }
+    println!(
+        "Channel-utilization balance at equal delivered load ({load} \
+         flits/node/cycle, PAT721)\n"
+    );
+    print!("{}", t.render());
+    println!(
+        "\nHigher CV = more unbalanced channel usage. The paper attributes \
+         SA's early\nsaturation to exactly this imbalance (Section 4.3.2)."
+    );
+    match write_results("utilization.csv", &csv) {
+        Ok(p) => println!("\nwrote {p}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

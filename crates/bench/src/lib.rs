@@ -1,0 +1,13 @@
+//! # mdd-bench
+//!
+//! The experiment harness: one module per paper table/figure, shared by
+//! the full-scale binaries in `src/bin/` and the scaled-down Criterion
+//! benches in `benches/`. Every function is deterministic given its
+//! configuration, prints the same rows/series the paper reports, and
+//! returns structured results so benches and tests can assert on them.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,183 @@
+//! Full-map directory state and the MSI transition function.
+
+use std::collections::HashMap;
+
+/// MSI state of a cache line at its home directory.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LineState {
+    /// No remote copy: the home memory is the only holder.
+    #[default]
+    Invalid,
+    /// One or more caches hold read-only copies.
+    Shared,
+    /// Exactly one cache holds the line writable.
+    Modified,
+}
+
+/// Directory entry for one cache line.
+#[derive(Clone, Debug, Default)]
+pub struct BlockState {
+    /// Current MSI state.
+    pub state: LineState,
+    /// Owner when `Modified`.
+    pub owner: u32,
+    /// Full-map sharer bit vector (bit `p` set when processor `p` holds a
+    /// shared copy); supports up to 64 processors, which covers every
+    /// configuration in the paper.
+    pub sharers: u64,
+}
+
+impl BlockState {
+    /// Number of sharers recorded.
+    pub fn sharer_count(&self) -> u32 {
+        self.sharers.count_ones()
+    }
+
+    /// An arbitrary (lowest-index) sharer other than `exclude`, if any.
+    pub fn a_sharer_not(&self, exclude: u32) -> Option<u32> {
+        let mask = self.sharers & !(1u64 << exclude);
+        if mask == 0 {
+            None
+        } else {
+            Some(mask.trailing_zeros())
+        }
+    }
+}
+
+/// How the home node had to satisfy a request — Table 1's classification.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TxnClass {
+    /// Home replies directly (chain length 2).
+    DirectReply,
+    /// Home invalidates a sharer first (chain length up to 4).
+    Invalidation,
+    /// Home forwards to the Modified owner (chain length up to 4).
+    Forwarding,
+}
+
+/// The (logically distributed, physically centralized in the simulator)
+/// full-map directory for all cache lines, plus classification counters.
+#[derive(Clone, Debug, Default)]
+pub struct Directory {
+    blocks: HashMap<u64, BlockState>,
+    /// Count of transactions per class.
+    pub counts: HashMap<TxnClass, u64>,
+    /// Sharer mask cleared by the most recent invalidation (consumed by
+    /// the engine to build multicast invalidation transactions).
+    pub last_invalidated: u64,
+}
+
+impl Directory {
+    /// Empty directory (all lines Invalid at home).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read access to a line's entry (default state if untouched).
+    pub fn block(&self, addr: u64) -> BlockState {
+        self.blocks.get(&addr).cloned().unwrap_or_default()
+    }
+
+    /// Apply one access by `proc` to `addr` and return the transaction
+    /// classification plus the remote party involved (`None` for direct
+    /// replies; the invalidated sharer or forwarding owner otherwise).
+    ///
+    /// State transitions follow the standard full-map MSI protocol:
+    ///
+    /// | state | access | action | next state |
+    /// |---|---|---|---|
+    /// | I | read  | direct reply           | S {proc} |
+    /// | I | write | direct reply           | M proc |
+    /// | S | read  | direct reply           | S +proc |
+    /// | S (only self) | write | direct (upgrade) | M proc |
+    /// | S (others compared) | write | invalidate sharers | M proc |
+    /// | M (self)  | any  | cache hit at owner — direct reply | M proc |
+    /// | M (other) | read | forward to owner; owner downgrades | S {owner, proc} |
+    /// | M (other) | write| forward to owner; owner invalidates | M proc |
+    pub fn access(&mut self, proc: u32, addr: u64, write: bool) -> (TxnClass, Option<u32>) {
+        debug_assert!(proc < 64, "full-map vector supports 64 processors");
+        let entry = self.blocks.entry(addr).or_default();
+        let bit = 1u64 << proc;
+        let (class, party) = match entry.state {
+            LineState::Invalid => {
+                if write {
+                    entry.state = LineState::Modified;
+                    entry.owner = proc;
+                    entry.sharers = 0;
+                } else {
+                    entry.state = LineState::Shared;
+                    entry.sharers = bit;
+                }
+                (TxnClass::DirectReply, None)
+            }
+            LineState::Shared => {
+                if write {
+                    let other = entry.a_sharer_not(proc);
+                    self.last_invalidated = entry.sharers & !(1u64 << proc);
+                    entry.state = LineState::Modified;
+                    entry.owner = proc;
+                    entry.sharers = 0;
+                    match other {
+                        Some(s) => (TxnClass::Invalidation, Some(s)),
+                        None => (TxnClass::DirectReply, None), // upgrade
+                    }
+                } else {
+                    entry.sharers |= bit;
+                    (TxnClass::DirectReply, None)
+                }
+            }
+            LineState::Modified => {
+                if entry.owner == proc {
+                    // Hit in the owner's cache: no network transaction is
+                    // strictly required, but the trace records the access;
+                    // treat it as a silent hit via DirectReply with no
+                    // remote party and no directory change.
+                    (TxnClass::DirectReply, None)
+                } else {
+                    let owner = entry.owner;
+                    if write {
+                        entry.owner = proc;
+                        entry.sharers = 0;
+                    } else {
+                        entry.state = LineState::Shared;
+                        entry.sharers = (1u64 << owner) | bit;
+                    }
+                    (TxnClass::Forwarding, Some(owner))
+                }
+            }
+        };
+        *self.counts.entry(class).or_insert(0) += 1;
+        (class, party)
+    }
+
+    /// Apply a capacity writeback of `addr`: the owner's dirty copy
+    /// returns to the home and the directory entry becomes Invalid. Not a
+    /// classified transaction (writeback traffic is not a response to a
+    /// request).
+    pub fn writeback(&mut self, addr: u64) {
+        if let Some(e) = self.blocks.get_mut(&addr) {
+            e.state = LineState::Invalid;
+            e.sharers = 0;
+        }
+    }
+
+    /// Total classified transactions.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Fraction of transactions in `class`.
+    pub fn fraction(&self, class: TxnClass) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            *self.counts.get(&class).unwrap_or(&0) as f64 / t as f64
+        }
+    }
+
+    /// Number of distinct lines touched.
+    pub fn lines_touched(&self) -> usize {
+        self.blocks.len()
+    }
+}

@@ -1,0 +1,216 @@
+//! Mapping coherent accesses onto network transactions.
+
+use crate::directory::{Directory, TxnClass};
+use mdd_protocol::{
+    HopTarget, IdAlloc, Message, MsgType, PatternSpec, ProtocolSpec, TransactionShape,
+};
+use mdd_topology::NicId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Keep at most `cap` set bits of `mask` (lowest indices win).
+fn cap_mask(mask: u64, cap: u32) -> u64 {
+    let mut m = mask;
+    while m.count_ones() > cap {
+        // Clear the highest set bit.
+        m &= !(1u64 << (63 - m.leading_zeros()));
+    }
+    m
+}
+
+/// A classified access that produced a network transaction.
+#[derive(Clone, Debug)]
+pub struct CoherentAccess {
+    /// The original request message to inject at the requester.
+    pub request: Message,
+    /// Table 1 classification.
+    pub class: TxnClass,
+}
+
+/// Drives the [`Directory`] from an access stream and emits the original
+/// request message of each resulting network transaction.
+pub struct CoherenceEngine {
+    pattern: Arc<PatternSpec>,
+    directory: Directory,
+    nprocs: u32,
+    evict_rate: f64,
+    writeback_rate: f64,
+    rng: StdRng,
+    /// Accesses that hit locally (no network transaction).
+    pub silent_hits: u64,
+    /// Accesses whose home is the issuing node (local directory access,
+    /// no network transaction).
+    pub local_home: u64,
+}
+
+impl CoherenceEngine {
+    /// The MSI pattern: shape 0 = direct reply (`RQ→RP`), shape 1 =
+    /// invalidation (`RQ→INV→ACK→RP`, carried as `RQ→FRQ→FRP→RP`), shape 2
+    /// = forwarding (`RQ→FRQ→FRP→RP` through the home), matching the
+    /// S-1/Censier-Feautrier structure of Figure 5.
+    pub fn msi_pattern() -> PatternSpec {
+        let p = ProtocolSpec::msi();
+        let (rq, frq, frp, rp) = (MsgType(0), MsgType(1), MsgType(2), MsgType(3));
+        let chain4 = |_: ()| {
+            TransactionShape::new(
+                vec![rq, frq, frp, rp],
+                vec![
+                    HopTarget::Home,
+                    HopTarget::Owner,
+                    HopTarget::Home,
+                    HopTarget::Requester,
+                ],
+            )
+        };
+        PatternSpec::new(
+            "MSI",
+            p,
+            vec![
+                (
+                    1.0,
+                    TransactionShape::new(
+                        vec![rq, rp],
+                        vec![HopTarget::Home, HopTarget::Requester],
+                    ),
+                ),
+                // Invalidation fans out to every sharer; the per-sharer
+                // acks join at the home before the final reply.
+                (1.0, chain4(()).with_multicast(1)),
+                (1.0, chain4(())), // forwarding
+            ],
+        )
+    }
+
+    /// Build an engine for `nprocs` processors. `evict_rate` is the
+    /// probability a locally cached line has been displaced when
+    /// re-accessed (a one-parameter capacity model that makes misses
+    /// recur).
+    pub fn new(nprocs: u32, evict_rate: f64, seed: u64) -> Self {
+        assert!(nprocs >= 2 && nprocs <= 64);
+        CoherenceEngine {
+            pattern: Arc::new(Self::msi_pattern()),
+            directory: Directory::new(),
+            nprocs,
+            evict_rate,
+            writeback_rate: 0.3,
+            rng: StdRng::seed_from_u64(seed),
+            silent_hits: 0,
+            local_home: 0,
+        }
+    }
+
+    /// Set the probability that a Modified line has already been written
+    /// back (capacity-evicted at its owner) when another node accesses it,
+    /// turning a would-be forwarding into a direct reply. Models the
+    /// asynchronous writeback traffic real caches generate.
+    pub fn with_writeback_rate(mut self, rate: f64) -> Self {
+        self.writeback_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The MSI pattern this engine emits transactions for.
+    pub fn pattern(&self) -> Arc<PatternSpec> {
+        self.pattern.clone()
+    }
+
+    /// The directory (for Table 1 statistics).
+    pub fn directory(&self) -> &Directory {
+        &self.directory
+    }
+
+    /// Home node of a cache line (block-interleaved).
+    pub fn home_of(&self, addr: u64) -> u32 {
+        (addr % self.nprocs as u64) as u32
+    }
+
+    /// Process one access. Returns the network transaction it causes, or
+    /// `None` for silent cache hits and local-home accesses.
+    pub fn access(
+        &mut self,
+        proc: u32,
+        addr: u64,
+        write: bool,
+        cycle: u64,
+        ids: &mut IdAlloc,
+    ) -> Option<CoherentAccess> {
+        use crate::directory::LineState;
+        debug_assert!(proc < self.nprocs);
+        let entry = self.directory.block(addr);
+        let locally_cached = match entry.state {
+            LineState::Modified => entry.owner == proc,
+            LineState::Shared => !write && (entry.sharers >> proc) & 1 == 1,
+            LineState::Invalid => false,
+        };
+        if locally_cached {
+            if self.rng.random::<f64>() >= self.evict_rate {
+                self.silent_hits += 1;
+                return None;
+            }
+            // Capacity displacement: the line must be re-fetched. The
+            // directory transition for the re-access below regenerates the
+            // correct traffic; the (silent or writeback) eviction itself is
+            // not modelled as network traffic.
+        }
+        // Asynchronous writeback: a Modified line owned elsewhere may have
+        // been displaced (and written back to the home) before this access.
+        if let crate::directory::LineState::Modified = entry.state {
+            if entry.owner != proc && self.rng.random::<f64>() < self.writeback_rate {
+                self.directory.writeback(addr);
+            }
+        }
+        let home = self.home_of(addr);
+        if home == proc {
+            // Local directory access: still updates state, but produces no
+            // network messages.
+            self.local_home += 1;
+            let _ = self.directory.access(proc, addr, write);
+            return None;
+        }
+        let (class, party) = self.directory.access(proc, addr, write);
+        let shape_id = mdd_protocol::ShapeId(match class {
+            TxnClass::DirectReply => 0,
+            TxnClass::Invalidation => 1,
+            TxnClass::Forwarding => 2,
+        });
+        let owner = party.unwrap_or(home);
+        // Invalidations carry the full sharer set (capped so the home's
+        // output queue can always hold one invalidation per sharer; extra
+        // sharers beyond the cap are folded away, a documented
+        // approximation that only reduces load slightly).
+        let sharers = if class == TxnClass::Invalidation {
+            cap_mask(self.directory.last_invalidated, 8)
+        } else {
+            0
+        };
+        let mtype = MsgType(0);
+        let request = Message {
+            id: ids.next_msg(),
+            txn: ids.next_txn(),
+            mtype,
+            shape: shape_id,
+            chain_pos: 0,
+            src: NicId(proc),
+            dst: NicId(home),
+            requester: NicId(proc),
+            home: NicId(home),
+            owner: NicId(owner),
+            length_flits: self.pattern.protocol().length(mtype),
+            created: cycle,
+            is_backoff: false,
+            rescued: false,
+            sharers,
+        };
+        Some(CoherentAccess { request, class })
+    }
+
+    /// The Table 1 row measured so far: (direct, invalidation, forwarding)
+    /// fractions of classified network transactions.
+    pub fn table1_row(&self) -> (f64, f64, f64) {
+        (
+            self.directory.fraction(TxnClass::DirectReply),
+            self.directory.fraction(TxnClass::Invalidation),
+            self.directory.fraction(TxnClass::Forwarding),
+        )
+    }
+}

@@ -1,0 +1,25 @@
+//! Adapter presenting the NIC array to the network as an
+//! [`mdd_router::EjectControl`].
+
+use mdd_nic::Nic;
+use mdd_protocol::{Message, MessageId};
+use mdd_router::EjectControl;
+use mdd_topology::NicId;
+
+pub(crate) struct NicArray<'a> {
+    pub nics: &'a mut [Nic],
+}
+
+impl EjectControl for NicArray<'_> {
+    fn can_accept(&mut self, nic: NicId, msg: &Message, _cycle: u64) -> bool {
+        self.nics[nic.index()].can_accept(msg)
+    }
+
+    fn deliver_flit(&mut self, nic: NicId, _msg: MessageId, _cycle: u64) {
+        self.nics[nic.index()].on_flit();
+    }
+
+    fn deliver_packet(&mut self, nic: NicId, msg: Message, _injected_at: u64, _cycle: u64) {
+        self.nics[nic.index()].on_packet(msg);
+    }
+}

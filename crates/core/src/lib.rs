@@ -1,0 +1,47 @@
+//! # mdd-core
+//!
+//! The simulator proper: wires the topology, the flit-level wormhole
+//! network, the network interfaces, the traffic generators and the three
+//! message-dependent deadlock handling schemes (SA / DR / PR) into a
+//! cycle-accurate whole, and provides the load-sweep runner that produces
+//! the paper's Burton-Normal-Form curves.
+//!
+//! ## Per-cycle order of operations
+//!
+//! 1. traffic generation (new original requests into per-node source
+//!    queues),
+//! 2. request issue (source queue → NIC output queue, gated by MSHRs,
+//!    output space and reply preallocation),
+//! 3. NIC endpoint work (sink terminating heads, memory-controller
+//!    start/finish, detector update),
+//! 4. scheme actions — DR deflections or the PR token/rescue state
+//!    machine,
+//! 5. NIC injection (one flit of link bandwidth per NIC),
+//! 6. one network cycle (routing, VC allocation, switch, traversal,
+//!    ejection into NIC queues).
+
+#![warn(missing_docs)]
+
+mod config;
+mod endpoint;
+mod recovery;
+mod sim;
+mod sweep;
+mod validate;
+
+pub use config::{SimConfig, SimResult};
+pub use recovery::{EpisodeOrigin, EpisodeRecord, PrRecovery};
+pub use sim::Simulator;
+pub use sweep::{default_loads, run_curve, run_point};
+pub use validate::build_waitfor_graph;
+
+// Re-export the pieces callers need to assemble configurations, so that
+// downstream crates (examples, benches) can depend on `mdd-core` alone.
+pub use mdd_protocol::{PatternSpec, ProtocolSpec, QueueOrg};
+pub use mdd_routing::{Scheme, SchemeConfigError};
+pub use mdd_stats::{BnfCurve, BnfPoint};
+pub use mdd_topology::{Topology, TopologyKind};
+pub use mdd_traffic::DestPattern;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,327 @@
+//! The cycle-accurate simulator.
+
+use crate::config::{SimConfig, SimResult};
+use crate::endpoint::NicArray;
+use crate::recovery::PrRecovery;
+use mdd_nic::{Nic, NicConfig, NicStats};
+use mdd_protocol::IdAlloc;
+use mdd_router::Network;
+use mdd_routing::{Scheme, SchemeConfigError, SchemeRouting, VcMap};
+use mdd_topology::{NicId, Topology, TopologyKind};
+use mdd_traffic::{SyntheticTraffic, TrafficSource};
+
+/// One fully wired simulation instance.
+pub struct Simulator {
+    cfg: SimConfig,
+    topo: Topology,
+    net: Network,
+    routing: SchemeRouting,
+    nics: Vec<Nic>,
+    traffic: Box<dyn TrafficSource>,
+    recovery: Option<PrRecovery>,
+    ids: IdAlloc,
+    cycle: u64,
+    generation: bool,
+    cwg_checks: u64,
+    cwg_deadlocked_checks: u64,
+}
+
+impl Simulator {
+    /// Build a simulator; fails if the scheme cannot be configured with
+    /// the requested virtual channels (e.g. SA on a chain-4 protocol with
+    /// 4 VCs — exactly the configurations the paper omits from Figure 8).
+    pub fn new(cfg: SimConfig) -> Result<Self, SchemeConfigError> {
+        let num_nics: u32 = cfg.radix.iter().product::<u32>() * cfg.bristle;
+        let traffic = Box::new(SyntheticTraffic::new(
+            cfg.pattern.clone(),
+            num_nics,
+            cfg.load,
+            cfg.dest,
+            cfg.seed,
+        ));
+        Self::with_traffic(cfg, traffic)
+    }
+
+    /// Build a simulator around a custom traffic source (e.g. the
+    /// coherence-driven application workloads of Section 4.2).
+    pub fn with_traffic(
+        cfg: SimConfig,
+        traffic: Box<dyn TrafficSource>,
+    ) -> Result<Self, SchemeConfigError> {
+        let kind = if cfg.mesh {
+            TopologyKind::Mesh
+        } else {
+            TopologyKind::Torus
+        };
+        let topo = Topology::new(kind, &cfg.radix, cfg.bristle);
+        let escape = if cfg.mesh { 1 } else { 2 };
+        let map = VcMap::build(cfg.scheme, cfg.pattern.protocol(), cfg.vcs, escape)?;
+        let routing = SchemeRouting::new(map);
+        let net = Network::new(topo.clone(), cfg.vcs, cfg.flit_buf);
+        let org = cfg.effective_queue_org();
+        let nic_cfg = NicConfig {
+            queue_capacity: cfg.queue_capacity,
+            service_time: cfg.service_time,
+            mshr_limit: cfg.mshr_limit,
+            detect_threshold: cfg.detect_threshold,
+            queue_org: org,
+            // Reply preallocation is the Origin2000-style guarantee DR
+            // needs on its shared reply network. SA is reply-safe by
+            // construction (each type drains in its own partition) and PR
+            // deliberately shares everything, so neither preallocates.
+            preallocate_replies: matches!(cfg.scheme, Scheme::DeflectiveRecovery),
+            preallocate_return_replies: matches!(cfg.scheme, Scheme::DeflectiveRecovery),
+        };
+        let mut nics: Vec<Nic> = topo
+            .nics()
+            .map(|n| Nic::new(n, nic_cfg, cfg.pattern.clone(), cfg.vcs))
+            .collect();
+        for nic in &mut nics {
+            nic.measuring = false;
+        }
+        let recovery = match cfg.scheme {
+            Scheme::ProgressiveRecovery => Some(PrRecovery::new(
+                &topo,
+                cfg.pattern.clone(),
+                cfg.token_hop,
+                cfg.lane_hop,
+                cfg.router_block_threshold,
+            )),
+            _ => None,
+        };
+        Ok(Simulator {
+            cfg,
+            topo,
+            net,
+            routing,
+            nics,
+            traffic,
+            recovery,
+            ids: IdAlloc::new(),
+            cycle: 0,
+            generation: true,
+            cwg_checks: 0,
+            cwg_deadlocked_checks: 0,
+        })
+    }
+
+    /// The configuration this simulator was built from.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The topology.
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The network (read access, for validation and tests).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The routing function in use.
+    pub fn routing(&self) -> &SchemeRouting {
+        &self.routing
+    }
+
+    /// The NICs (read access).
+    pub fn nics(&self) -> &[Nic] {
+        &self.nics
+    }
+
+    /// The PR recovery machinery, when the scheme is PR.
+    pub fn recovery(&self) -> Option<&PrRecovery> {
+        self.recovery.as_ref()
+    }
+
+    /// Mutable access to the PR recovery machinery (fault injection).
+    pub fn recovery_mut(&mut self) -> Option<&mut PrRecovery> {
+        self.recovery.as_mut()
+    }
+
+    /// Enable or disable traffic generation (used by the drain phase and
+    /// by tests driving traffic manually).
+    pub fn set_generation(&mut self, on: bool) {
+        self.generation = on;
+    }
+
+    /// Toggle measurement on all NICs.
+    pub fn set_measuring(&mut self, on: bool) {
+        for nic in &mut self.nics {
+            nic.measuring = on;
+        }
+    }
+
+    /// Advance one cycle.
+    pub fn step(&mut self) {
+        let c = self.cycle;
+        // 1. Traffic generation.
+        if self.generation {
+            self.traffic.tick(c, &mut self.ids);
+        }
+        // 2. Request issue from source queues.
+        for i in 0..self.nics.len() {
+            let nic_id = NicId(i as u32);
+            while let Some(head) = self.traffic.pending_head(nic_id) {
+                if self.nics[i].can_issue_request(head.mtype) {
+                    let m = self.traffic.pop_pending(nic_id).expect("head exists");
+                    self.nics[i].issue_request(m);
+                } else {
+                    break;
+                }
+            }
+        }
+        // 3. Endpoint work.
+        for nic in &mut self.nics {
+            nic.tick(c, &mut self.ids);
+        }
+        // 4. Scheme actions.
+        match self.cfg.scheme {
+            Scheme::DeflectiveRecovery => {
+                for nic in &mut self.nics {
+                    if nic.detection_fired(c) {
+                        nic.try_deflect(c, &mut self.ids);
+                    }
+                }
+            }
+            Scheme::ProgressiveRecovery => {
+                let rec = self.recovery.as_mut().expect("PR has recovery state");
+                rec.step(&mut self.net, &mut self.nics, &self.topo, c);
+            }
+            Scheme::StrictAvoidance { .. } => {}
+        }
+        // 5. Injection.
+        for nic in &mut self.nics {
+            nic.injection_tick(&mut self.net, &self.routing, c);
+        }
+        // 6. Network cycle.
+        let mut ej = NicArray {
+            nics: &mut self.nics,
+        };
+        self.net.step(c, &self.routing, &mut ej);
+        self.cycle += 1;
+        // Optional ground-truth oracle (FlexSim's CWG detection mode).
+        if let Some(k) = self.cfg.cwg_interval {
+            if self.cycle % k == 0 {
+                self.cwg_checks += 1;
+                if crate::validate::build_waitfor_graph(self).has_deadlock() {
+                    self.cwg_deadlocked_checks += 1;
+                }
+            }
+        }
+    }
+
+    /// Run `n` cycles.
+    pub fn run_cycles(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Run the configured warm-up then measurement window and collect the
+    /// result.
+    pub fn run(&mut self) -> SimResult {
+        self.set_measuring(false);
+        self.run_cycles(self.cfg.warmup);
+        self.set_measuring(true);
+        let net0 = self.net.counters();
+        let gen0 = self.traffic.generated();
+        let rec0 = self
+            .recovery
+            .as_ref()
+            .map(|r| r.router_captures)
+            .unwrap_or(0);
+        self.run_cycles(self.cfg.measure);
+        let net1 = self.net.counters();
+        let rec1 = self
+            .recovery
+            .as_ref()
+            .map(|r| r.router_captures)
+            .unwrap_or(0);
+        self.set_measuring(false);
+
+        let mut agg = NicStats::default();
+        for nic in &self.nics {
+            agg.merge(&nic.stats);
+        }
+        let util = self.net.vc_utilization(self.cycle.max(1));
+        let nodes = self.topo.num_nics() as f64;
+        let window = self.cfg.measure as f64;
+        SimResult {
+            applied_load: self.cfg.load,
+            throughput: (net1.flits_delivered - net0.flits_delivered) as f64 / nodes / window,
+            avg_latency: agg.msg_latency.mean(),
+            latency_quantiles: agg.msg_latency_quantiles.estimates(),
+            messages_delivered: agg.messages_consumed,
+            transactions: agg.transactions_completed,
+            deadlocks: agg.deadlocks_detected,
+            router_rescues: rec1 - rec0,
+            deflections: agg.deflections,
+            rescues: agg.rescues,
+            generated: self.traffic.generated() - gen0,
+            mc_utilization: agg.mc_busy_cycles as f64
+                / (nodes * self.cycle.max(1) as f64),
+            cwg_checks: self.cwg_checks,
+            cwg_deadlocked_checks: self.cwg_deadlocked_checks,
+            vc_util_mean: util.0,
+            vc_util_max: util.1,
+            vc_util_cv: util.2,
+        }
+    }
+
+    /// Stop generating new traffic and run until the system is empty (all
+    /// transactions complete) or `max_cycles` elapse. Returns true if the
+    /// system drained — the liveness check used by tests: under every
+    /// scheme, disabling the source must eventually empty the network.
+    pub fn drain(&mut self, max_cycles: u64) -> bool {
+        self.set_generation(false);
+        let start = self.cycle;
+        while self.cycle - start < max_cycles {
+            if self.is_quiescent() {
+                return true;
+            }
+            self.step();
+        }
+        self.is_quiescent()
+    }
+
+    /// True when no messages exist anywhere in the system (source queues
+    /// excluded — check only meaningful after `set_generation(false)` and
+    /// once source backlogs are consumed).
+    pub fn is_quiescent(&self) -> bool {
+        self.traffic.backlog() == 0
+            && self.net.flits_in_network() == 0
+            && self.net.packets().is_empty()
+            && self.nics.iter().all(|n| n.buffered_messages() == 0)
+            && self
+                .recovery
+                .as_ref()
+                .is_none_or(|r| !r.episode_active())
+    }
+
+    /// Aggregate NIC statistics (merged).
+    pub fn aggregate_stats(&self) -> NicStats {
+        let mut agg = NicStats::default();
+        for nic in &self.nics {
+            agg.merge(&nic.stats);
+        }
+        agg
+    }
+
+    /// Total messages the traffic source has generated.
+    pub fn generated(&self) -> u64 {
+        self.traffic.generated()
+    }
+
+    /// Mutable access to the ID allocator (for tests that hand-craft
+    /// messages).
+    pub fn ids_mut(&mut self) -> &mut IdAlloc {
+        &mut self.ids
+    }
+}

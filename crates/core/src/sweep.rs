@@ -1,0 +1,58 @@
+//! Load sweeps producing Burton-Normal-Form curves.
+//!
+//! Each sweep point is an independent simulation, so points run in
+//! parallel with rayon (the justification recorded in DESIGN.md §7).
+
+use crate::config::{SimConfig, SimResult};
+use crate::sim::Simulator;
+use mdd_routing::SchemeConfigError;
+use mdd_stats::BnfCurve;
+use rayon::prelude::*;
+
+/// The default applied-load schedule used by the figure harnesses:
+/// `n` points from `lo` to `hi` flits/node/cycle.
+pub fn default_loads(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2 && hi > lo);
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+/// Run one configuration at one load.
+pub fn run_point(base: &SimConfig, load: f64) -> Result<SimResult, SchemeConfigError> {
+    let mut cfg = base.clone();
+    cfg.load = load;
+    // Decorrelate seeds across points while keeping the run reproducible.
+    cfg.seed = base
+        .seed
+        .wrapping_add((load * 1e6) as u64)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut sim = Simulator::new(cfg)?;
+    Ok(sim.run())
+}
+
+/// Sweep `loads` (in parallel) and assemble the labelled BNF curve.
+/// Returns the curve plus the raw per-point results.
+pub fn run_curve(
+    base: &SimConfig,
+    loads: &[f64],
+    label: &str,
+) -> Result<(BnfCurve, Vec<SimResult>), SchemeConfigError> {
+    // Validate feasibility once up front so the error surfaces before
+    // spawning work.
+    {
+        let mut probe = base.clone();
+        probe.warmup = 0;
+        probe.measure = 0;
+        Simulator::new(probe)?;
+    }
+    let results: Vec<SimResult> = loads
+        .par_iter()
+        .map(|&l| run_point(base, l).expect("feasibility checked above"))
+        .collect();
+    let mut curve = BnfCurve::new(label);
+    for r in &results {
+        curve.push(r.bnf_point());
+    }
+    Ok((curve, results))
+}

@@ -1,0 +1,413 @@
+//! Integration tests of the assembled simulator: functional correctness,
+//! liveness under every scheme, avoidance guarantees, determinism, and the
+//! headline qualitative result (PR sustains more throughput than DR/SA
+//! when virtual channels are scarce).
+
+use crate::*;
+
+const SA: Scheme = Scheme::StrictAvoidance {
+    shared_adaptive: false,
+};
+
+fn small(scheme: Scheme, pattern: PatternSpec, vcs: u8, load: f64) -> SimConfig {
+    SimConfig::small_test(scheme, pattern, vcs, load)
+}
+
+#[test]
+fn sa_delivers_at_light_load() {
+    let mut sim = Simulator::new(small(SA, PatternSpec::pat100(), 4, 0.05)).unwrap();
+    let r = sim.run();
+    assert!(r.transactions > 50, "transactions completed: {}", r.transactions);
+    assert!(r.throughput > 0.02, "throughput {}", r.throughput);
+    assert!(r.avg_latency > 0.0);
+    assert_eq!(r.deflections, 0, "SA never deflects");
+    assert_eq!(r.rescues, 0, "SA never rescues");
+}
+
+#[test]
+fn dr_delivers_at_light_load() {
+    let mut sim =
+        Simulator::new(small(Scheme::DeflectiveRecovery, PatternSpec::pat271(), 4, 0.05))
+            .unwrap();
+    let r = sim.run();
+    assert!(r.transactions > 50);
+    assert!(r.throughput > 0.02);
+}
+
+#[test]
+fn pr_delivers_at_light_load() {
+    let mut sim =
+        Simulator::new(small(Scheme::ProgressiveRecovery, PatternSpec::pat271(), 4, 0.05))
+            .unwrap();
+    let r = sim.run();
+    assert!(r.transactions > 50);
+    assert!(r.throughput > 0.02);
+    assert_eq!(
+        r.deadlocks, 0,
+        "no message-dependent deadlocks at 5% load (the paper's key \
+         characterization result)"
+    );
+}
+
+#[test]
+fn sa_infeasible_configs_rejected() {
+    // Figure 8: no SA curves for chain-4 patterns at 4 VCs.
+    assert!(Simulator::new(small(SA, PatternSpec::pat271(), 4, 0.1)).is_err());
+    assert!(Simulator::new(small(SA, PatternSpec::pat271(), 8, 0.1)).is_ok());
+}
+
+/// Liveness: under every scheme, stopping the source drains the system
+/// completely — even from deep saturation. For PR this exercises the full
+/// token/lane/rescue machinery; a lost message or an unresolved deadlock
+/// leaves the system non-quiescent and fails the test.
+#[test]
+fn drain_liveness_all_schemes() {
+    let cases = vec![
+        (SA, PatternSpec::pat100(), 4u8),
+        (SA, PatternSpec::pat271(), 8),
+        (Scheme::DeflectiveRecovery, PatternSpec::pat271(), 4),
+        (Scheme::DeflectiveRecovery, PatternSpec::pat280(), 4),
+        (Scheme::ProgressiveRecovery, PatternSpec::pat100(), 4),
+        (Scheme::ProgressiveRecovery, PatternSpec::pat271(), 4),
+        (Scheme::ProgressiveRecovery, PatternSpec::pat280(), 4),
+    ];
+    for (scheme, pattern, vcs) in cases {
+        let name = format!("{}/{}/{vcs}vc", scheme.label(), pattern.name());
+        // Overdrive the network well past saturation.
+        let mut cfg = small(scheme, pattern, vcs, 0.8);
+        cfg.warmup = 0;
+        cfg.measure = 0;
+        let mut sim = Simulator::new(cfg).unwrap();
+        sim.set_measuring(true);
+        sim.run_cycles(6_000);
+        let drained = sim.drain(400_000);
+        assert!(drained, "{name}: system failed to drain");
+        let agg = sim.aggregate_stats();
+        assert!(
+            agg.transactions_completed > 0,
+            "{name}: no transactions completed"
+        );
+    }
+}
+
+/// Transaction conservation: after a drain, every generated transaction
+/// has completed (none lost by recovery, deflection or extraction).
+#[test]
+fn transaction_conservation_through_recovery() {
+    for scheme in [Scheme::ProgressiveRecovery, Scheme::DeflectiveRecovery] {
+        let mut cfg = small(scheme, PatternSpec::pat271(), 4, 0.6);
+        cfg.warmup = 0;
+        cfg.measure = 0;
+        let mut sim = Simulator::new(cfg).unwrap();
+        sim.set_measuring(true);
+        sim.run_cycles(5_000);
+        assert!(sim.drain(400_000), "{}: drain failed", scheme.label());
+        let agg = sim.aggregate_stats();
+        assert_eq!(
+            agg.transactions_completed,
+            sim.generated(),
+            "{}: every generated transaction must complete",
+            scheme.label()
+        );
+    }
+}
+
+/// The avoidance guarantee, checked against the ground-truth wait-for
+/// graph: SA never exhibits a knot, sampled across heavy-load execution.
+#[test]
+fn sa_never_deadlocks_cwg_oracle() {
+    let mut cfg = small(SA, PatternSpec::pat271(), 8, 0.7);
+    cfg.warmup = 0;
+    cfg.measure = 0;
+    let mut sim = Simulator::new(cfg).unwrap();
+    for i in 0..8_000u64 {
+        sim.step();
+        if i % 50 == 0 {
+            let g = build_waitfor_graph(&sim);
+            assert!(
+                !g.has_deadlock(),
+                "knot found in SA wait-for graph at cycle {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sa_pat100_never_deadlocks_cwg_oracle() {
+    let mut cfg = small(SA, PatternSpec::pat100(), 4, 0.8);
+    cfg.warmup = 0;
+    cfg.measure = 0;
+    let mut sim = Simulator::new(cfg).unwrap();
+    for i in 0..8_000u64 {
+        sim.step();
+        if i % 50 == 0 {
+            assert!(!build_waitfor_graph(&sim).has_deadlock(), "cycle {i}");
+        }
+    }
+}
+
+#[test]
+fn determinism_same_seed_same_result() {
+    let cfg = small(Scheme::ProgressiveRecovery, PatternSpec::pat271(), 4, 0.3);
+    let r1 = Simulator::new(cfg.clone()).unwrap().run();
+    let r2 = Simulator::new(cfg).unwrap().run();
+    assert_eq!(r1.messages_delivered, r2.messages_delivered);
+    assert_eq!(r1.transactions, r2.transactions);
+    assert!((r1.avg_latency - r2.avg_latency).abs() < 1e-12);
+    assert!((r1.throughput - r2.throughput).abs() < 1e-12);
+    assert_eq!(r1.deadlocks, r2.deadlocks);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let cfg = small(Scheme::ProgressiveRecovery, PatternSpec::pat271(), 4, 0.3);
+    let mut cfg2 = cfg.clone();
+    cfg2.seed ^= 0xdead_beef;
+    let r1 = Simulator::new(cfg).unwrap().run();
+    let r2 = Simulator::new(cfg2).unwrap().run();
+    assert_ne!(
+        r1.messages_delivered, r2.messages_delivered,
+        "different seeds should perturb the run"
+    );
+}
+
+/// The headline qualitative result at scarce VCs (Figure 8): at the
+/// paper's scale (8x8 torus, 4 VCs, Table 2 parameters) and a load just
+/// beyond DR's saturation point, PR sustains clearly more delivered
+/// throughput than DR.
+#[test]
+fn pr_beats_dr_at_4_vcs_saturation() {
+    let load = 0.35;
+    let mut pr =
+        SimConfig::paper_default(Scheme::ProgressiveRecovery, PatternSpec::pat721(), 4, load);
+    let mut dr =
+        SimConfig::paper_default(Scheme::DeflectiveRecovery, PatternSpec::pat721(), 4, load);
+    for cfg in [&mut pr, &mut dr] {
+        cfg.warmup = 3_000;
+        cfg.measure = 6_000;
+    }
+    let rp = Simulator::new(pr).unwrap().run();
+    let rd = Simulator::new(dr).unwrap().run();
+    assert!(
+        rp.throughput > rd.throughput * 1.15,
+        "PR ({:.4}) should clearly beat DR ({:.4}) with scarce VCs",
+        rp.throughput,
+        rd.throughput
+    );
+}
+
+#[test]
+fn throughput_tracks_load_below_saturation() {
+    let base = small(Scheme::ProgressiveRecovery, PatternSpec::pat100(), 4, 0.0);
+    for load in [0.05, 0.10] {
+        let r = run_point(&base, load).unwrap();
+        assert!(
+            (r.throughput - load).abs() < load * 0.25,
+            "delivered {:.4} vs applied {load:.4}: below saturation the \
+             network should deliver what is applied",
+            r.throughput
+        );
+    }
+}
+
+#[test]
+fn sweep_produces_monotone_applied_loads() {
+    let base = small(Scheme::ProgressiveRecovery, PatternSpec::pat100(), 4, 0.0);
+    let loads = default_loads(0.05, 0.25, 3);
+    let (curve, results) = run_curve(&base, &loads, "PR").unwrap();
+    assert_eq!(curve.points.len(), 3);
+    assert_eq!(results.len(), 3);
+    assert!(curve
+        .points
+        .windows(2)
+        .all(|w| w[0].applied_load < w[1].applied_load));
+    assert!(curve.saturation_throughput() > 0.0);
+    // Latency grows with load.
+    assert!(curve.points[2].latency >= curve.points[0].latency);
+}
+
+#[test]
+fn deadlocks_appear_only_beyond_saturation_for_pr() {
+    // At light load: zero detections. Deep saturation with shared queues:
+    // recovery activity appears (detections and possibly rescues).
+    let light = small(Scheme::ProgressiveRecovery, PatternSpec::pat271(), 4, 0.05);
+    let r = Simulator::new(light).unwrap().run();
+    assert_eq!(r.deadlocks, 0);
+
+    let mut heavy = small(Scheme::ProgressiveRecovery, PatternSpec::pat271(), 4, 0.9);
+    heavy.measure = 12_000;
+    let r = Simulator::new(heavy).unwrap().run();
+    // Normalized deadlock frequency stays small even past saturation
+    // (the paper's Section 4.2/4.3 characterization).
+    let norm = r.normalized_deadlocks();
+    assert!(
+        norm < 0.2,
+        "normalized deadlocks should remain rare, got {norm}"
+    );
+}
+
+#[test]
+fn qa_queue_org_override_applies() {
+    let mut cfg = small(Scheme::ProgressiveRecovery, PatternSpec::pat271(), 4, 0.05);
+    cfg.queue_org = Some(QueueOrg::PerType);
+    let sim = Simulator::new(cfg).unwrap();
+    assert_eq!(sim.nics()[0].num_queues(), 4, "QA: one queue pair per type");
+    let mut cfg = small(Scheme::ProgressiveRecovery, PatternSpec::pat271(), 4, 0.05);
+    cfg.queue_org = None;
+    let sim = Simulator::new(cfg).unwrap();
+    assert_eq!(sim.nics()[0].num_queues(), 1, "PR default: shared");
+}
+
+#[test]
+fn bristled_torus_runs() {
+    // The Section 4.2.2 bristling configurations: 2x4 and 2x2 tori with 2
+    // and 4 NICs per router (16 processors throughout).
+    for (radix, bristle) in [(vec![2u32, 4], 2u32), (vec![2, 2], 4)] {
+        let mut cfg = small(Scheme::ProgressiveRecovery, PatternSpec::pat100(), 4, 0.05);
+        cfg.radix = radix;
+        cfg.bristle = bristle;
+        let mut sim = Simulator::new(cfg).unwrap();
+        assert_eq!(sim.topo().num_nics(), 16);
+        let r = sim.run();
+        assert!(r.transactions > 20, "bristled config must deliver");
+    }
+}
+
+#[test]
+fn mesh_topology_runs() {
+    let mut cfg = small(SA, PatternSpec::pat100(), 2, 0.05);
+    cfg.mesh = true;
+    cfg.vcs = 2; // E_r = 1 on a mesh: 2 types x 1 escape
+    let r = Simulator::new(cfg).unwrap().run();
+    assert!(r.transactions > 20);
+}
+
+#[test]
+fn mc_utilization_bounded() {
+    let mut sim =
+        Simulator::new(small(Scheme::ProgressiveRecovery, PatternSpec::pat271(), 4, 0.4))
+            .unwrap();
+    let r = sim.run();
+    assert!(r.mc_utilization > 0.0 && r.mc_utilization <= 1.0);
+}
+
+#[test]
+fn token_loss_is_survived_by_regeneration() {
+    // Drive PR into a regime where rescues are needed, lose the token,
+    // and verify the watchdog regenerates it and recovery still resolves
+    // everything (the drain succeeds).
+    let mut cfg = small(Scheme::ProgressiveRecovery, PatternSpec::pat271(), 4, 0.7);
+    cfg.warmup = 0;
+    cfg.measure = 0;
+    let mut sim = Simulator::new(cfg).unwrap();
+    sim.set_measuring(true);
+    sim.run_cycles(1_000);
+    // Inject losses repeatedly until one lands while circulating.
+    let mut injected = 0;
+    for _ in 0..2_000 {
+        let now = sim.cycle();
+        if sim.recovery_mut().unwrap().inject_token_loss(now) {
+            injected += 1;
+        }
+        sim.step();
+        if injected >= 3 {
+            break;
+        }
+    }
+    assert!(injected >= 1, "at least one loss must be injectable");
+    sim.run_cycles(3_000);
+    let rec = sim.recovery().unwrap();
+    assert!(
+        rec.token_regenerations() >= 1,
+        "watchdog must regenerate the token"
+    );
+    assert!(sim.drain(400_000), "recovery must still work after losses");
+    let agg = sim.aggregate_stats();
+    assert_eq!(agg.transactions_completed, sim.generated());
+}
+
+#[test]
+fn token_loss_rejected_mid_episode() {
+    let mut cfg = small(Scheme::ProgressiveRecovery, PatternSpec::pat271(), 4, 0.05);
+    cfg.warmup = 0;
+    cfg.measure = 0;
+    let mut sim = Simulator::new(cfg).unwrap();
+    sim.run_cycles(100);
+    // No episode: loss succeeds.
+    let now = sim.cycle();
+    assert!(sim.recovery_mut().unwrap().inject_token_loss(now));
+    // Already lost: second injection is refused (not circulating).
+    assert!(!sim.recovery_mut().unwrap().inject_token_loss(now));
+}
+
+#[test]
+fn cwg_oracle_counts_checks() {
+    let mut cfg = small(SA, PatternSpec::pat100(), 4, 0.3);
+    cfg.cwg_interval = Some(50);
+    cfg.warmup = 0;
+    cfg.measure = 2_000;
+    let r = Simulator::new(cfg).unwrap().run();
+    assert_eq!(r.cwg_checks, 2_000 / 50);
+    assert_eq!(
+        r.cwg_deadlocked_checks, 0,
+        "strict avoidance never shows a knot to the oracle"
+    );
+}
+
+/// The paper's Section 4.3.2 mechanism, quantified: strict avoidance's
+/// per-type partitioning uses the virtual channels far less evenly than
+/// PR's fully shared routing at the same load.
+#[test]
+fn sa_partitioning_is_less_balanced_than_pr() {
+    let load = 0.25;
+    let mut sa = SimConfig::paper_default(SA, PatternSpec::pat721(), 8, load);
+    let mut pr = SimConfig::paper_default(
+        Scheme::ProgressiveRecovery,
+        PatternSpec::pat721(),
+        8,
+        load,
+    );
+    for cfg in [&mut sa, &mut pr] {
+        cfg.warmup = 2_000;
+        cfg.measure = 5_000;
+    }
+    let rs = Simulator::new(sa).unwrap().run();
+    let rp = Simulator::new(pr).unwrap().run();
+    assert!(
+        rs.vc_util_cv > rp.vc_util_cv * 1.3,
+        "SA channel-utilization imbalance (CV {:.3}) should clearly exceed \
+         PR's ({:.3})",
+        rs.vc_util_cv,
+        rp.vc_util_cv
+    );
+    assert!(rp.vc_util_mean > 0.0 && rs.vc_util_mean > 0.0);
+    assert!(rs.vc_util_max <= 1.0 + 1e-9 && rp.vc_util_max <= 1.0 + 1e-9);
+}
+
+#[test]
+fn episode_log_records_rescues() {
+    let mut cfg = small(Scheme::ProgressiveRecovery, PatternSpec::pat271(), 4, 0.8);
+    cfg.warmup = 0;
+    cfg.measure = 0;
+    let mut sim = Simulator::new(cfg).unwrap();
+    sim.set_measuring(true);
+    sim.run_cycles(8_000);
+    sim.drain(400_000);
+    let rec = sim.recovery().unwrap();
+    let log = rec.episode_log();
+    assert_eq!(log.len() as u64, rec.episodes_completed.min(4096));
+    for e in log {
+        assert!(e.ended_at >= e.started_at);
+        assert!(e.max_depth >= 1);
+        // NIC episodes move at least the rescued head's subordinate(s);
+        // router episodes carry the extracted packet itself.
+        match e.origin {
+            EpisodeOrigin::Nic(_) => {}
+            EpisodeOrigin::Router(_) => assert!(e.messages_moved >= 1),
+        }
+    }
+    assert!(
+        !log.is_empty(),
+        "an overdriven 4x4 PR network must have needed rescues"
+    );
+}

@@ -1,0 +1,166 @@
+//! Ground-truth deadlock detection: building the extended channel
+//! wait-for graph (CWG) from live simulator state.
+//!
+//! This mirrors FlexSim 1.2's CWG-based detection, augmented (as in
+//! Section 4.1) with message-level activities at network interfaces:
+//! besides the virtual channels, the graph contains a vertex per endpoint
+//! input queue and output queue, so message-dependent cycles that close
+//! through the endpoints are visible.
+//!
+//! Vertex layout:
+//! * input VC of router `r`, port `p`, channel `v` → `(r·P + p)·V + v`
+//! * NIC `n` input queue `q`  → `base + n·2Q + q`
+//! * NIC `n` output queue `q` → `base + n·2Q + Q + q`
+//!
+//! Edge rules (OR-wait semantics — a vertex with no out-edges can make
+//! progress and is an escape):
+//! * a routed input VC waits on its allocated downstream VC; an unrouted
+//!   head waits on every routing candidate (downstream VCs, or the
+//!   destination NIC input queue for local candidates);
+//! * an input queue whose head is non-terminating waits on the output
+//!   queue of the head's subordinate type (terminating heads sink, so
+//!   such queues get no out-edge);
+//! * an output queue with a head waits on the injection VC it is bound to
+//!   (if packetization started) or on every injection VC its head may use.
+
+use crate::sim::Simulator;
+use mdd_deadlock::WaitForGraph;
+use mdd_router::{RouteCandidate, Routing};
+use mdd_topology::PortId;
+
+/// Build the extended CWG for the simulator's current state.
+pub fn build_waitfor_graph(sim: &Simulator) -> WaitForGraph {
+    let topo = sim.topo();
+    let net = sim.network();
+    let nics = sim.nics();
+    let pattern = sim.config().pattern.clone();
+    let proto = pattern.protocol();
+
+    let ports = topo.ports_per_router();
+    let vcs = net.vcs() as usize;
+    let nr = topo.num_routers() as usize;
+    let nq = nics[0].num_queues();
+    let base = nr * ports * vcs;
+    let total = base + nics.len() * 2 * nq;
+    let mut g = WaitForGraph::new(total);
+
+    let vc_vertex =
+        |r: usize, p: usize, v: usize| -> u32 { ((r * ports + p) * vcs + v) as u32 };
+    let inq_vertex = |n: usize, q: usize| -> u32 { (base + n * 2 * nq + q) as u32 };
+    let outq_vertex = |n: usize, q: usize| -> u32 { (base + n * 2 * nq + nq + q) as u32 };
+    let org = sim.config().effective_queue_org();
+
+    // Router VCs.
+    let mut cands: Vec<RouteCandidate> = Vec::new();
+    for r in 0..nr {
+        let node = mdd_topology::NodeId(r as u32);
+        let router = net.router(node);
+        for p in 0..ports {
+            for v in 0..vcs {
+                let vc = router.vc(PortId(p as u8), v as u8);
+                let Some(front) = vc.front() else { continue };
+                let src_vertex = vc_vertex(r, p, v);
+                let Some(pkt) = net.packets().try_get(front.msg) else {
+                    continue;
+                };
+                let add_target = |g: &mut WaitForGraph, port: PortId, ovc: u8| {
+                    if let Some((d, dir)) = topo.port_dim_dir(port) {
+                        let down = topo.neighbor(node, d, dir).expect("link exists");
+                        let dport = topo.port(d, dir.opposite());
+                        g.add_edge(
+                            src_vertex,
+                            vc_vertex(down.index(), dport.index(), ovc as usize),
+                        );
+                    } else {
+                        // Local port: waits on destination input queue —
+                        // only when that queue is actually full (otherwise
+                        // acceptance is imminent: progress, no wait).
+                        let local = topo.port_local_index(port).expect("local port");
+                        let nic = topo.nic_at(node, local);
+                        let qi = org.queue_index(proto, pkt.msg.mtype);
+                        if nics[nic.index()].in_queue(qi).is_full() {
+                            g.add_edge(src_vertex, inq_vertex(nic.index(), qi));
+                        }
+                    }
+                };
+                match vc.route {
+                    Some((op, ov)) => {
+                        // A granted local route has a reservation: progress
+                        // is guaranteed, no wait edge.
+                        if topo.port_dim_dir(op).is_some() {
+                            add_target(&mut g, op, ov);
+                        }
+                    }
+                    None => {
+                        if front.is_head() {
+                            cands.clear();
+                            sim.routing().candidates(topo, node, pkt, 0, &mut cands);
+                            for c in &cands {
+                                add_target(&mut g, c.port, c.vc);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Endpoint queues.
+    for (n, nic) in nics.iter().enumerate() {
+        for q in 0..nq {
+            // Input queue head waits on the subordinate's output queue.
+            if let Some(head) = nic.in_queue(q).front() {
+                let shape = pattern.shape(head.shape);
+                let pos = head.chain_pos as usize;
+                // Sinkable heads and multicast join replies drain without
+                // output-queue space (conservatively treated as escapes;
+                // the final branch of a join does need space, so this can
+                // only under-approximate — never a false deadlock).
+                let sinkable = proto.is_terminating(head.mtype)
+                    || head.is_backoff
+                    || shape.is_join_reply(pos);
+                if !sinkable && !shape.is_last(pos) {
+                    let sub = shape.mtype(pos + 1);
+                    let oq = org.queue_index(proto, sub);
+                    // Only a full output queue blocks the memory
+                    // controller; otherwise the head will be serviced.
+                    if nic.out_queue(oq).is_full() {
+                        g.add_edge(inq_vertex(n, q), outq_vertex(n, oq));
+                    }
+                }
+            }
+            // Output queue head waits on injection VCs.
+            if let Some(head) = nic.out_queue(q).front() {
+                let router = topo.nic_router(head.dst); // dst router (unused for vertex)
+                let _ = router;
+                let my_router = topo.nic_router(nic.id());
+                let local_port = topo.local_port(topo.nic_local_index(nic.id()));
+                match nic.active_injection_vc(head.id) {
+                    Some(v) => {
+                        g.add_edge(
+                            outq_vertex(n, q),
+                            vc_vertex(my_router.index(), local_port.index(), v as usize),
+                        );
+                    }
+                    None => {
+                        let pkt = mdd_router::PacketState {
+                            msg: head.clone(),
+                            dst_router: topo.nic_router(head.dst),
+                            crossed_dateline: 0,
+                            injected_at: 0,
+                        };
+                        let mut vcs_buf = Vec::new();
+                        sim.routing().injection_vcs(&pkt, &mut vcs_buf);
+                        for v in vcs_buf {
+                            g.add_edge(
+                                outq_vertex(n, q),
+                                vc_vertex(my_router.index(), local_port.index(), v as usize),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    g
+}

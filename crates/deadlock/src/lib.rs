@@ -1,0 +1,34 @@
+//! # mdd-deadlock
+//!
+//! Deadlock machinery shared by the recovery schemes:
+//!
+//! * the **circulating token** of (Extended) Disha Sequential — it tours
+//!   every router *and every network interface* (the paper's first
+//!   extension over Disha), may be captured at either kind of stop, and is
+//!   reused to deliver a rescued message's subordinates before being
+//!   returned along the sender chain and finally re-released,
+//! * the **recovery lane**: the unidirectional ring of per-router
+//!   flit-sized deadlock buffers (DB) terminating in packet-sized deadlock
+//!   message buffers (DMB) at the network interfaces. Because the token
+//!   admits at most one rescued packet at a time, the lane is modelled as
+//!   an exclusive pipelined transfer: a packet of `L` flits sent `d` ring
+//!   hops arrives after `d·h + L` cycles (head pipeline fill plus body
+//!   streaming), with `h` the configurable per-hop latency,
+//! * the **wait-for graph** with Tarjan SCC + knot detection used as the
+//!   ground-truth deadlock oracle (Warnakulasuriya & Pinkston's model: a
+//!   deadlock corresponds to a knot — a strongly connected component with
+//!   no escape arcs — in the resource wait-for graph), mirroring
+//!   FlexSim 1.2's CWG-based detection (Section 4.1).
+
+#![warn(missing_docs)]
+
+mod cwg;
+mod lane;
+mod token;
+
+pub use cwg::WaitForGraph;
+pub use lane::{LaneDelivery, RecoveryLane};
+pub use token::{CirculatingToken, TokenState};
+
+#[cfg(test)]
+mod tests;

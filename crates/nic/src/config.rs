@@ -1,0 +1,50 @@
+//! NIC configuration.
+
+use mdd_protocol::QueueOrg;
+
+/// Per-NIC configuration (the endpoint half of Table 2 plus the detection
+/// parameters of Section 4.1).
+#[derive(Clone, Copy, Debug)]
+pub struct NicConfig {
+    /// Capacity of each message queue, in messages (Table 2: 16).
+    pub queue_capacity: u32,
+    /// Memory-controller service time per non-terminating message, in
+    /// cycles (Table 2: 40).
+    pub service_time: u64,
+    /// Maximum outstanding transactions this node may have as a requester
+    /// (MSHRs in the lockup-free cache).
+    pub mshr_limit: u32,
+    /// Detection time-out `T` in cycles (Section 4.1: 25): the
+    /// full-queues/no-progress condition must persist this long before a
+    /// potential message-dependent deadlock is declared.
+    pub detect_threshold: u64,
+    /// Message-queue organization.
+    pub queue_org: QueueOrg,
+    /// Preallocate an input-queue slot for the terminating reply of every
+    /// outstanding request, guaranteeing replies always sink (used by SA,
+    /// DR and the per-type "QA" configurations; off for PR's shared
+    /// queues, where reply coupling is part of the modelled behaviour).
+    pub preallocate_replies: bool,
+    /// Additionally preallocate input-queue slots for *non-terminating*
+    /// replies expected back mid-chain (the FRP a home receives after
+    /// forwarding), keeping the shared reply network deadlock-free under
+    /// deflective recovery — the Origin2000's second avoidance technique.
+    pub preallocate_return_replies: bool,
+}
+
+impl NicConfig {
+    /// The paper's defaults (Table 2 / Section 4.1) with a given queue
+    /// organization; reply preallocation follows the organization (shared
+    /// queues cannot meaningfully preallocate).
+    pub fn paper_default(queue_org: QueueOrg) -> Self {
+        NicConfig {
+            queue_capacity: 16,
+            service_time: 40,
+            mshr_limit: 16,
+            detect_threshold: 25,
+            queue_org,
+            preallocate_replies: queue_org != QueueOrg::Shared,
+            preallocate_return_replies: false,
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Finite message queues with reservation accounting.
+
+use mdd_protocol::Message;
+use std::collections::VecDeque;
+
+/// A finite FIFO message queue with two kinds of reservations:
+///
+/// * *in-flight* reservations, made when a packet is accepted for ejection
+///   (or when the memory controller commits to producing a subordinate),
+///   converted to real occupancy when the message materializes;
+/// * *earmarked* slots, preallocated for the terminating replies of
+///   outstanding requests so replies are guaranteed to sink (the
+///   avoidance-side technique of Section 2.1 / the Origin2000 reply
+///   network).
+#[derive(Clone, Debug)]
+pub struct MsgQueue {
+    q: VecDeque<Message>,
+    cap: u32,
+    inflight: u32,
+    earmarked: u32,
+}
+
+impl MsgQueue {
+    /// An empty queue of `cap` messages.
+    pub fn new(cap: u32) -> Self {
+        assert!(cap >= 1);
+        MsgQueue {
+            q: VecDeque::with_capacity(cap as usize),
+            cap,
+            inflight: 0,
+            earmarked: 0,
+        }
+    }
+
+    /// Messages currently enqueued.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// True if no messages are enqueued (reservations may still exist).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Capacity in messages.
+    #[inline]
+    pub fn capacity(&self) -> u32 {
+        self.cap
+    }
+
+    /// Committed occupancy: enqueued + reserved + earmarked.
+    #[inline]
+    pub fn committed(&self) -> u32 {
+        self.q.len() as u32 + self.inflight + self.earmarked
+    }
+
+    /// True if a *new* (non-earmarked) message could be admitted.
+    #[inline]
+    pub fn has_space(&self) -> bool {
+        self.committed() < self.cap
+    }
+
+    /// True if the queue is completely committed — the detector's
+    /// "fills up beyond a threshold" condition.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        !self.has_space()
+    }
+
+    /// Reserve one slot for an incoming/forthcoming message. Returns false
+    /// if no space.
+    pub fn reserve(&mut self) -> bool {
+        if self.has_space() {
+            self.inflight += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Release a reservation without materializing a message.
+    pub fn unreserve(&mut self) {
+        debug_assert!(self.inflight > 0);
+        self.inflight -= 1;
+    }
+
+    /// Materialize a previously reserved message at the tail.
+    pub fn push_reserved(&mut self, msg: Message) {
+        debug_assert!(self.inflight > 0, "push_reserved without reservation");
+        self.inflight -= 1;
+        self.q.push_back(msg);
+    }
+
+    /// Admit a new message without prior reservation (used by request
+    /// issue). Returns false (message given back via the Result) if full.
+    pub fn push_new(&mut self, msg: Message) -> Result<(), Message> {
+        if self.has_space() {
+            self.q.push_back(msg);
+            Ok(())
+        } else {
+            Err(msg)
+        }
+    }
+
+    /// Earmark one slot for a future terminating reply. Returns false if
+    /// no space remains.
+    pub fn earmark(&mut self) -> bool {
+        if self.has_space() {
+            self.earmarked += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Convert one earmarked slot into an in-flight reservation (the
+    /// earmarked reply has arrived at the router and begins ejecting).
+    /// Returns false if nothing was earmarked.
+    pub fn claim_earmark(&mut self) -> bool {
+        if self.earmarked > 0 {
+            self.earmarked -= 1;
+            self.inflight += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Outstanding earmarked slots.
+    #[inline]
+    pub fn earmarked(&self) -> u32 {
+        self.earmarked
+    }
+
+    /// Outstanding in-flight reservations.
+    #[inline]
+    pub fn inflight(&self) -> u32 {
+        self.inflight
+    }
+
+    /// The head message.
+    #[inline]
+    pub fn front(&self) -> Option<&Message> {
+        self.q.front()
+    }
+
+    /// Remove and return the head message.
+    pub fn pop(&mut self) -> Option<Message> {
+        self.q.pop_front()
+    }
+
+    /// Iterate over enqueued messages front to back.
+    pub fn iter(&self) -> impl Iterator<Item = &Message> {
+        self.q.iter()
+    }
+}

@@ -1,0 +1,52 @@
+//! Per-NIC measurement counters.
+
+use mdd_stats::{LatencyQuantiles, OnlineStats};
+
+/// Counters and accumulators maintained by each NIC.
+#[derive(Clone, Debug, Default)]
+pub struct NicStats {
+    /// End-to-end message latency (creation to consumption/sink), cycles.
+    pub msg_latency: OnlineStats,
+    /// Streaming latency quantiles (p50/p95/p99) for the same samples.
+    pub msg_latency_quantiles: LatencyQuantiles,
+    /// Latency of terminating replies only (transaction completions).
+    pub txn_latency: OnlineStats,
+    /// Messages consumed at this NIC (sunk or serviced).
+    pub messages_consumed: u64,
+    /// Flits this NIC injected into the network.
+    pub flits_injected: u64,
+    /// Flits delivered to this NIC.
+    pub flits_delivered: u64,
+    /// Transactions completed with this NIC as requester.
+    pub transactions_completed: u64,
+    /// Potential message-dependent deadlocks detected here.
+    pub deadlocks_detected: u64,
+    /// Deflective backoff replies generated here (DR).
+    pub deflections: u64,
+    /// Messages rescued over the recovery lane from here (PR).
+    pub rescues: u64,
+    /// Cycles the memory controller spent busy.
+    pub mc_busy_cycles: u64,
+}
+
+impl NicStats {
+    /// Merge another NIC's stats (for whole-network aggregation).
+    pub fn merge(&mut self, other: &NicStats) {
+        self.msg_latency.merge(&other.msg_latency);
+        // Quantile sketches are not mergeable; whole-network quantiles are
+        // re-estimated from one NIC's sketch being fed all samples when
+        // needed. Merging keeps the larger sketch as an approximation.
+        if other.msg_latency_quantiles.count() > self.msg_latency_quantiles.count() {
+            self.msg_latency_quantiles = other.msg_latency_quantiles.clone();
+        }
+        self.txn_latency.merge(&other.txn_latency);
+        self.messages_consumed += other.messages_consumed;
+        self.flits_injected += other.flits_injected;
+        self.flits_delivered += other.flits_delivered;
+        self.transactions_completed += other.transactions_completed;
+        self.deadlocks_detected += other.deadlocks_detected;
+        self.deflections += other.deflections;
+        self.rescues += other.rescues;
+        self.mc_busy_cycles += other.mc_busy_cycles;
+    }
+}

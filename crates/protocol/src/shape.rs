@@ -1,0 +1,121 @@
+//! Transaction shapes: the concrete per-transaction message chains used by
+//! the synthetic workloads.
+
+use crate::types::MsgType;
+
+/// Where one message of a chain is delivered. Every transaction involves a
+/// *requester*, a *home* node (the directory for the block) and possibly an
+/// *owner* (a third node holding the block or a sharer to invalidate).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HopTarget {
+    /// The home node of the address (chosen uniformly at random per
+    /// transaction under the paper's random traffic, excluding the
+    /// requester).
+    Home,
+    /// The owner/sharer node (a third node, distinct from requester and
+    /// home where the network has three or more endpoints).
+    Owner,
+    /// Back to the original requester.
+    Requester,
+}
+
+/// One linear message dependency chain, e.g. `RQ → FRQ → RP`
+/// (requester→home, home→owner, owner→requester).
+///
+/// The synthetic patterns of Table 3 assume a single sharer per block, so
+/// their shapes are linear; multicast invalidation fan-out (and the join at
+/// the home node) is modelled by the `mdd-coherence` engine for the
+/// trace-driven experiments.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TransactionShape {
+    /// The message type of each hop, in chain order.
+    pub chain: Vec<MsgType>,
+    /// The delivery target of each hop. `targets[0]` is where the original
+    /// request goes (always `Home` for the provided shapes).
+    pub targets: Vec<HopTarget>,
+    /// If `Some(pos)`, the message at chain position `pos` is multicast to
+    /// every sharer in the transaction's sharer set (e.g. parallel
+    /// invalidations), and the following position is the per-branch join
+    /// reply collected at its target before the chain continues. `None`
+    /// for linear chains.
+    pub multicast_at: Option<usize>,
+}
+
+impl TransactionShape {
+    /// Construct a shape; panics unless `chain` and `targets` have equal,
+    /// nonzero length.
+    pub fn new(chain: Vec<MsgType>, targets: Vec<HopTarget>) -> Self {
+        assert!(!chain.is_empty(), "a shape needs at least one message");
+        assert_eq!(
+            chain.len(),
+            targets.len(),
+            "each chain hop needs a delivery target"
+        );
+        TransactionShape {
+            chain,
+            targets,
+            multicast_at: None,
+        }
+    }
+
+    /// Mark position `pos` as a multicast hop (builder style): the
+    /// message there is replicated per sharer and the next position is
+    /// its per-branch join reply. `pos` must have a successor (the join
+    /// reply) which itself must have a successor or be terminating.
+    pub fn with_multicast(mut self, pos: usize) -> Self {
+        assert!(pos >= 1, "the original request cannot be multicast");
+        assert!(
+            pos + 1 < self.chain.len(),
+            "a multicast hop needs a join-reply successor"
+        );
+        self.multicast_at = Some(pos);
+        self
+    }
+
+    /// True if `pos` is the multicast hop.
+    pub fn is_multicast(&self, pos: usize) -> bool {
+        self.multicast_at == Some(pos)
+    }
+
+    /// True if `pos` is the join-reply hop (each branch's reply, collected
+    /// at the join target before the chain continues).
+    pub fn is_join_reply(&self, pos: usize) -> bool {
+        self.multicast_at.is_some_and(|m| m + 1 == pos)
+    }
+
+    /// Chain length (number of message types in this transaction).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// True if the shape is empty (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.chain.is_empty()
+    }
+
+    /// The message type at chain position `pos`.
+    #[inline]
+    pub fn mtype(&self, pos: usize) -> MsgType {
+        self.chain[pos]
+    }
+
+    /// The delivery target at chain position `pos`.
+    #[inline]
+    pub fn target(&self, pos: usize) -> HopTarget {
+        self.targets[pos]
+    }
+
+    /// True if `pos` is the final hop of the chain.
+    #[inline]
+    pub fn is_last(&self, pos: usize) -> bool {
+        pos + 1 == self.chain.len()
+    }
+
+    /// Whether any hop is delivered to a third-party owner (such shapes
+    /// need an owner node chosen at transaction creation).
+    pub fn uses_owner(&self) -> bool {
+        self.targets.contains(&HopTarget::Owner)
+    }
+}

@@ -1,0 +1,106 @@
+//! Flits and in-flight packet routing state.
+
+use mdd_protocol::{Message, MessageId};
+use mdd_topology::NodeId;
+use std::collections::HashMap;
+
+/// One flow-control unit. Packets (== messages, paper footnote 1) are
+/// segmented into `length_flits` flits numbered `0..length`; flit 0 is the
+/// head (it carries routing information), the last flit is the tail (it
+/// releases virtual channels as it passes).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Flit {
+    /// The packet this flit belongs to.
+    pub msg: MessageId,
+    /// Sequence number within the packet (0 = head).
+    pub seq: u32,
+    /// True for the final flit.
+    pub is_tail: bool,
+}
+
+impl Flit {
+    /// True for the routing (first) flit.
+    #[inline]
+    pub fn is_head(&self) -> bool {
+        self.seq == 0
+    }
+}
+
+/// State of one in-flight packet: the full message plus mutable routing
+/// bookkeeping updated as the head flit advances.
+#[derive(Clone, Debug)]
+pub struct PacketState {
+    /// The message being carried.
+    pub msg: Message,
+    /// Destination router (where the destination NIC attaches).
+    pub dst_router: NodeId,
+    /// Per-dimension dateline-crossing bits: bit `d` is set once the head
+    /// flit has traversed the wraparound link of dimension `d`. Determines
+    /// the escape-channel class under dimension-order routing.
+    pub crossed_dateline: u8,
+    /// Cycle the head flit entered the network (for network-latency
+    /// accounting).
+    pub injected_at: u64,
+}
+
+/// Registry of in-flight packets, keyed by message id.
+#[derive(Default, Debug)]
+pub struct PacketTable {
+    map: HashMap<u64, PacketState>,
+}
+
+impl PacketTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a packet at injection time.
+    pub fn insert(&mut self, id: MessageId, state: PacketState) {
+        let prev = self.map.insert(id.0, state);
+        debug_assert!(prev.is_none(), "packet {id:?} registered twice");
+    }
+
+    /// Routing state of packet `id` (panics if unknown — every in-network
+    /// flit must have a registered packet).
+    #[inline]
+    pub fn get(&self, id: MessageId) -> &PacketState {
+        self.map
+            .get(&id.0)
+            .expect("flit in network without a registered packet")
+    }
+
+    /// Mutable routing state of packet `id`.
+    #[inline]
+    pub fn get_mut(&mut self, id: MessageId) -> &mut PacketState {
+        self.map
+            .get_mut(&id.0)
+            .expect("flit in network without a registered packet")
+    }
+
+    /// Look up without panicking.
+    pub fn try_get(&self, id: MessageId) -> Option<&PacketState> {
+        self.map.get(&id.0)
+    }
+
+    /// Remove a packet once its tail has been delivered (or it has been
+    /// extracted for rescue). Returns its state.
+    pub fn remove(&mut self, id: MessageId) -> Option<PacketState> {
+        self.map.remove(&id.0)
+    }
+
+    /// Number of in-flight packets.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no packets are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate over in-flight packet ids.
+    pub fn ids(&self) -> impl Iterator<Item = MessageId> + '_ {
+        self.map.keys().copied().map(MessageId)
+    }
+}

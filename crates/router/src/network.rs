@@ -1,0 +1,554 @@
+//! The network: all routers, links, and the per-cycle pipeline.
+//!
+//! ## Link wiring convention
+//!
+//! Output port `(d, dir)` of router `R` connects to input port
+//! `(d, dir.opposite())` of `neighbor(R, d, dir)`, at the same virtual
+//! channel index. An input port named `(d, Minus)` therefore carries
+//! traffic flowing in the `Plus` direction ("arriving from the Minus
+//! side").
+//!
+//! ## Cycle structure (one [`Network::step`])
+//!
+//! 1. **Route computation & VC allocation** — every input VC whose front
+//!    flit is an unrouted head asks the routing function for candidates and
+//!    claims the first available output VC (or an ejection reservation for
+//!    local candidates, via [`EjectControl::can_accept`]).
+//! 2. **Switch allocation** — per router, at most one flit per input port
+//!    and per output port is granted, round-robin, subject to credits.
+//! 3. **Traversal** — granted flits move to the downstream input buffer or
+//!    are delivered to the endpoint; credits and wormhole ownership are
+//!    updated; head flits crossing a wraparound link set their packet's
+//!    dateline bit.
+//! 4. **Blocked-timer sweep** — input VCs holding a flit that made no
+//!    progress accumulate blocked time, feeding deadlock detection.
+//!
+//! All decisions in phases 1–2 observe start-of-cycle state, so a flit
+//! advances at most one hop per cycle.
+
+use crate::flit::{Flit, PacketState, PacketTable};
+use crate::router::Router;
+use crate::traits::{EjectControl, RouteCandidate, Routing};
+use mdd_protocol::{Message, MessageId};
+use mdd_topology::{NicId, NodeId, PortId, Topology};
+
+/// Aggregate transport counters.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NetworkCounters {
+    /// Total flit-hops (including ejection hops).
+    pub flits_moved: u64,
+    /// Flits delivered to endpoints.
+    pub flits_delivered: u64,
+    /// Complete packets delivered to endpoints.
+    pub packets_delivered: u64,
+    /// Packets registered for injection.
+    pub packets_injected: u64,
+    /// Flits accepted from endpoints into injection buffers.
+    pub flits_injected: u64,
+}
+
+/// A packet removed from normal virtual-channel resources for progressive
+/// recovery over the deadlock-buffer lane.
+#[derive(Clone, Debug)]
+pub struct ExtractedPacket {
+    /// The message being rescued.
+    pub msg: Message,
+    /// Router where the head flit was found (the rescue starting point);
+    /// the source NIC's router if the head had not yet entered the network.
+    pub head_router: NodeId,
+    /// Flits reclaimed from network buffers.
+    pub flits_in_network: u32,
+    /// Original injection cycle.
+    pub injected_at: u64,
+}
+
+struct Move {
+    router: u32,
+    in_port: u8,
+    in_vc: u8,
+    out_port: u8,
+    out_vc: u8,
+}
+
+/// The full network of wormhole routers.
+pub struct Network {
+    topo: Topology,
+    vcs: u8,
+    buf_depth: u32,
+    routers: Vec<Router>,
+    packets: PacketTable,
+    counters: NetworkCounters,
+    /// Busy cycles per output virtual channel, indexed
+    /// `(router·ports + port)·vcs + vc` — network ports only. Feeds the
+    /// resource-utilization analysis (the paper attributes SA's early
+    /// saturation to "unbalanced use of network resources").
+    vc_busy: Vec<u64>,
+    cand_buf: Vec<RouteCandidate>,
+    move_buf: Vec<Move>,
+}
+
+impl Network {
+    /// Build a network over `topo` with `vcs` virtual channels per port and
+    /// `buf_depth` flit buffers per VC.
+    pub fn new(topo: Topology, vcs: u8, buf_depth: u32) -> Self {
+        assert!(vcs >= 1, "need at least one virtual channel");
+        assert!(buf_depth >= 1, "need at least one flit buffer per VC");
+        let ports = topo.ports_per_router();
+        let routers = (0..topo.num_routers())
+            .map(|_| Router::new(ports, vcs, buf_depth))
+            .collect();
+        let ports = topo.ports_per_router();
+        let vc_busy = vec![0u64; topo.num_routers() as usize * ports * vcs as usize];
+        Network {
+            topo,
+            vcs,
+            buf_depth,
+            routers,
+            packets: PacketTable::new(),
+            counters: NetworkCounters::default(),
+            vc_busy,
+            cand_buf: Vec::with_capacity(64),
+            move_buf: Vec::with_capacity(256),
+        }
+    }
+
+    /// The topology.
+    #[inline]
+    pub fn topo(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Virtual channels per port.
+    #[inline]
+    pub fn vcs(&self) -> u8 {
+        self.vcs
+    }
+
+    /// Flit buffers per VC.
+    #[inline]
+    pub fn buf_depth(&self) -> u32 {
+        self.buf_depth
+    }
+
+    /// Transport counters so far.
+    #[inline]
+    pub fn counters(&self) -> NetworkCounters {
+        self.counters
+    }
+
+    /// Read access to a router.
+    #[inline]
+    pub fn router(&self, node: NodeId) -> &Router {
+        &self.routers[node.index()]
+    }
+
+    /// The in-flight packet table.
+    #[inline]
+    pub fn packets(&self) -> &PacketTable {
+        &self.packets
+    }
+
+    /// Total flits currently buffered in the network.
+    pub fn flits_in_network(&self) -> u64 {
+        self.routers
+            .iter()
+            .map(|r| r.buffered_flits() as u64)
+            .sum()
+    }
+
+    /// Register a packet about to be injected by `msg.src`'s NIC.
+    pub fn begin_packet(&mut self, msg: Message, now: u64) {
+        let dst_router = self.topo.nic_router(msg.dst);
+        let id = msg.id;
+        self.packets.insert(
+            id,
+            PacketState {
+                msg,
+                dst_router,
+                crossed_dateline: 0,
+                injected_at: now,
+            },
+        );
+        self.counters.packets_injected += 1;
+    }
+
+    /// Free flit slots in the injection buffer (local input VC `vc` of
+    /// `nic`'s router).
+    pub fn injection_free(&self, nic: NicId, vc: u8) -> u32 {
+        let router = self.topo.nic_router(nic);
+        let port = self.topo.local_port(self.topo.nic_local_index(nic));
+        self.routers[router.index()].in_vcs[port.index()][vc as usize].free_slots()
+    }
+
+    /// True if injection VC `vc` of `nic` is between packets (its last
+    /// buffered flit, if any, is a tail) — a new packet's head may enter.
+    pub fn injection_vc_idle(&self, nic: NicId, vc: u8) -> bool {
+        let router = self.topo.nic_router(nic);
+        let port = self.topo.local_port(self.topo.nic_local_index(nic));
+        let vcb = &self.routers[router.index()].in_vcs[port.index()][vc as usize];
+        match vcb.buf.back() {
+            None => true,
+            Some(f) => f.is_tail,
+        }
+    }
+
+    /// Push one flit from `nic` into injection VC `vc`. Returns false
+    /// (without effect) when the buffer is full.
+    pub fn inject_flit(&mut self, nic: NicId, vc: u8, flit: Flit) -> bool {
+        let router = self.topo.nic_router(nic);
+        let port = self.topo.local_port(self.topo.nic_local_index(nic));
+        let vcb = &mut self.routers[router.index()].in_vcs[port.index()][vc as usize];
+        if vcb.free_slots() == 0 {
+            return false;
+        }
+        vcb.push(flit);
+        self.counters.flits_injected += 1;
+        true
+    }
+
+    /// Advance the network one cycle.
+    pub fn step(&mut self, cycle: u64, routing: &dyn Routing, ej: &mut dyn EjectControl) {
+        self.alloc_phase(cycle, routing, ej);
+        self.switch_phase();
+        self.apply_moves(cycle, ej);
+        self.blocked_sweep(cycle);
+    }
+
+    /// Phase 1: route computation and output-VC allocation for waiting
+    /// heads.
+    fn alloc_phase(&mut self, cycle: u64, routing: &dyn Routing, ej: &mut dyn EjectControl) {
+        let nvcs = self.vcs as usize;
+        for r in 0..self.routers.len() {
+            let node = NodeId(r as u32);
+            let nports = self.routers[r].ports();
+            let total = nports * nvcs;
+            let start = self.routers[r].rr_alloc as usize % total;
+            for i in 0..total {
+                let idx = (start + i) % total;
+                let (p, v) = (idx / nvcs, idx % nvcs);
+                let Some(msgid) = ({
+                    let vc = &self.routers[r].in_vcs[p][v];
+                    if vc.awaiting_route() {
+                        vc.front_packet()
+                    } else {
+                        None
+                    }
+                }) else {
+                    continue;
+                };
+                self.cand_buf.clear();
+                let pkt = self.packets.get(msgid);
+                let hint = cycle
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add((r as u64) << 8)
+                    .wrapping_add(idx as u64);
+                routing.candidates(&self.topo, node, pkt, hint, &mut self.cand_buf);
+                debug_assert!(
+                    !self.cand_buf.is_empty(),
+                    "routing function returned no candidates for {msgid:?} at {node}"
+                );
+                for ci in 0..self.cand_buf.len() {
+                    let c = self.cand_buf[ci];
+                    if let Some(local) = self.topo.port_local_index(c.port) {
+                        debug_assert_eq!(
+                            node, pkt.dst_router,
+                            "local candidate away from destination router"
+                        );
+                        let nic = self.topo.nic_at(node, local);
+                        if ej.can_accept(nic, &pkt.msg, cycle) {
+                            self.routers[r].in_vcs[p][v].route = Some((c.port, 0));
+                            break;
+                        }
+                    } else {
+                        let ov =
+                            &mut self.routers[r].out_vcs[c.port.index()][c.vc as usize];
+                        if ov.is_free() {
+                            ov.owner = Some(msgid);
+                            self.routers[r].in_vcs[p][v].route = Some((c.port, c.vc));
+                            break;
+                        }
+                    }
+                }
+            }
+            self.routers[r].rr_alloc = self.routers[r].rr_alloc.wrapping_add(1);
+        }
+    }
+
+    /// Phase 2: switch allocation — one flit per input port and output port.
+    fn switch_phase(&mut self) {
+        self.move_buf.clear();
+        let nvcs = self.vcs as usize;
+        for (r, router) in self.routers.iter_mut().enumerate() {
+            let nports = router.ports();
+            let total = nports * nvcs;
+            let mut in_used = [false; 64];
+            debug_assert!(nports <= 64);
+            for q in 0..nports {
+                let rr = router.rr_out[q] as usize % total;
+                for i in 0..total {
+                    let idx = (rr + i) % total;
+                    let (p, v) = (idx / nvcs, idx % nvcs);
+                    if in_used[p] {
+                        continue;
+                    }
+                    let vc = &router.in_vcs[p][v];
+                    let Some((op, ov)) = vc.route else { continue };
+                    if op.index() != q || vc.buf.is_empty() {
+                        continue;
+                    }
+                    // Network outputs need a credit; local outputs were
+                    // reserved at acceptance time.
+                    let is_network = self.topo.port_dim_dir(op).is_some();
+                    if is_network && router.out_vcs[q][ov as usize].credits == 0 {
+                        continue;
+                    }
+                    in_used[p] = true;
+                    router.rr_out[q] = ((idx + 1) % total) as u32;
+                    self.move_buf.push(Move {
+                        router: r as u32,
+                        in_port: p as u8,
+                        in_vc: v as u8,
+                        out_port: q as u8,
+                        out_vc: ov,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Phase 3: apply granted moves.
+    fn apply_moves(&mut self, cycle: u64, ej: &mut dyn EjectControl) {
+        for mi in 0..self.move_buf.len() {
+            let Move {
+                router: r,
+                in_port,
+                in_vc,
+                out_port,
+                out_vc,
+            } = self.move_buf[mi];
+            let node = NodeId(r);
+            let flit = {
+                let vc = &mut self.routers[r as usize].in_vcs[in_port as usize][in_vc as usize];
+                let flit = vc.pop().expect("granted move lost its flit");
+                vc.blocked_since = None;
+                if flit.is_tail {
+                    vc.route = None;
+                }
+                flit
+            };
+            // Return a credit upstream (network inputs only; NICs poll
+            // injection space directly).
+            if let Some((d, dir)) = self.topo.port_dim_dir(PortId(in_port)) {
+                let up = self
+                    .topo
+                    .neighbor(node, d, dir)
+                    .expect("input port implies the link exists");
+                let upport = self.topo.port(d, dir.opposite());
+                let ovc = &mut self.routers[up.index()].out_vcs[upport.index()][in_vc as usize];
+                ovc.credits += 1;
+                debug_assert!(ovc.credits <= self.buf_depth);
+            }
+            let out = PortId(out_port);
+            if let Some((d2, dir2)) = self.topo.port_dim_dir(out) {
+                let ports = self.topo.ports_per_router();
+                self.vc_busy[(r as usize * ports + out_port as usize) * self.vcs as usize
+                    + out_vc as usize] += 1;
+                let ovc = &mut self.routers[r as usize].out_vcs[out_port as usize][out_vc as usize];
+                debug_assert!(ovc.credits > 0);
+                ovc.credits -= 1;
+                if flit.is_tail {
+                    ovc.owner = None;
+                }
+                if flit.is_head() && self.topo.crosses_dateline(node, d2, dir2) {
+                    self.packets.get_mut(flit.msg).crossed_dateline |= 1 << d2;
+                }
+                let down = self
+                    .topo
+                    .neighbor(node, d2, dir2)
+                    .expect("allocated output implies the link exists");
+                let dport = self.topo.port(d2, dir2.opposite());
+                self.routers[down.index()].in_vcs[dport.index()][out_vc as usize].push(flit);
+            } else {
+                let local = self
+                    .topo
+                    .port_local_index(out)
+                    .expect("output is network or local");
+                let nic = self.topo.nic_at(node, local);
+                if flit.is_tail {
+                    let st = self
+                        .packets
+                        .remove(flit.msg)
+                        .expect("delivered packet must be registered");
+                    self.counters.packets_delivered += 1;
+                    ej.deliver_packet(nic, st.msg, st.injected_at, cycle);
+                } else {
+                    ej.deliver_flit(nic, flit.msg, cycle);
+                }
+                self.counters.flits_delivered += 1;
+            }
+            self.counters.flits_moved += 1;
+        }
+        self.move_buf.clear();
+    }
+
+    /// Phase 4: blocked-timer sweep. A VC holding a flit whose move was not
+    /// granted (including unrouted heads) starts or continues accumulating
+    /// blocked time; VCs that moved were reset during apply.
+    fn blocked_sweep(&mut self, cycle: u64) {
+        for router in &mut self.routers {
+            for vcs in &mut router.in_vcs {
+                for vc in vcs {
+                    if vc.buf.is_empty() {
+                        vc.blocked_since = None;
+                    } else if vc.blocked_since.is_none() {
+                        vc.blocked_since = Some(cycle);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Packets whose head flit has been blocked at a router for at least
+    /// `threshold` cycles as of `now` — the candidates for Disha
+    /// router-side token capture.
+    pub fn blocked_heads(&self, threshold: u64, now: u64) -> Vec<(NodeId, MessageId)> {
+        let mut out = Vec::new();
+        for (r, router) in self.routers.iter().enumerate() {
+            for (_, _, vc) in router.iter_vcs() {
+                if let Some(f) = vc.front() {
+                    if f.is_head() && vc.blocked_for(now) >= threshold && threshold > 0 {
+                        out.push((NodeId(r as u32), f.msg));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Remove every buffered flit of packet `id` from the network,
+    /// releasing virtual-channel ownership and restoring upstream credits,
+    /// in preparation for recovery-lane transport. Returns `None` if the
+    /// packet is unknown (already delivered).
+    pub fn extract_packet(&mut self, id: MessageId) -> Option<ExtractedPacket> {
+        let st = self.packets.remove(id)?;
+        let mut flits_removed = 0u32;
+        let mut head_router = None;
+        for r in 0..self.routers.len() {
+            let node = NodeId(r as u32);
+            let nports = self.routers[r].ports();
+            let nvcs = self.vcs as usize;
+            for p in 0..nports {
+                for v in 0..nvcs {
+                    let (removed, had_head, front_was) = {
+                        let vc = &mut self.routers[r].in_vcs[p][v];
+                        let front_was = vc.front_packet() == Some(id);
+                        let before = vc.buf.len();
+                        let mut had_head = false;
+                        vc.buf.retain(|f| {
+                            if f.msg == id {
+                                had_head |= f.is_head();
+                                false
+                            } else {
+                                true
+                            }
+                        });
+                        let removed = (before - vc.buf.len()) as u32;
+                        if front_was {
+                            vc.route = None;
+                            vc.blocked_since = None;
+                        }
+                        (removed, had_head, front_was)
+                    };
+                    let _ = front_was;
+                    if removed > 0 {
+                        flits_removed += removed;
+                        if had_head {
+                            head_router = Some(node);
+                        }
+                        // Restore upstream credits for the freed slots.
+                        if let Some((d, dir)) = self.topo.port_dim_dir(PortId(p as u8)) {
+                            let up = self.topo.neighbor(node, d, dir).unwrap();
+                            let upport = self.topo.port(d, dir.opposite());
+                            let ovc = &mut self.routers[up.index()].out_vcs[upport.index()][v];
+                            ovc.credits += removed;
+                            debug_assert!(ovc.credits <= self.buf_depth);
+                        }
+                    }
+                }
+            }
+            // Release any output VCs the packet held.
+            for q in 0..nports {
+                for v in 0..nvcs {
+                    let ovc = &mut self.routers[r].out_vcs[q][v];
+                    if ovc.owner == Some(id) {
+                        ovc.owner = None;
+                    }
+                }
+            }
+        }
+        let src_router = self.topo.nic_router(st.msg.src);
+        Some(ExtractedPacket {
+            head_router: head_router.unwrap_or(src_router),
+            flits_in_network: flits_removed,
+            injected_at: st.injected_at,
+            msg: st.msg,
+        })
+    }
+
+    /// Busy-cycle counter of one output virtual channel (network ports).
+    pub fn vc_busy(&self, node: NodeId, port: PortId, vc: u8) -> u64 {
+        let ports = self.topo.ports_per_router();
+        self.vc_busy[(node.index() * ports + port.index()) * self.vcs as usize + vc as usize]
+    }
+
+    /// Utilization statistics over all *network* virtual channels after
+    /// `cycles` of operation: `(mean, max, coefficient_of_variation)`.
+    /// A high CV quantifies the unbalanced channel usage the paper blames
+    /// for strict avoidance's early saturation (Section 4.3.2).
+    pub fn vc_utilization(&self, cycles: u64) -> (f64, f64, f64) {
+        if cycles == 0 {
+            return (0.0, 0.0, 0.0);
+        }
+        let ports = self.topo.ports_per_router();
+        let mut vals = Vec::new();
+        for node in self.topo.routers() {
+            for p in 0..ports {
+                if self.topo.port_dim_dir(PortId(p as u8)).is_none() {
+                    continue; // local ports excluded
+                }
+                // On meshes, skip nonexistent boundary links.
+                let (d, dir) = self.topo.port_dim_dir(PortId(p as u8)).unwrap();
+                if self.topo.neighbor(node, d, dir).is_none() {
+                    continue;
+                }
+                for v in 0..self.vcs {
+                    vals.push(
+                        self.vc_busy(node, PortId(p as u8), v) as f64 / cycles as f64,
+                    );
+                }
+            }
+        }
+        if vals.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let n = vals.len() as f64;
+        let mean = vals.iter().sum::<f64>() / n;
+        let max = vals.iter().copied().fold(0.0, f64::max);
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let cv = if mean > 1e-12 { var.sqrt() / mean } else { 0.0 };
+        (mean, max, cv)
+    }
+
+    /// Drop every in-flight packet and clear all buffers (used when
+    /// resetting between measurement runs; not part of the modelled
+    /// hardware).
+    pub fn hard_reset(&mut self) {
+        let ports = self.topo.ports_per_router();
+        for r in &mut self.routers {
+            *r = Router::new(ports, self.vcs, self.buf_depth);
+        }
+        self.packets = PacketTable::new();
+        self.vc_busy.iter_mut().for_each(|b| *b = 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Per-router state: input virtual channels, output virtual channels and
+//! arbitration pointers.
+
+use crate::vc::{OutVc, Vc};
+use mdd_topology::PortId;
+
+/// One wormhole router: `ports_per_router` input ports and output ports,
+/// each with `vcs` virtual channels.
+#[derive(Clone, Debug)]
+pub struct Router {
+    pub(crate) in_vcs: Vec<Vec<Vc>>,
+    pub(crate) out_vcs: Vec<Vec<OutVc>>,
+    /// Round-robin pointer per output port, rotating switch-allocation
+    /// priority over `(input port, vc)` requesters.
+    pub(crate) rr_out: Vec<u32>,
+    /// Rotation offset for the VC-allocation scan, advanced every cycle to
+    /// avoid structural starvation.
+    pub(crate) rr_alloc: u32,
+}
+
+impl Router {
+    /// Create a router with `ports` ports, `vcs` VCs per port, and
+    /// `buf_depth`-flit input buffers per VC.
+    pub fn new(ports: usize, vcs: u8, buf_depth: u32) -> Self {
+        Router {
+            in_vcs: (0..ports)
+                .map(|_| (0..vcs).map(|_| Vc::new(buf_depth)).collect())
+                .collect(),
+            out_vcs: (0..ports)
+                .map(|_| (0..vcs).map(|_| OutVc::new(buf_depth)).collect())
+                .collect(),
+            rr_out: vec![0; ports],
+            rr_alloc: 0,
+        }
+    }
+
+    /// Number of ports.
+    #[inline]
+    pub fn ports(&self) -> usize {
+        self.in_vcs.len()
+    }
+
+    /// Virtual channels per port.
+    #[inline]
+    pub fn vcs(&self) -> u8 {
+        self.in_vcs[0].len() as u8
+    }
+
+    /// Read access to an input VC.
+    #[inline]
+    pub fn vc(&self, port: PortId, vc: u8) -> &Vc {
+        &self.in_vcs[port.index()][vc as usize]
+    }
+
+    /// Read access to an output VC.
+    #[inline]
+    pub fn out_vc(&self, port: PortId, vc: u8) -> &OutVc {
+        &self.out_vcs[port.index()][vc as usize]
+    }
+
+    /// Total buffered flits across all input VCs.
+    pub fn buffered_flits(&self) -> u32 {
+        self.in_vcs
+            .iter()
+            .flatten()
+            .map(|v| v.buf.len() as u32)
+            .sum()
+    }
+
+    /// Iterate `(port, vc_index, vc)` over all input VCs.
+    pub fn iter_vcs(&self) -> impl Iterator<Item = (PortId, u8, &Vc)> {
+        self.in_vcs.iter().enumerate().flat_map(|(p, vcs)| {
+            vcs.iter()
+                .enumerate()
+                .map(move |(v, vc)| (PortId(p as u8), v as u8, vc))
+        })
+    }
+}

@@ -1,0 +1,80 @@
+//! Pluggable policy interfaces: routing functions and endpoint ejection
+//! control.
+
+use crate::flit::PacketState;
+use mdd_protocol::{Message, MessageId};
+use mdd_topology::{NicId, NodeId, PortId, Topology};
+
+/// One admissible `(output port, output virtual channel)` choice for a
+/// packet at a router. Candidates are tried in order by the VC allocator,
+/// so adaptive choices should precede the escape choice (Duato's protocol).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RouteCandidate {
+    /// Output port (network or local).
+    pub port: PortId,
+    /// Virtual channel index on that port (ignored for local ports).
+    pub vc: u8,
+}
+
+/// A routing function: fills `out` with the admissible next-hop virtual
+/// channels for `pkt` currently at router `node`.
+///
+/// Implementations must return at least one candidate whenever
+/// `node != pkt.dst_router` (progress requires an admissible hop) and must
+/// return only local-port candidates when `node == pkt.dst_router`.
+/// `rr_hint` is a deterministic per-(router, cycle) salt implementations
+/// may use to rotate equally preferred adaptive candidates.
+pub trait Routing {
+    /// Compute candidates, most preferred first. `out` arrives empty.
+    fn candidates(
+        &self,
+        topo: &Topology,
+        node: NodeId,
+        pkt: &PacketState,
+        rr_hint: u64,
+        out: &mut Vec<RouteCandidate>,
+    );
+
+    /// The virtual channels on which a packet of `pkt`'s type may be
+    /// injected into the network.
+    fn injection_vcs(&self, pkt: &PacketState, out: &mut Vec<u8>);
+}
+
+/// Endpoint-side hooks invoked by [`crate::Network::step`].
+///
+/// Ejection is a two-step contract: `can_accept` is asked when a packet's
+/// head flit requests the local output port — returning `true` must
+/// *reserve* whatever endpoint resources guarantee the rest of the packet
+/// can drain (a message-queue slot plus a reassembly buffer). Subsequent
+/// flits are delivered unconditionally; the tail arrives via
+/// `deliver_packet`.
+pub trait EjectControl {
+    /// May packet `msg` begin ejecting at `nic`? Must reserve resources on
+    /// success. May be re-asked on later cycles after refusal.
+    fn can_accept(&mut self, nic: NicId, msg: &Message, cycle: u64) -> bool;
+
+    /// Deliver one non-tail flit of `msg` to `nic`.
+    fn deliver_flit(&mut self, nic: NicId, msg: MessageId, cycle: u64);
+
+    /// Deliver the tail flit: the packet is complete. `injected_at` is the
+    /// cycle its head entered the network.
+    fn deliver_packet(&mut self, nic: NicId, msg: Message, injected_at: u64, cycle: u64);
+}
+
+/// An [`EjectControl`] that accepts everything, for tests and drain-only
+/// scenarios.
+#[derive(Default, Debug)]
+pub struct AcceptAll {
+    /// Complete packets delivered, in arrival order.
+    pub delivered: Vec<(NicId, Message, u64)>,
+}
+
+impl EjectControl for AcceptAll {
+    fn can_accept(&mut self, _nic: NicId, _msg: &Message, _cycle: u64) -> bool {
+        true
+    }
+    fn deliver_flit(&mut self, _nic: NicId, _msg: MessageId, _cycle: u64) {}
+    fn deliver_packet(&mut self, nic: NicId, msg: Message, _injected_at: u64, cycle: u64) {
+        self.delivered.push((nic, msg, cycle));
+    }
+}

@@ -1,0 +1,115 @@
+//! Virtual-channel state: input-side flit FIFOs and output-side
+//! ownership/credit tracking.
+
+use crate::flit::Flit;
+use mdd_protocol::MessageId;
+use mdd_topology::PortId;
+use std::collections::VecDeque;
+
+/// An input virtual channel: a finite flit FIFO plus the wormhole routing
+/// state of the packet currently at its front.
+#[derive(Clone, Debug)]
+pub struct Vc {
+    /// Buffered flits, in arrival order. Flits of successive packets may
+    /// coexist (the tail of one followed by the head of the next); routing
+    /// state always describes the packet whose flit is at the front.
+    pub buf: VecDeque<Flit>,
+    /// The allocated route of the front packet: `(output port, output vc)`.
+    /// `None` while the head flit awaits route computation / VC allocation.
+    pub route: Option<(PortId, u8)>,
+    /// First cycle at which the front flit failed to advance; cleared on
+    /// progress. Drives the router-level potential-deadlock timers.
+    pub blocked_since: Option<u64>,
+    capacity: u32,
+}
+
+impl Vc {
+    /// A VC with `capacity` flit buffers (the paper's default is 2).
+    pub fn new(capacity: u32) -> Self {
+        Vc {
+            buf: VecDeque::with_capacity(capacity as usize),
+            route: None,
+            blocked_since: None,
+            capacity,
+        }
+    }
+
+    /// Buffer capacity in flits.
+    #[inline]
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Free buffer slots.
+    #[inline]
+    pub fn free_slots(&self) -> u32 {
+        self.capacity - self.buf.len() as u32
+    }
+
+    /// The flit at the front, if any.
+    #[inline]
+    pub fn front(&self) -> Option<&Flit> {
+        self.buf.front()
+    }
+
+    /// True if the front flit is a head awaiting VC allocation.
+    #[inline]
+    pub fn awaiting_route(&self) -> bool {
+        self.route.is_none() && self.front().is_some_and(Flit::is_head)
+    }
+
+    /// Append an arriving flit. Panics on overflow — credits must prevent
+    /// this.
+    pub fn push(&mut self, flit: Flit) {
+        assert!(
+            (self.buf.len() as u32) < self.capacity,
+            "VC buffer overflow: credit accounting violated"
+        );
+        self.buf.push_back(flit);
+    }
+
+    /// Remove and return the front flit.
+    pub fn pop(&mut self) -> Option<Flit> {
+        self.buf.pop_front()
+    }
+
+    /// Packet id of the front flit, if any.
+    pub fn front_packet(&self) -> Option<MessageId> {
+        self.front().map(|f| f.msg)
+    }
+
+    /// Duration (in cycles, as of `now`) the front flit has been blocked.
+    pub fn blocked_for(&self, now: u64) -> u64 {
+        match self.blocked_since {
+            Some(t) => now.saturating_sub(t),
+            None => 0,
+        }
+    }
+}
+
+/// Output-side state of a virtual channel: which packet holds it and how
+/// many credits (free downstream buffer slots) remain.
+#[derive(Clone, Copy, Debug)]
+pub struct OutVc {
+    /// The packet holding this output VC (wormhole: held from head until
+    /// tail transmission).
+    pub owner: Option<MessageId>,
+    /// Free flit-buffer slots in the downstream input VC.
+    pub credits: u32,
+}
+
+impl OutVc {
+    /// A free output VC with full credits.
+    pub fn new(credits: u32) -> Self {
+        OutVc {
+            owner: None,
+            credits,
+        }
+    }
+
+    /// True if unowned (a new packet may allocate it).
+    #[inline]
+    pub fn is_free(&self) -> bool {
+        self.owner.is_none()
+    }
+}

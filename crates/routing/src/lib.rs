@@ -1,0 +1,34 @@
+//! # mdd-routing
+//!
+//! Routing policies and virtual-channel resource maps for the three
+//! message-dependent deadlock handling schemes:
+//!
+//! * **SA** (strict avoidance): virtual channels are partitioned into one
+//!   logical network per message type; each partition routes with
+//!   dimension-order on its two dateline-class escape channels and, when
+//!   the partition is larger than the escape set, adds fully adaptive
+//!   channels under Duato's protocol. A variant shares all channels beyond
+//!   the per-type escape sets among every type (Martinez et al. [21]).
+//! * **DR** (deflective recovery): the same structure with exactly two
+//!   logical networks — request and reply.
+//! * **PR** (progressive recovery): true fully adaptive routing — every
+//!   virtual channel is usable by every message type in every minimal
+//!   direction; deadlock freedom is *not* guaranteed and recovery is
+//!   delegated to the Extended Disha machinery in `mdd-deadlock`.
+//!
+//! The exported [`SchemeRouting`] implements `mdd-router`'s
+//! [`mdd_router::Routing`] trait and is the single routing object the
+//! simulator needs per configuration.
+
+#![warn(missing_docs)]
+
+mod function;
+mod scheme;
+mod vcmap;
+
+pub use function::SchemeRouting;
+pub use scheme::{Scheme, SchemeConfigError};
+pub use vcmap::{TypeVcs, VcMap};
+
+#[cfg(test)]
+mod tests;

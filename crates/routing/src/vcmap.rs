@@ -1,0 +1,177 @@
+//! Virtual-channel resource maps: which VCs each message type may use, and
+//! in which role (dateline-class escape vs fully adaptive).
+
+use crate::scheme::{Scheme, SchemeConfigError};
+use mdd_protocol::{MsgKind, MsgType, ProtocolSpec};
+
+/// The VC set available to one message type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeVcs {
+    /// Escape VC per dateline class (`escape[c]` is the dimension-order
+    /// escape channel used after `c` dateline crossings in the current
+    /// dimension). Length `E_r`: 2 on a torus, 1 on a mesh. Empty for PR.
+    pub escape: Vec<u8>,
+    /// Fully adaptive VCs, usable in any minimal direction.
+    pub adaptive: Vec<u8>,
+}
+
+impl TypeVcs {
+    /// All VCs this type may occupy (adaptive then escape).
+    pub fn all(&self) -> Vec<u8> {
+        let mut v = self.adaptive.clone();
+        v.extend_from_slice(&self.escape);
+        v
+    }
+
+    /// Number of VCs available to the type.
+    pub fn availability(&self) -> usize {
+        self.adaptive.len() + self.escape.len()
+    }
+
+    /// The paper's channel-availability measure (Section 2.1): adaptive
+    /// channels plus at most one escape channel (a packet uses one dateline
+    /// class at a time), i.e. `1 + (C/L − E_r)` for partitioned schemes.
+    pub fn paper_availability(&self) -> usize {
+        self.adaptive.len() + usize::from(!self.escape.is_empty())
+    }
+}
+
+/// Per-message-type VC map for one scheme configuration.
+#[derive(Clone, Debug)]
+pub struct VcMap {
+    per_type: Vec<TypeVcs>,
+    num_vcs: u8,
+    escape_size: usize,
+}
+
+impl VcMap {
+    /// Build the map for `scheme` over `num_vcs` virtual channels.
+    /// `escape_size` is `E_r`: 2 for tori (dateline classes), 1 for
+    /// meshes.
+    pub fn build(
+        scheme: Scheme,
+        protocol: &ProtocolSpec,
+        num_vcs: u8,
+        escape_size: usize,
+    ) -> Result<VcMap, SchemeConfigError> {
+        let c = num_vcs as usize;
+        let need = scheme.min_vcs(protocol, escape_size);
+        if c < need {
+            return Err(SchemeConfigError::TooFewVirtualChannels {
+                needed: need,
+                available: c,
+            });
+        }
+        let per_type = match scheme {
+            Scheme::ProgressiveRecovery => {
+                // True fully adaptive: every VC, every type, no escape.
+                let adaptive: Vec<u8> = (0..num_vcs).collect();
+                protocol
+                    .msg_types()
+                    .map(|_| TypeVcs {
+                        escape: Vec::new(),
+                        adaptive: adaptive.clone(),
+                    })
+                    .collect()
+            }
+            Scheme::StrictAvoidance {
+                shared_adaptive: false,
+            } => {
+                let parts = protocol.num_partition_types();
+                Self::partitioned(protocol, parts, c, escape_size, |t| {
+                    protocol.sa_partition(t)
+                })
+            }
+            Scheme::StrictAvoidance {
+                shared_adaptive: true,
+            } => {
+                // Escape sets are per type; everything above P*E_r is a
+                // common adaptive pool shared by all message types [21].
+                let parts = protocol.num_partition_types();
+                let shared: Vec<u8> = ((parts * escape_size) as u8..num_vcs).collect();
+                protocol
+                    .msg_types()
+                    .map(|t| {
+                        let p = protocol.sa_partition(t);
+                        let escape: Vec<u8> =
+                            (0..escape_size).map(|e| (p * escape_size + e) as u8).collect();
+                        TypeVcs {
+                            escape,
+                            adaptive: shared.clone(),
+                        }
+                    })
+                    .collect()
+            }
+            Scheme::DeflectiveRecovery => {
+                let has_req = protocol
+                    .msg_types()
+                    .any(|t| protocol.kind(t) == MsgKind::Request);
+                let has_rep = protocol
+                    .msg_types()
+                    .any(|t| protocol.kind(t) == MsgKind::Reply);
+                if !has_req || !has_rep {
+                    return Err(SchemeConfigError::DegenerateNetworkSplit);
+                }
+                Self::partitioned(protocol, 2, c, escape_size, |t| protocol.dr_network(t))
+            }
+        };
+        Ok(VcMap {
+            per_type,
+            num_vcs,
+            escape_size,
+        })
+    }
+
+    /// Divide `c` VCs into `parts` contiguous partitions (distributing any
+    /// remainder to the lowest partitions), each with `escape_size` escape
+    /// channels first and adaptive channels after.
+    fn partitioned(
+        protocol: &ProtocolSpec,
+        parts: usize,
+        c: usize,
+        escape_size: usize,
+        part_of: impl Fn(MsgType) -> usize,
+    ) -> Vec<TypeVcs> {
+        let base = c / parts;
+        let extra = c % parts;
+        // Partition p owns [start(p), start(p)+size(p)).
+        let size = |p: usize| base + usize::from(p < extra);
+        let start = |p: usize| (0..p).map(size).sum::<usize>();
+        protocol
+            .msg_types()
+            .map(|t| {
+                let p = part_of(t);
+                let s = start(p);
+                let n = size(p);
+                debug_assert!(n >= escape_size, "feasibility checked by caller");
+                TypeVcs {
+                    escape: (s..s + escape_size).map(|v| v as u8).collect(),
+                    adaptive: (s + escape_size..s + n).map(|v| v as u8).collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// The VC set for message type `t`.
+    #[inline]
+    pub fn for_type(&self, t: MsgType) -> &TypeVcs {
+        &self.per_type[t.index()]
+    }
+
+    /// Total virtual channels per physical link.
+    #[inline]
+    pub fn num_vcs(&self) -> u8 {
+        self.num_vcs
+    }
+
+    /// `E_r`: escape channels required against routing-dependent deadlock.
+    #[inline]
+    pub fn escape_size(&self) -> usize {
+        self.escape_size
+    }
+
+    /// True if type `t` routes adaptively (has at least one adaptive VC).
+    pub fn is_adaptive(&self, t: MsgType) -> bool {
+        !self.per_type[t.index()].adaptive.is_empty()
+    }
+}

@@ -1,0 +1,80 @@
+//! Node, NIC and coordinate types.
+
+use std::fmt;
+
+/// Identifier of a router node in the network.
+///
+/// Routers are numbered `0..num_routers()` in mixed-radix little-endian
+/// coordinate order (dimension 0 varies fastest).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The raw index as a `usize`, for direct indexing into per-router
+    /// vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Identifier of a network interface (endpoint) in the network.
+///
+/// With bristling factor `b`, router `r` hosts NICs
+/// `r*b .. r*b + b`. With `b = 1` (the paper's default, Table 2) the NIC id
+/// equals the router id.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NicId(pub u32);
+
+impl NicId {
+    /// The raw index as a `usize`, for direct indexing into per-NIC vectors.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NicId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// A mixed-radix coordinate of a router within a k-ary n-cube.
+///
+/// `coords[d]` is the position along dimension `d`, in `0..radix[d]`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Coord(pub Vec<u32>);
+
+impl Coord {
+    /// Number of dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Position along dimension `d`.
+    #[inline]
+    pub fn get(&self, d: usize) -> u32 {
+        self.0[d]
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}

@@ -1,0 +1,141 @@
+//! The recovery ring: a total order over all routers (and, interleaved,
+//! their NICs) used both as the Disha token tour and as the deadlock-buffer
+//! recovery lane.
+//!
+//! Disha Sequential requires a connected, deadlock-free path over the
+//! deadlock buffers that reaches every endpoint; the paper notes the token
+//! path "can be logical and, thus, configurable" (Section 3). We use a
+//! boustrophedon (snake) order over the router coordinates, which visits
+//! every router exactly once; consecutive routers in the order are
+//! physically adjacent everywhere except (possibly) the wrap from the last
+//! router back to the first, which the token and rescued flits traverse as
+//! a logical link multiplexed over network bandwidth. Because at most one
+//! rescued packet uses the lane at a time (token mutual exclusion), the
+//! lane is trivially deadlock-free.
+
+use crate::coord::{NicId, NodeId};
+use crate::torus::Topology;
+
+/// Precomputed snake-order ring over all routers, with per-router NIC
+/// attachment for the token tour.
+#[derive(Clone, Debug)]
+pub struct RecoveryRing {
+    /// `order[i]` is the i-th router on the ring.
+    order: Vec<NodeId>,
+    /// `position[r]` is the ring position of router `r`.
+    position: Vec<u32>,
+    bristle: u32,
+}
+
+impl RecoveryRing {
+    /// Build the ring for `topo` in boustrophedon coordinate order.
+    pub fn new(topo: &Topology) -> Self {
+        let n = topo.num_routers() as usize;
+        let mut order = Vec::with_capacity(n);
+        // Enumerate coordinates in snake order: dimension 0 sweeps forward
+        // or backward depending on the parity of the sum of higher
+        // coordinates, which makes consecutive entries physically adjacent
+        // within the row structure.
+        let dims = topo.dims();
+        let mut coord = vec![0u32; dims];
+        loop {
+            // Apply snake reflection to dimension 0.
+            let parity: u32 = coord[1..].iter().sum();
+            let mut c = coord.clone();
+            if parity % 2 == 1 {
+                c[0] = topo.radix(0) - 1 - c[0];
+            }
+            order.push(topo.node(&crate::coord::Coord(c)));
+            // Increment mixed-radix counter.
+            let mut d = 0;
+            loop {
+                if d == dims {
+                    let mut position = vec![0u32; n];
+                    for (i, r) in order.iter().enumerate() {
+                        position[r.index()] = i as u32;
+                    }
+                    return RecoveryRing {
+                        order,
+                        position,
+                        bristle: topo.bristle(),
+                    };
+                }
+                coord[d] += 1;
+                if coord[d] < topo.radix(d) {
+                    break;
+                }
+                coord[d] = 0;
+                d += 1;
+            }
+        }
+    }
+
+    /// Number of routers on the ring.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if the ring is empty (never the case for a valid topology).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The router at ring position `pos`.
+    #[inline]
+    pub fn at(&self, pos: usize) -> NodeId {
+        self.order[pos % self.order.len()]
+    }
+
+    /// The ring position of router `node`.
+    #[inline]
+    pub fn position(&self, node: NodeId) -> u32 {
+        self.position[node.index()]
+    }
+
+    /// The next router after `node` on the ring.
+    #[inline]
+    pub fn next(&self, node: NodeId) -> NodeId {
+        self.at(self.position(node) as usize + 1)
+    }
+
+    /// Ring distance (number of forward steps) from router `a` to router
+    /// `b`. The lane is unidirectional, so this is the recovery-path length.
+    pub fn ring_distance(&self, a: NodeId, b: NodeId) -> u32 {
+        let n = self.order.len() as u32;
+        let pa = self.position(a);
+        let pb = self.position(b);
+        (pb + n - pa) % n
+    }
+
+    /// The token tour: the total sequence of stops, each router followed by
+    /// its NICs. Stop counting restarts every circulation.
+    pub fn tour_len(&self) -> usize {
+        self.order.len() * (1 + self.bristle as usize)
+    }
+
+    /// Decode tour stop `i` into the visited entity.
+    pub fn tour_stop(&self, i: usize) -> TourStop {
+        let per = 1 + self.bristle as usize;
+        let i = i % self.tour_len();
+        let router = self.order[i / per];
+        let off = i % per;
+        if off == 0 {
+            TourStop::Router(router)
+        } else {
+            TourStop::Nic(NicId(router.0 * self.bristle + (off as u32 - 1)))
+        }
+    }
+}
+
+/// One stop on the circulating token's tour.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TourStop {
+    /// The token is visiting a router (eligible to capture for
+    /// routing-dependent deadlock recovery).
+    Router(NodeId),
+    /// The token is visiting a network interface (eligible to capture for
+    /// message-dependent deadlock recovery).
+    Nic(NicId),
+}

