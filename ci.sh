@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test (incl. doctests), docs with warnings denied,
+# and clippy when the component is installed. Mirrors what changes are
+# held to — run it before sending a PR.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> cargo doc --workspace --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy --workspace --all-targets"
+    cargo clippy --workspace --all-targets -q -- -D warnings
+else
+    echo "==> cargo clippy not installed; skipping"
+fi
+
+echo "==> ci.sh: all green"

@@ -1,5 +1,5 @@
 //! Ablation A1: the Martinez-Torrellas-Duato shared-adaptive variant of
-//! strict avoidance ([21], discussed in Section 2.1) against plain SA —
+//! strict avoidance (\[21\], discussed in Section 2.1) against plain SA —
 //! only the escape channels stay partitioned per type; all remaining
 //! channels form a common adaptive pool.
 //!

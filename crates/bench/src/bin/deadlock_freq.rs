@@ -6,7 +6,7 @@
 //!   (the paper observed none);
 //! * `--synthetic` — the Section 4.3 companion: normalized deadlock count
 //!   versus applied load for PR on PAT271 with 4 VCs (deadlocks appear
-//!   only beyond saturation, confirming [7]).
+//!   only beyond saturation, confirming \[7\]).
 //!
 //! `cargo run -p mdd-bench --release --bin deadlock_freq [--synthetic] [--smoke]`
 

@@ -9,26 +9,84 @@
 //! ```
 //!
 //! Options (defaults in brackets):
-//!   --scheme sa|sa+|dr|pr        [pr]
-//!   --pattern pat100|pat721|pat451|pat271|pat280  [pat271]
-//!   --vcs N                      [4]
-//!   --load F                     [0.2]   (ignored with --sweep)
-//!   --sweep LO:HI:N              run a Burton-Normal-Form sweep
-//!   --radix KxK[xK...]           [8x8]
-//!   --bristle N                  [1]
-//!   --queue-org shared|pernet|pertype   [scheme default]
-//!   --warmup N / --measure N     [10000 / 30000]
-//!   --seed N                     [0x5eed]
-//!   --plot                       render the ASCII BNF plot (sweep mode)
+//!
+//! ```text
+//! --scheme sa|sa+|dr|pr        [pr]
+//! --pattern pat100|pat721|pat451|pat271|pat280  [pat271]
+//! --vcs N                      [4]
+//! --load F                     [0.2]   (ignored with --sweep)
+//! --sweep LO:HI:N              run a Burton-Normal-Form sweep
+//! --radix KxK[xK...]           [8x8]
+//! --bristle N                  [1]
+//! --queue-org shared|pernet|pertype   [scheme default]
+//! --warmup N / --measure N     [10000 / 30000]
+//! --seed N                     [0x5eed]
+//! --plot                       render the ASCII BNF plot (sweep mode)
+//! ```
+//!
+//! Observability (either flag installs the global mdd-obs layer):
+//!
+//! ```text
+//! --counters-out PATH          final counter snapshot; `.csv` writes
+//!                              CSV, anything else one JSON object
+//! --trace-out PATH             cycle-level event trace; `.csv` writes
+//!                              CSV, anything else JSON Lines
+//! --trace-cap N                [1048576] ring-buffer capacity; once
+//!                              full the oldest events are dropped
+//! ```
+//!
+//! Counters are process-wide: with --sweep they aggregate every point of
+//! the sweep (which runs points in parallel), and the trace interleaves
+//! their events.
 
 use mdd_core::{
     default_loads, run_curve, run_point, PatternSpec, QueueOrg, Scheme, SimConfig,
 };
 use mdd_stats::{render_bnf, Table};
+use std::io::Write;
 
 fn die(msg: &str) -> ! {
     eprintln!("mddsim: {msg}\nsee the module docs (--help is this header)");
     std::process::exit(2)
+}
+
+/// Write the final counter snapshot and/or event trace to the requested
+/// paths, picking the format from each file extension.
+fn write_obs_outputs(counters_out: Option<&str>, trace_out: Option<&str>) {
+    if let Some(path) = counters_out {
+        let snap = mdd_obs::counters_snapshot();
+        let mut buf = Vec::new();
+        if path.ends_with(".csv") {
+            mdd_obs::sink::write_counters_csv(&mut buf, &snap)
+        } else {
+            mdd_obs::sink::write_counters_json(&mut buf, &snap)
+        }
+        .expect("in-memory write cannot fail");
+        std::fs::File::create(path)
+            .and_then(|mut f| f.write_all(&buf))
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    }
+    if let Some(path) = trace_out {
+        let (events, recorded, dropped) =
+            mdd_obs::trace_snapshot().expect("obs layer installed");
+        let mut buf = Vec::new();
+        if path.ends_with(".csv") {
+            mdd_obs::sink::write_trace_csv(&mut buf, &events)
+        } else {
+            mdd_obs::sink::write_trace_jsonl(&mut buf, &events)
+        }
+        .expect("in-memory write cannot fail");
+        std::fs::File::create(path)
+            .and_then(|mut f| f.write_all(&buf))
+            .unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+        if dropped > 0 {
+            eprintln!(
+                "mddsim: trace ring filled — kept the newest {} of {recorded} events \
+                 (raise --trace-cap to keep more)",
+                events.len()
+            );
+        }
+    }
 }
 
 struct Args(Vec<String>);
@@ -57,7 +115,7 @@ impl Args {
 fn main() {
     let args = Args(std::env::args().skip(1).collect());
     if args.flag("--help") || args.flag("-h") {
-        println!("{}", include_str!("mddsim.rs").lines().take_while(|l| l.starts_with("//!")).map(|l| l.trim_start_matches("//!").trim_start()).collect::<Vec<_>>().join("\n"));
+        println!("{}", include_str!("mddsim.rs").lines().take_while(|l| l.starts_with("//!")).map(|l| l.trim_start_matches("//!").trim_start()).filter(|l| !l.starts_with("```")).collect::<Vec<_>>().join("\n"));
         return;
     }
     let scheme = match args.value("--scheme").unwrap_or("pr") {
@@ -99,6 +157,11 @@ fn main() {
         Some("pertype") => Some(QueueOrg::PerType),
         Some(other) => die(&format!("unknown queue org {other}")),
     };
+    let counters_out = args.value("--counters-out").map(str::to_string);
+    let trace_out = args.value("--trace-out").map(str::to_string);
+    if counters_out.is_some() || trace_out.is_some() {
+        mdd_obs::install(args.parse("--trace-cap", 1 << 20));
+    }
 
     if let Some(sweep) = args.value("--sweep") {
         let parts: Vec<&str> = sweep.split(':').collect();
@@ -157,5 +220,18 @@ fn main() {
             r.router_rescues,
             r.mc_utilization * 100.0
         );
+        if let Some(obs) = &r.obs {
+            use mdd_obs::CounterId;
+            println!(
+                "obs: deadlocks detected {} / recovered {} | token hops {} | \
+                 lane transfers {} | events {}",
+                obs.get(CounterId::DeadlocksDetected),
+                obs.get(CounterId::DeadlocksRecovered),
+                obs.get(CounterId::TokenHops),
+                obs.get(CounterId::LaneTransfers),
+                obs.events_recorded
+            );
+        }
     }
+    write_obs_outputs(counters_out.as_deref(), trace_out.as_deref());
 }

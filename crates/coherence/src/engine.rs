@@ -87,7 +87,7 @@ impl CoherenceEngine {
     /// re-accessed (a one-parameter capacity model that makes misses
     /// recur).
     pub fn new(nprocs: u32, evict_rate: f64, seed: u64) -> Self {
-        assert!(nprocs >= 2 && nprocs <= 64);
+        assert!((2..=64).contains(&nprocs));
         CoherenceEngine {
             pattern: Arc::new(Self::msi_pattern()),
             directory: Directory::new(),
@@ -142,16 +142,14 @@ impl CoherenceEngine {
             LineState::Shared => !write && (entry.sharers >> proc) & 1 == 1,
             LineState::Invalid => false,
         };
-        if locally_cached {
-            if self.rng.random::<f64>() >= self.evict_rate {
-                self.silent_hits += 1;
-                return None;
-            }
-            // Capacity displacement: the line must be re-fetched. The
-            // directory transition for the re-access below regenerates the
-            // correct traffic; the (silent or writeback) eviction itself is
-            // not modelled as network traffic.
+        if locally_cached && self.rng.random::<f64>() >= self.evict_rate {
+            self.silent_hits += 1;
+            return None;
         }
+        // A cached line that falls through was capacity-displaced: it must
+        // be re-fetched. The directory transition for the re-access below
+        // regenerates the correct traffic; the (silent or writeback)
+        // eviction itself is not modelled as network traffic.
         // Asynchronous writeback: a Modified line owned elsewhere may have
         // been displaced (and written back to the home) before this access.
         if let crate::directory::LineState::Modified = entry.state {

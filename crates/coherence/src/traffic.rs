@@ -102,7 +102,7 @@ impl CoherentTraffic {
 
 impl TrafficSource for CoherentTraffic {
     fn tick(&mut self, cycle: u64, ids: &mut IdAlloc) {
-        if cycle > 0 && cycle % WINDOW == 0 {
+        if cycle > 0 && cycle.is_multiple_of(WINDOW) {
             let achieved = self.window_flits as f64 / (WINDOW * self.nprocs as u64) as f64;
             self.load_samples.push(achieved);
             self.window_flits = 0;

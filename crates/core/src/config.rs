@@ -61,6 +61,11 @@ pub struct SimConfig {
     /// Expensive; intended for validation runs — the local threshold
     /// detector drives the schemes either way. `None` disables it.
     pub cwg_interval: Option<u64>,
+    /// Period, in cycles, of the observability gauge-sampling hook
+    /// (network occupancy, DMB/lane occupancy, endpoint queue depth).
+    /// Only active while the global `mdd-obs` layer is installed; event
+    /// tracing and monotonic counters are unaffected by it.
+    pub obs_sample_every: u64,
 }
 
 impl SimConfig {
@@ -89,6 +94,7 @@ impl SimConfig {
             measure: 30_000,
             load,
             cwg_interval: None,
+            obs_sample_every: 64,
         }
     }
 
@@ -161,6 +167,11 @@ pub struct SimResult {
     /// "unbalanced use of network resources" made measurable (higher =
     /// more imbalance; strict avoidance's partitioning drives this up).
     pub vc_util_cv: f64,
+    /// Observability snapshot taken when the run finished, if the global
+    /// `mdd-obs` layer was installed (`None` otherwise). Counters are
+    /// process-wide and cumulative since [`mdd_obs::install`], so under a
+    /// parallel sweep they aggregate every concurrently running point.
+    pub obs: Option<mdd_obs::ObsReport>,
 }
 
 impl SimResult {

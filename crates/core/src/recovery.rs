@@ -20,6 +20,7 @@
 
 use mdd_deadlock::{CirculatingToken, RecoveryLane, TokenState};
 use mdd_nic::{Nic, RescueOutcome};
+use mdd_obs::{CounterId, Event};
 use mdd_protocol::{Message, PatternSpec};
 use mdd_router::Network;
 use mdd_topology::{NicId, NodeId, RecoveryRing, Topology, TourStop};
@@ -58,6 +59,11 @@ enum Phase {
 
 #[derive(Debug)]
 struct Episode {
+    /// Sequence number (1-based) pairing RecoveryStart/RecoveryEnd trace
+    /// events.
+    id: u64,
+    /// The rescued head message the episode began with.
+    head_msg: u64,
     stack: Vec<Frame>,
     phase: Phase,
     started_at: u64,
@@ -113,8 +119,13 @@ pub struct PrRecovery {
     pub nic_captures: u64,
     /// Completed rescue episodes.
     pub episodes_completed: u64,
+    /// Episodes ever started (also the most recent episode's sequence
+    /// number — trace events use it to pair starts with ends).
+    pub episodes_started: u64,
     /// Log of completed episodes (bounded; oldest dropped past 4096).
     episode_log: Vec<EpisodeRecord>,
+    /// Token laps already published to the observability counters.
+    laps_noted: u64,
 }
 
 impl PrRecovery {
@@ -139,7 +150,9 @@ impl PrRecovery {
             router_captures: 0,
             nic_captures: 0,
             episodes_completed: 0,
+            episodes_started: 0,
             episode_log: Vec::new(),
+            laps_noted: 0,
         }
     }
 
@@ -180,6 +193,12 @@ impl PrRecovery {
         self.lane.transfers
     }
 
+    /// True while a rescued message occupies the exclusive lane (the DB
+    /// occupancy gauge samples this).
+    pub fn lane_busy(&self) -> bool {
+        self.lane.busy()
+    }
+
     /// Advance the recovery machinery one cycle.
     pub fn step(&mut self, net: &mut Network, nics: &mut [Nic], topo: &Topology, cycle: u64) {
         if self.episode.is_some() {
@@ -194,15 +213,36 @@ impl PrRecovery {
         let Some(stop) = self.token.advance(&self.ring, cycle) else {
             return;
         };
+        mdd_obs::counter_add(CounterId::TokenHops, 1);
+        if self.token.laps > self.laps_noted {
+            mdd_obs::counter_add(CounterId::TokenLaps, self.token.laps - self.laps_noted);
+            self.laps_noted = self.token.laps;
+        }
         match stop {
             TourStop::Nic(n) => {
-                if nics[n.index()].detection_fired(cycle)
-                    && !nics[n.index()].rescue_busy()
-                    && nics[n.index()].begin_rescue_from_input(cycle)
-                {
+                mdd_obs::trace!(Event::TokenPass {
+                    cycle,
+                    at: n.0,
+                    at_nic: true,
+                });
+                if nics[n.index()].detection_fired(cycle) && !nics[n.index()].rescue_busy() {
+                    let Some(head) = nics[n.index()].begin_rescue_from_input(cycle) else {
+                        return;
+                    };
                     self.token.capture();
                     self.nic_captures += 1;
+                    self.episodes_started += 1;
+                    mdd_obs::counter_add(CounterId::NicCaptures, 1);
+                    mdd_obs::trace!(Event::RecoveryStart {
+                        cycle,
+                        episode: self.episodes_started,
+                        msg: head.0,
+                        at: n.0,
+                        at_nic: true,
+                    });
                     self.episode = Some(Episode {
+                        id: self.episodes_started,
+                        head_msg: head.0,
                         stack: vec![Frame {
                             router: topo.nic_router(n),
                             nic: Some(n),
@@ -218,6 +258,11 @@ impl PrRecovery {
                 }
             }
             TourStop::Router(r) => {
+                mdd_obs::trace!(Event::TokenPass {
+                    cycle,
+                    at: r.0,
+                    at_nic: false,
+                });
                 let blocked = net.blocked_heads(self.router_block_threshold, cycle);
                 let victim = blocked.iter().find(|(node, id)| {
                     *node == r
@@ -231,11 +276,24 @@ impl PrRecovery {
                     nics[ex.msg.src.index()].abort_injection(id);
                     self.token.capture();
                     self.router_captures += 1;
+                    self.episodes_started += 1;
+                    mdd_obs::counter_add(CounterId::RouterCaptures, 1);
+                    mdd_obs::counter_add(CounterId::MessagesRescued, 1);
+                    mdd_obs::counter_add(CounterId::LaneTransfers, 1);
+                    mdd_obs::trace!(Event::RecoveryStart {
+                        cycle,
+                        episode: self.episodes_started,
+                        msg: id.0,
+                        at: r.0,
+                        at_nic: false,
+                    });
                     let mut msg = ex.msg;
                     msg.rescued = true;
                     let dst_router = topo.nic_router(msg.dst);
                     self.lane.send(msg, ex.head_router, dst_router, cycle);
                     self.episode = Some(Episode {
+                        id: self.episodes_started,
+                        head_msg: id.0,
                         stack: vec![Frame {
                             router: r,
                             nic: None,
@@ -257,6 +315,14 @@ impl PrRecovery {
         let ep = self.episode.take().expect("finishing an active episode");
         self.token.release(cycle);
         self.episodes_completed += 1;
+        mdd_obs::counter_add(CounterId::DeadlocksRecovered, 1);
+        mdd_obs::trace!(Event::RecoveryEnd {
+            cycle,
+            episode: ep.id,
+            msg: ep.head_msg,
+            moved: ep.messages_moved,
+            depth: ep.max_depth,
+        });
         if self.episode_log.len() >= 4096 {
             self.episode_log.remove(0);
         }
@@ -364,10 +430,12 @@ impl PrRecovery {
                                 .nic
                                 .expect("router frames never have pending subordinates");
                             ep.messages_moved += 1;
+                            mdd_obs::counter_add(CounterId::MessagesRescued, 1);
                             match nics[holder.index()].try_deposit_output(m) {
                                 Ok(()) => continue,
                                 Err(m) => {
                                     let dst_router = topo.nic_router(m.dst);
+                                    mdd_obs::counter_add(CounterId::LaneTransfers, 1);
                                     self.lane.send(m, top.router, dst_router, cycle);
                                     ep.phase = Phase::Transfer;
                                     return;

@@ -206,14 +206,35 @@ impl Simulator {
         };
         self.net.step(c, &self.routing, &mut ej);
         self.cycle += 1;
+        // Periodic observability gauges (cheap: one enabled check per
+        // cycle, real sampling only every `obs_sample_every` cycles while
+        // the global layer is installed).
+        if mdd_obs::enabled() && self.cycle.is_multiple_of(self.cfg.obs_sample_every.max(1)) {
+            self.sample_obs_gauges();
+        }
         // Optional ground-truth oracle (FlexSim's CWG detection mode).
         if let Some(k) = self.cfg.cwg_interval {
-            if self.cycle % k == 0 {
+            if self.cycle.is_multiple_of(k) {
                 self.cwg_checks += 1;
                 if crate::validate::build_waitfor_graph(self).has_deadlock() {
                     self.cwg_deadlocked_checks += 1;
                 }
             }
+        }
+    }
+
+    /// Sample the occupancy gauges into the global observability
+    /// registry. Called on the configured period; also useful directly
+    /// from tests that want a snapshot at an exact cycle.
+    pub fn sample_obs_gauges(&self) {
+        use mdd_obs::CounterId;
+        mdd_obs::gauge_set(CounterId::NetFlitsInFlight, self.net.flits_in_network());
+        let dmb: u64 = self.nics.iter().map(|n| n.dmb_occupancy() as u64).sum();
+        mdd_obs::gauge_set(CounterId::DmbOccupancy, dmb);
+        let queued: u64 = self.nics.iter().map(|n| n.buffered_messages() as u64).sum();
+        mdd_obs::gauge_set(CounterId::EndpointQueueOccupancy, queued);
+        if let Some(rec) = &self.recovery {
+            mdd_obs::gauge_set(CounterId::DbLaneOccupancy, rec.lane_busy() as u64);
         }
     }
 
@@ -272,6 +293,7 @@ impl Simulator {
             vc_util_mean: util.0,
             vc_util_max: util.1,
             vc_util_cv: util.2,
+            obs: mdd_obs::enabled().then(mdd_obs::ObsReport::capture),
         }
     }
 

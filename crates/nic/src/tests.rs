@@ -232,7 +232,7 @@ fn rescue_from_input_produces_subordinate_for_dmb() {
         nic.tick(c, &mut ids);
     }
     assert!(nic.detection_fired(5));
-    assert!(nic.begin_rescue_from_input(6));
+    assert!(nic.begin_rescue_from_input(6).is_some());
     assert!(nic.rescue_busy());
     assert_eq!(nic.in_queue(0).len(), 3, "head removed for rescue");
     // MC processes the rescued head; subordinate emerges for the DMB.
@@ -331,7 +331,7 @@ fn injection_streams_one_flit_per_cycle() {
             let dir = mh.dim(d).dor_direction().unwrap();
             out.push(RouteCandidate {
                 port: topo.port(d, dir),
-                vc: ((pkt.crossed_dateline >> d) & 1) as u8,
+                vc: (pkt.crossed_dateline >> d) & 1,
             });
         }
         fn injection_vcs(&self, _pkt: &PacketState, out: &mut Vec<u8>) {
@@ -517,7 +517,7 @@ fn rescue_of_multicast_head_yields_all_branches() {
         nic.tick(c, &mut ids);
     }
     assert!(nic.detection_fired(5));
-    assert!(nic.begin_rescue_from_input(6));
+    assert!(nic.begin_rescue_from_input(6).is_some());
     let mut subs = None;
     for c in 6..40 {
         nic.tick(c, &mut ids);

@@ -1,0 +1,125 @@
+//! Typed trace events with cycle timestamps.
+//!
+//! Events are deliberately plain-old-data (`Copy`, ids as raw integers)
+//! so the tracing layer has no dependency on the simulator crates and
+//! recording an event is a couple of stores into the ring buffer.
+
+/// One traced occurrence. All ids are the raw integer payloads of the
+/// simulator's newtypes (`NicId.0`, `NodeId.0`, `MessageId.0`, …).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A message's packet entered the network from an endpoint.
+    Inject {
+        /// Injection cycle.
+        cycle: u64,
+        /// Source NIC.
+        nic: u32,
+        /// Message id.
+        msg: u64,
+        /// Protocol message type.
+        mtype: u8,
+    },
+    /// A message was consumed by an endpoint (sunk, serviced, or drained
+    /// as a backoff reply).
+    Consume {
+        /// Consumption cycle.
+        cycle: u64,
+        /// Consuming NIC.
+        nic: u32,
+        /// Message id.
+        msg: u64,
+        /// Protocol message type.
+        mtype: u8,
+    },
+    /// The recovery token completed a hop and visited a tour stop.
+    TokenPass {
+        /// Arrival cycle.
+        cycle: u64,
+        /// Stop id: a NIC id when `at_nic`, a router id otherwise.
+        at: u32,
+        /// True for NIC stops, false for router stops.
+        at_nic: bool,
+    },
+    /// An endpoint detector declared a potential message-dependent
+    /// deadlock.
+    DeadlockDetected {
+        /// Declaration cycle (detector threshold expiry).
+        cycle: u64,
+        /// Detecting NIC.
+        nic: u32,
+        /// The stuck input-queue head that triggered the declaration.
+        msg: u64,
+    },
+    /// A recovery episode began (token captured).
+    ///
+    /// NIC captures (`at_nic` true) follow a [`Event::DeadlockDetected`]
+    /// from that NIC's detector. Router captures (`at_nic` false) are
+    /// initiated by the token's own blocked-head timeout — itself a form
+    /// of detection — and need not be preceded by any
+    /// `DeadlockDetected` event.
+    RecoveryStart {
+        /// Capture cycle.
+        cycle: u64,
+        /// Episode sequence number (pairs with [`Event::RecoveryEnd`]).
+        episode: u64,
+        /// The rescued head message.
+        msg: u64,
+        /// Capture stop id: a NIC id when `at_nic`, a router id otherwise.
+        at: u32,
+        /// True for NIC (message-deadlock) captures, false for router
+        /// (routing-deadlock) captures.
+        at_nic: bool,
+    },
+    /// A recovery episode completed (token released).
+    RecoveryEnd {
+        /// Release cycle.
+        cycle: u64,
+        /// Episode sequence number (pairs with [`Event::RecoveryStart`]).
+        episode: u64,
+        /// The rescued head message the episode began with.
+        msg: u64,
+        /// Subordinate messages moved during the episode.
+        moved: u32,
+        /// Deepest sender-chain stack reached.
+        depth: u32,
+    },
+    /// Deflective recovery sent a backoff reply.
+    BackoffReply {
+        /// Deflection cycle.
+        cycle: u64,
+        /// Deflecting NIC.
+        nic: u32,
+        /// The backoff reply's own message id.
+        msg: u64,
+        /// The deflected (popped) message's id.
+        deflected: u64,
+    },
+}
+
+impl Event {
+    /// The event's cycle timestamp.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            Event::Inject { cycle, .. }
+            | Event::Consume { cycle, .. }
+            | Event::TokenPass { cycle, .. }
+            | Event::DeadlockDetected { cycle, .. }
+            | Event::RecoveryStart { cycle, .. }
+            | Event::RecoveryEnd { cycle, .. }
+            | Event::BackoffReply { cycle, .. } => cycle,
+        }
+    }
+
+    /// The stable kind tag used by every sink format.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Inject { .. } => "inject",
+            Event::Consume { .. } => "consume",
+            Event::TokenPass { .. } => "token_pass",
+            Event::DeadlockDetected { .. } => "deadlock_detected",
+            Event::RecoveryStart { .. } => "recovery_start",
+            Event::RecoveryEnd { .. } => "recovery_end",
+            Event::BackoffReply { .. } => "backoff_reply",
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Snapshot sinks: JSON/JSONL and CSV writers (plus parsers for the same
+//! formats, used by round-trip tests and offline tooling).
+//!
+//! The CSV shapes match the repo's `results/` convention (a header row of
+//! snake_case column names, one record per line, no quoting — every field
+//! is numeric or a fixed identifier).
+
+use crate::counters::CounterSnapshot;
+use crate::event::Event;
+use std::io::{self, Write};
+
+// ---------------------------------------------------------------------
+// Counter snapshots.
+// ---------------------------------------------------------------------
+
+/// Write a snapshot as one flat JSON object, keys in registry order:
+/// `{"flits_routed":12,"vc_allocs":34,...}`.
+pub fn write_counters_json<W: Write>(w: &mut W, snap: &CounterSnapshot) -> io::Result<()> {
+    w.write_all(b"{")?;
+    for (i, e) in snap.entries.iter().enumerate() {
+        if i > 0 {
+            w.write_all(b",")?;
+        }
+        write!(w, "\"{}\":{}", e.name(), e.value)?;
+    }
+    w.write_all(b"}\n")
+}
+
+/// Write a snapshot as CSV with a `counter,value` header.
+pub fn write_counters_csv<W: Write>(w: &mut W, snap: &CounterSnapshot) -> io::Result<()> {
+    writeln!(w, "counter,value")?;
+    for e in &snap.entries {
+        writeln!(w, "{},{}", e.name(), e.value)?;
+    }
+    Ok(())
+}
+
+/// Parse the CSV produced by [`write_counters_csv`] back into
+/// `(name, value)` pairs.
+pub fn parse_counters_csv(text: &str) -> Result<Vec<(String, u64)>, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some("counter,value") => {}
+        other => return Err(format!("bad counters header: {other:?}")),
+    }
+    lines
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            let (name, value) = l
+                .split_once(',')
+                .ok_or_else(|| format!("bad counters row: {l:?}"))?;
+            let value = value.parse().map_err(|e| format!("bad value in {l:?}: {e}"))?;
+            Ok((name.to_string(), value))
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Event traces.
+// ---------------------------------------------------------------------
+
+/// Write events as JSON Lines: one object per event, e.g.
+/// `{"type":"recovery_start","cycle":812,"episode":1,"msg":4711,"at":9,"at_nic":true}`.
+pub fn write_trace_jsonl<W: Write>(w: &mut W, events: &[Event]) -> io::Result<()> {
+    for ev in events {
+        match *ev {
+            Event::Inject { cycle, nic, msg, mtype } => writeln!(
+                w,
+                "{{\"type\":\"inject\",\"cycle\":{cycle},\"nic\":{nic},\"msg\":{msg},\"mtype\":{mtype}}}"
+            )?,
+            Event::Consume { cycle, nic, msg, mtype } => writeln!(
+                w,
+                "{{\"type\":\"consume\",\"cycle\":{cycle},\"nic\":{nic},\"msg\":{msg},\"mtype\":{mtype}}}"
+            )?,
+            Event::TokenPass { cycle, at, at_nic } => writeln!(
+                w,
+                "{{\"type\":\"token_pass\",\"cycle\":{cycle},\"at\":{at},\"at_nic\":{at_nic}}}"
+            )?,
+            Event::DeadlockDetected { cycle, nic, msg } => writeln!(
+                w,
+                "{{\"type\":\"deadlock_detected\",\"cycle\":{cycle},\"nic\":{nic},\"msg\":{msg}}}"
+            )?,
+            Event::RecoveryStart { cycle, episode, msg, at, at_nic } => writeln!(
+                w,
+                "{{\"type\":\"recovery_start\",\"cycle\":{cycle},\"episode\":{episode},\"msg\":{msg},\"at\":{at},\"at_nic\":{at_nic}}}"
+            )?,
+            Event::RecoveryEnd { cycle, episode, msg, moved, depth } => writeln!(
+                w,
+                "{{\"type\":\"recovery_end\",\"cycle\":{cycle},\"episode\":{episode},\"msg\":{msg},\"moved\":{moved},\"depth\":{depth}}}"
+            )?,
+            Event::BackoffReply { cycle, nic, msg, deflected } => writeln!(
+                w,
+                "{{\"type\":\"backoff_reply\",\"cycle\":{cycle},\"nic\":{nic},\"msg\":{msg},\"deflected\":{deflected}}}"
+            )?,
+        }
+    }
+    Ok(())
+}
+
+/// Columns of the trace CSV, in order. Fields not applicable to an event
+/// kind are left empty.
+pub const TRACE_CSV_HEADER: &str = "cycle,kind,nic,at,at_nic,msg,mtype,episode,moved,depth,deflected";
+
+/// Write events as CSV under [`TRACE_CSV_HEADER`].
+pub fn write_trace_csv<W: Write>(w: &mut W, events: &[Event]) -> io::Result<()> {
+    writeln!(w, "{TRACE_CSV_HEADER}")?;
+    for ev in events {
+        match *ev {
+            Event::Inject { cycle, nic, msg, mtype } => {
+                writeln!(w, "{cycle},inject,{nic},,,{msg},{mtype},,,,")?
+            }
+            Event::Consume { cycle, nic, msg, mtype } => {
+                writeln!(w, "{cycle},consume,{nic},,,{msg},{mtype},,,,")?
+            }
+            Event::TokenPass { cycle, at, at_nic } => {
+                writeln!(w, "{cycle},token_pass,,{at},{at_nic},,,,,,")?
+            }
+            Event::DeadlockDetected { cycle, nic, msg } => {
+                writeln!(w, "{cycle},deadlock_detected,{nic},,,{msg},,,,,")?
+            }
+            Event::RecoveryStart { cycle, episode, msg, at, at_nic } => {
+                writeln!(w, "{cycle},recovery_start,,{at},{at_nic},{msg},,{episode},,,")?
+            }
+            Event::RecoveryEnd { cycle, episode, msg, moved, depth } => {
+                writeln!(w, "{cycle},recovery_end,,,,{msg},,{episode},{moved},{depth},")?
+            }
+            Event::BackoffReply { cycle, nic, msg, deflected } => {
+                writeln!(w, "{cycle},backoff_reply,{nic},,,{msg},,,,,{deflected}")?
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parse JSON Lines produced by [`write_trace_jsonl`] back into events.
+/// This is a reader for *this crate's* output, not a general JSON parser.
+pub fn parse_trace_jsonl(text: &str) -> Result<Vec<Event>, String> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(parse_jsonl_line)
+        .collect()
+}
+
+fn json_field(line: &str, key: &str) -> Result<u64, String> {
+    json_field_raw(line, key)?
+        .parse()
+        .map_err(|e| format!("bad {key} in {line:?}: {e}"))
+}
+
+fn json_bool_field(line: &str, key: &str) -> Result<bool, String> {
+    match json_field_raw(line, key)? {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(format!("bad bool {key}: {other:?}")),
+    }
+}
+
+fn json_field_raw<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+    let pat = format!("\"{key}\":");
+    let start = line
+        .find(&pat)
+        .ok_or_else(|| format!("missing {key} in {line:?}"))?
+        + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find([',', '}'])
+        .ok_or_else(|| format!("unterminated {key} in {line:?}"))?;
+    Ok(rest[..end].trim().trim_matches('"'))
+}
+
+fn parse_jsonl_line(line: &str) -> Result<Event, String> {
+    let kind = json_field_raw(line, "type")?;
+    let cycle = json_field(line, "cycle")?;
+    Ok(match kind {
+        "inject" => Event::Inject {
+            cycle,
+            nic: json_field(line, "nic")? as u32,
+            msg: json_field(line, "msg")?,
+            mtype: json_field(line, "mtype")? as u8,
+        },
+        "consume" => Event::Consume {
+            cycle,
+            nic: json_field(line, "nic")? as u32,
+            msg: json_field(line, "msg")?,
+            mtype: json_field(line, "mtype")? as u8,
+        },
+        "token_pass" => Event::TokenPass {
+            cycle,
+            at: json_field(line, "at")? as u32,
+            at_nic: json_bool_field(line, "at_nic")?,
+        },
+        "deadlock_detected" => Event::DeadlockDetected {
+            cycle,
+            nic: json_field(line, "nic")? as u32,
+            msg: json_field(line, "msg")?,
+        },
+        "recovery_start" => Event::RecoveryStart {
+            cycle,
+            episode: json_field(line, "episode")?,
+            msg: json_field(line, "msg")?,
+            at: json_field(line, "at")? as u32,
+            at_nic: json_bool_field(line, "at_nic")?,
+        },
+        "recovery_end" => Event::RecoveryEnd {
+            cycle,
+            episode: json_field(line, "episode")?,
+            msg: json_field(line, "msg")?,
+            moved: json_field(line, "moved")? as u32,
+            depth: json_field(line, "depth")? as u32,
+        },
+        "backoff_reply" => Event::BackoffReply {
+            cycle,
+            nic: json_field(line, "nic")? as u32,
+            msg: json_field(line, "msg")?,
+            deflected: json_field(line, "deflected")?,
+        },
+        other => return Err(format!("unknown event type {other:?}")),
+    })
+}
+
+/// Parse CSV produced by [`write_trace_csv`] back into events.
+pub fn parse_trace_csv(text: &str) -> Result<Vec<Event>, String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(h) if h == TRACE_CSV_HEADER => {}
+        other => return Err(format!("bad trace header: {other:?}")),
+    }
+    lines
+        .filter(|l| !l.is_empty())
+        .map(parse_csv_row)
+        .collect()
+}
+
+fn parse_csv_row(line: &str) -> Result<Event, String> {
+    let cols: Vec<&str> = line.split(',').collect();
+    if cols.len() != 11 {
+        return Err(format!("bad trace row (want 11 columns): {line:?}"));
+    }
+    let num = |i: usize, what: &str| -> Result<u64, String> {
+        cols[i]
+            .parse()
+            .map_err(|e| format!("bad {what} in {line:?}: {e}"))
+    };
+    let cycle = num(0, "cycle")?;
+    Ok(match cols[1] {
+        "inject" => Event::Inject {
+            cycle,
+            nic: num(2, "nic")? as u32,
+            msg: num(5, "msg")?,
+            mtype: num(6, "mtype")? as u8,
+        },
+        "consume" => Event::Consume {
+            cycle,
+            nic: num(2, "nic")? as u32,
+            msg: num(5, "msg")?,
+            mtype: num(6, "mtype")? as u8,
+        },
+        "token_pass" => Event::TokenPass {
+            cycle,
+            at: num(3, "at")? as u32,
+            at_nic: cols[4] == "true",
+        },
+        "deadlock_detected" => Event::DeadlockDetected {
+            cycle,
+            nic: num(2, "nic")? as u32,
+            msg: num(5, "msg")?,
+        },
+        "recovery_start" => Event::RecoveryStart {
+            cycle,
+            episode: num(7, "episode")?,
+            msg: num(5, "msg")?,
+            at: num(3, "at")? as u32,
+            at_nic: cols[4] == "true",
+        },
+        "recovery_end" => Event::RecoveryEnd {
+            cycle,
+            episode: num(7, "episode")?,
+            msg: num(5, "msg")?,
+            moved: num(8, "moved")? as u32,
+            depth: num(9, "depth")? as u32,
+        },
+        "backoff_reply" => Event::BackoffReply {
+            cycle,
+            nic: num(2, "nic")? as u32,
+            msg: num(5, "msg")?,
+            deflected: num(10, "deflected")?,
+        },
+        other => return Err(format!("unknown event kind {other:?}")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::{CounterId, Counters};
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Inject { cycle: 1, nic: 3, msg: 100, mtype: 0 },
+            Event::TokenPass { cycle: 2, at: 7, at_nic: false },
+            Event::TokenPass { cycle: 3, at: 7, at_nic: true },
+            Event::DeadlockDetected { cycle: 40, nic: 7, msg: 100 },
+            Event::RecoveryStart { cycle: 41, episode: 1, msg: 100, at: 7, at_nic: true },
+            Event::RecoveryEnd { cycle: 90, episode: 1, msg: 100, moved: 2, depth: 1 },
+            Event::BackoffReply { cycle: 95, nic: 2, msg: 200, deflected: 150 },
+            Event::Consume { cycle: 99, nic: 0, msg: 100, mtype: 2 },
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_events() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        write_trace_jsonl(&mut buf, &events).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), events.len());
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        let parsed = parse_trace_jsonl(&text).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_events() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        write_trace_csv(&mut buf, &events).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed = parse_trace_csv(&text).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn counters_csv_roundtrip() {
+        let c = Counters::new();
+        c.add(CounterId::DeadlocksDetected, 5);
+        c.set(CounterId::NetFlitsInFlight, 321);
+        let snap = c.snapshot();
+        let mut buf = Vec::new();
+        write_counters_csv(&mut buf, &snap).unwrap();
+        let rows = parse_counters_csv(&String::from_utf8(buf).unwrap()).unwrap();
+        assert_eq!(rows.len(), snap.entries.len());
+        for (row, entry) in rows.iter().zip(&snap.entries) {
+            assert_eq!(row.0, entry.name());
+            assert_eq!(row.1, entry.value);
+        }
+    }
+
+    #[test]
+    fn counters_json_is_one_flat_object() {
+        let c = Counters::new();
+        c.add(CounterId::TokenHops, 9);
+        let mut buf = Vec::new();
+        write_counters_json(&mut buf, &c.snapshot()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        assert!(text.contains("\"token_hops\":9"));
+        assert!(text.contains("\"deadlocks_detected\":0"));
+    }
+}

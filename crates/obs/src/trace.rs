@@ -1,0 +1,153 @@
+//! The bounded event ring buffer.
+
+use crate::event::Event;
+
+/// A fixed-capacity ring buffer of [`Event`]s. Once full, each push
+/// overwrites the oldest event and bumps the drop counter, so a trace
+/// always holds the *most recent* window of activity.
+#[derive(Clone, Debug)]
+pub struct EventTrace {
+    buf: Vec<Event>,
+    /// Index of the oldest event (meaningful only when the buffer is
+    /// full and wrapping).
+    head: usize,
+    capacity: usize,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl EventTrace {
+    /// A trace holding at most `capacity` events (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventTrace {
+            buf: Vec::with_capacity(capacity.min(4096)),
+            head: 0,
+            capacity,
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Maximum events retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever pushed.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Events overwritten after the buffer filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Append an event, overwriting the oldest once at capacity.
+    pub fn push(&mut self, ev: Event) {
+        self.recorded += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Drop all retained events and zero the counters.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.recorded = 0;
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> Event {
+        Event::TokenPass {
+            cycle,
+            at: (cycle % 16) as u32,
+            at_nic: cycle.is_multiple_of(2),
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps_keeping_newest() {
+        let mut t = EventTrace::new(4);
+        for c in 0..4 {
+            t.push(ev(c));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 0);
+        let cycles: Vec<u64> = t.events().iter().map(Event::cycle).collect();
+        assert_eq!(cycles, vec![0, 1, 2, 3]);
+
+        // Overflow by 6: the oldest 6 are gone, order is preserved.
+        for c in 4..10 {
+            t.push(ev(c));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.recorded(), 10);
+        assert_eq!(t.dropped(), 6);
+        let cycles: Vec<u64> = t.events().iter().map(Event::cycle).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn wraps_repeatedly_without_drift() {
+        let mut t = EventTrace::new(3);
+        for c in 0..3_000 {
+            t.push(ev(c));
+        }
+        let cycles: Vec<u64> = t.events().iter().map(Event::cycle).collect();
+        assert_eq!(cycles, vec![2_997, 2_998, 2_999]);
+        assert_eq!(t.dropped(), 2_997);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut t = EventTrace::new(2);
+        t.push(ev(1));
+        t.push(ev(2));
+        t.push(ev(3));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.recorded(), 0);
+        assert_eq!(t.dropped(), 0);
+        t.push(ev(9));
+        assert_eq!(t.events().len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut t = EventTrace::new(0);
+        t.push(ev(1));
+        t.push(ev(2));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.events()[0].cycle(), 2);
+    }
+}

@@ -74,7 +74,7 @@ impl ProtocolSpec {
         Some(1 + (channels / l - escape_per_network))
     }
 
-    /// The improved availability with a shared adaptive pool ([21]):
+    /// The improved availability with a shared adaptive pool (\[21\]):
     /// `1 + (C − E_m)`.
     pub fn sa_shared_availability(
         &self,

@@ -1,0 +1,171 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon)
+//! data-parallelism crate.
+//!
+//! The workspace builds with no network access, so this crate provides
+//! the one rayon idiom the simulator uses — `slice.par_iter().map(f)
+//! .collect::<Vec<_>>()` — with the same names and the same semantics
+//! (results in input order), implemented over scoped [`std::thread`]
+//! workers pulling indices from a shared atomic cursor. Load sweeps are
+//! embarrassingly parallel with per-point runtimes that vary by an order
+//! of magnitude across loads, so dynamic work stealing via the shared
+//! cursor matters and a static chunking would not do.
+//!
+//! ```
+//! use rayon::prelude::*;
+//!
+//! let squares: Vec<u64> = [1u64, 2, 3, 4].par_iter().map(|&x| x * x).collect();
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![warn(missing_docs)]
+
+/// The user-facing traits and adapters, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Conversion of `&self` into a parallel iterator (the `par_iter` entry
+/// point).
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type yielded by reference.
+    type Item: Sync + 'a;
+    /// Create the parallel iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowed parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each element through `f`, in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The mapped parallel iterator; consumed by [`ParMap::collect`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Run the map across worker threads and collect the results in
+    /// input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        run_indexed(self.items.len(), |i| (self.f)(&self.items[i]))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Degree of parallelism: the machine's logical CPUs (at least 1).
+fn workers(n_items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n_items.max(1))
+}
+
+/// Evaluate `f(0..n)` with dynamic scheduling and return the results in
+/// index order.
+fn run_indexed<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let nw = workers(n);
+    if nw <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..nw {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index was processed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u32> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x as u64 * 2).collect();
+        assert_eq!(ys, (0..1000).map(|x| x as u64 * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u32> = Vec::new();
+        let out: Vec<u32> = none.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [5u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![6]);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items with wildly different costs still all complete and land in
+        // order (exercises the dynamic cursor).
+        let xs: Vec<usize> = (0..64).collect();
+        let ys: Vec<usize> = xs
+            .par_iter()
+            .map(|&x| {
+                let mut acc = 0usize;
+                for i in 0..(x * 1000) {
+                    acc = acc.wrapping_add(i);
+                }
+                let _ = acc;
+                x
+            })
+            .collect();
+        assert_eq!(ys, xs);
+    }
+}

@@ -29,6 +29,7 @@
 use crate::flit::{Flit, PacketState, PacketTable};
 use crate::router::Router;
 use crate::traits::{EjectControl, RouteCandidate, Routing};
+use mdd_obs::CounterId;
 use mdd_protocol::{Message, MessageId};
 use mdd_topology::{NicId, NodeId, PortId, Topology};
 
@@ -217,6 +218,10 @@ impl Network {
     /// Phase 1: route computation and output-VC allocation for waiting
     /// heads.
     fn alloc_phase(&mut self, cycle: u64, routing: &dyn Routing, ej: &mut dyn EjectControl) {
+        // Accumulated locally (plain u64 adds) and published once per
+        // cycle, so the hot loop stays free of atomics.
+        let mut obs_allocs = 0u64;
+        let mut obs_stalls = 0u64;
         let nvcs = self.vcs as usize;
         for r in 0..self.routers.len() {
             let node = NodeId(r as u32);
@@ -247,6 +252,7 @@ impl Network {
                     !self.cand_buf.is_empty(),
                     "routing function returned no candidates for {msgid:?} at {node}"
                 );
+                let mut granted = false;
                 for ci in 0..self.cand_buf.len() {
                     let c = self.cand_buf[ci];
                     if let Some(local) = self.topo.port_local_index(c.port) {
@@ -257,6 +263,7 @@ impl Network {
                         let nic = self.topo.nic_at(node, local);
                         if ej.can_accept(nic, &pkt.msg, cycle) {
                             self.routers[r].in_vcs[p][v].route = Some((c.port, 0));
+                            granted = true;
                             break;
                         }
                     } else {
@@ -265,13 +272,21 @@ impl Network {
                         if ov.is_free() {
                             ov.owner = Some(msgid);
                             self.routers[r].in_vcs[p][v].route = Some((c.port, c.vc));
+                            granted = true;
                             break;
                         }
                     }
                 }
+                if granted {
+                    obs_allocs += 1;
+                } else {
+                    obs_stalls += 1;
+                }
             }
             self.routers[r].rr_alloc = self.routers[r].rr_alloc.wrapping_add(1);
         }
+        mdd_obs::counter_add(CounterId::VcAllocs, obs_allocs);
+        mdd_obs::counter_add(CounterId::VcStalls, obs_stalls);
     }
 
     /// Phase 2: switch allocation — one flit per input port and output port.
@@ -319,6 +334,7 @@ impl Network {
 
     /// Phase 3: apply granted moves.
     fn apply_moves(&mut self, cycle: u64, ej: &mut dyn EjectControl) {
+        mdd_obs::counter_add(CounterId::FlitsRouted, self.move_buf.len() as u64);
         for mi in 0..self.move_buf.len() {
             let Move {
                 router: r,

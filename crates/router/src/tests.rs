@@ -248,8 +248,9 @@ fn extraction_reclaims_buffers_and_restores_credits() {
     net.begin_packet(m.clone(), 0);
     let mut sent = 0u32;
     for cycle in 0..60 {
-        if sent < 12 && net.injection_free(m.src, 0) > 0 {
-            if net.inject_flit(
+        if sent < 12
+            && net.injection_free(m.src, 0) > 0
+            && net.inject_flit(
                 m.src,
                 0,
                 Flit {
@@ -257,9 +258,9 @@ fn extraction_reclaims_buffers_and_restores_credits() {
                     seq: sent,
                     is_tail: sent == 11,
                 },
-            ) {
-                sent += 1;
-            }
+            )
+        {
+            sent += 1;
         }
         net.step(cycle, &TestDor, &mut ej);
     }
@@ -335,8 +336,9 @@ fn dateline_bits_set_on_wrap() {
     let mut sent = 0u32;
     let mut saw_crossed = false;
     for cycle in 0..100 {
-        if sent < 6 && net.injection_free(m.src, 0) > 0 {
-            if net.inject_flit(
+        if sent < 6
+            && net.injection_free(m.src, 0) > 0
+            && net.inject_flit(
                 m.src,
                 0,
                 Flit {
@@ -344,9 +346,9 @@ fn dateline_bits_set_on_wrap() {
                     seq: sent,
                     is_tail: sent == 5,
                 },
-            ) {
-                sent += 1;
-            }
+            )
+        {
+            sent += 1;
         }
         net.step(cycle, &TestDor, &mut ej);
         if let Some(pkt) = net.packets().try_get(MessageId(1)) {

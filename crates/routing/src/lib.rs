@@ -8,7 +8,7 @@
 //!   dimension-order on its two dateline-class escape channels and, when
 //!   the partition is larger than the escape set, adds fully adaptive
 //!   channels under Duato's protocol. A variant shares all channels beyond
-//!   the per-type escape sets among every type (Martinez et al. [21]).
+//!   the per-type escape sets among every type (Martinez et al. \[21\]).
 //! * **DR** (deflective recovery): the same structure with exactly two
 //!   logical networks — request and reply.
 //! * **PR** (progressive recovery): true fully adaptive routing — every

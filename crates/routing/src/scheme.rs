@@ -8,7 +8,7 @@ pub enum Scheme {
     /// Strict avoidance: one logical network per message type
     /// (Alpha 21364-style). With `shared_adaptive`, only the escape
     /// channels are partitioned per type and all remaining channels form a
-    /// common adaptive pool (Martinez, Torrellas & Duato [21]).
+    /// common adaptive pool (Martinez, Torrellas & Duato \[21\]).
     StrictAvoidance {
         /// Share channels beyond the per-type escape sets among all types.
         shared_adaptive: bool,

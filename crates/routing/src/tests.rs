@@ -109,7 +109,7 @@ fn paper_availability_16_vcs() {
 fn sa_partitions_are_disjoint_and_cover() {
     let p = ProtocolSpec::s1_generic();
     let map = VcMap::build(SA, &p, 16, 2).unwrap();
-    let mut used = vec![false; 16];
+    let mut used = [false; 16];
     for t in p.msg_types() {
         if Some(t) == p.backoff_type() {
             continue; // shares the terminating type's set

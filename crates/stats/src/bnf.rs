@@ -79,8 +79,7 @@ impl BnfCurve {
     pub fn latency_at_load(&self, load: f64) -> Option<f64> {
         self.points
             .iter()
-            .filter(|p| p.applied_load <= load + 1e-12)
-            .next_back()
+            .rfind(|p| p.applied_load <= load + 1e-12)
             .map(|p| p.latency)
     }
 

@@ -160,7 +160,7 @@ impl Topology {
     pub fn port_dim_dir(&self, port: PortId) -> Option<(usize, Direction)> {
         let p = port.index();
         if p < self.network_ports() {
-            let dir = if p % 2 == 0 {
+            let dir = if p.is_multiple_of(2) {
                 Direction::Plus
             } else {
                 Direction::Minus

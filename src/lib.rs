@@ -56,6 +56,7 @@ pub use mdd_coherence as coherence;
 pub use mdd_core as simcore;
 pub use mdd_deadlock as deadlock;
 pub use mdd_nic as nic;
+pub use mdd_obs as obs;
 pub use mdd_protocol as protocol;
 pub use mdd_router as router;
 pub use mdd_routing as routing;
@@ -71,6 +72,7 @@ pub mod prelude {
         PatternSpec, ProtocolSpec, QueueOrg, Scheme, SchemeConfigError, SimConfig, SimResult,
         Simulator,
     };
+    pub use mdd_obs::{CounterId, Event as ObsEvent, ObsReport};
     pub use mdd_protocol::{
         HopTarget, IdAlloc, Message, MessageId, MsgKind, MsgType, TransactionShape,
     };
