@@ -14,6 +14,22 @@ cargo test --workspace -q
 echo "==> cargo doc --workspace --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
+echo "==> engine cache smoke (re-run must be served from cache)"
+CACHE_DIR=$(mktemp -d)
+trap 'rm -rf "$CACHE_DIR"' EXIT
+engine_sweep() {
+    cargo run -q -p mdd-bench --release --bin mddsim -- \
+        --scheme pr --pattern pat271 --vcs 4 --radix 4x4 \
+        --sweep 0.05:0.15:3 --warmup 100 --measure 300 \
+        --cache-dir "$CACHE_DIR"
+}
+first=$(engine_sweep)
+echo "$first" | grep -q "3 points: 3 simulated" || {
+    echo "engine smoke: cold run did not simulate 3 points:"; echo "$first"; exit 1; }
+second=$(engine_sweep)
+echo "$second" | grep -q "3 points: 0 simulated, 3 cached" || {
+    echo "engine smoke: warm run was not fully cache-served:"; echo "$second"; exit 1; }
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets"
     cargo clippy --workspace --all-targets -q -- -D warnings

@@ -3,38 +3,35 @@
 //! only the escape channels stay partitioned per type; all remaining
 //! channels form a common adaptive pool.
 //!
-//! `cargo run -p mdd-bench --release --bin ablation_sa_shared [--smoke]`
+//! `cargo run -p mdd-bench --release --bin ablation_sa_shared [--smoke]
+//!  [--out DIR] [--jobs N] [--no-cache]`
 
-use mdd_core::{default_loads, run_curve, PatternSpec, Scheme, SimConfig};
-use mdd_bench::{write_results, RunScale};
+use mdd_bench::cli::BenchCli;
+use mdd_core::{default_loads, PatternSpec, Scheme, SimConfig};
 use mdd_stats::Table;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = if args.iter().any(|a| a == "--smoke") {
-        RunScale::smoke()
-    } else if args.iter().any(|a| a == "--fast") {
-        RunScale::fast()
-    } else {
-        RunScale::full()
-    };
+    let cli = BenchCli::parse();
+    let engine = cli.engine();
     let mut t = Table::new(vec!["vcs", "scheme", "load", "throughput", "latency"]);
     let mut csv = String::from("vcs,scheme,load,throughput,latency\n");
     for vcs in [8u8, 16] {
-        let loads = default_loads(0.05, 0.50, scale.load_points);
+        let loads = default_loads(0.05, 0.50, cli.scale.load_points);
         for (label, shared) in [("SA", false), ("SA+", true)] {
-            let mut cfg = SimConfig::paper_default(
-                Scheme::StrictAvoidance {
+            let cfg = SimConfig::builder()
+                .scheme(Scheme::StrictAvoidance {
                     shared_adaptive: shared,
-                },
-                PatternSpec::pat271(),
-                vcs,
-                0.0,
-            );
-            cfg.warmup = scale.warmup;
-            cfg.measure = scale.measure;
-            let (curve, _) = run_curve(&cfg, &loads, label).expect("feasible at 8+ VCs");
-            for p in &curve.points {
+                })
+                .pattern(PatternSpec::pat271())
+                .vcs(vcs)
+                .windows(cli.scale.warmup, cli.scale.measure)
+                .build()
+                .expect("feasible at 8+ VCs");
+            let report = engine.run_sweep(&cfg, &loads, label);
+            for err in report.errors() {
+                eprintln!("ablation_sa_shared: {err}");
+            }
+            for p in &report.curve(label).points {
                 t.row(vec![
                     vcs.to_string(),
                     label.to_string(),
@@ -51,8 +48,5 @@ fn main() {
     }
     println!("Ablation A1 — SA vs SA+ (shared adaptive pool), PAT271\n");
     print!("{}", t.render());
-    match write_results("ablation_sa_shared.csv", &csv) {
-        Ok(p) => println!("\nwrote {p}"),
-        Err(e) => eprintln!("could not write results: {e}"),
-    }
+    cli.write_reported("ablation_sa_shared.csv", &csv);
 }

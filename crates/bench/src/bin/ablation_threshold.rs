@@ -3,55 +3,59 @@
 //! cycles on average"). A too-small T triggers rescues for transient
 //! congestion; a too-large T delays genuine recovery.
 //!
-//! `cargo run -p mdd-bench --release --bin ablation_threshold [--smoke]`
+//! `cargo run -p mdd-bench --release --bin ablation_threshold [--smoke]
+//!  [--out DIR] [--jobs N] [--no-cache]`
 
-use mdd_bench::{write_results, RunScale};
-use mdd_core::{run_point, PatternSpec, Scheme, SimConfig};
+use mdd_bench::cli::BenchCli;
+use mdd_core::{PatternSpec, Scheme, SimConfig};
+use mdd_engine::Job;
 use mdd_stats::Table;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = if args.iter().any(|a| a == "--smoke") {
-        RunScale::smoke()
-    } else if args.iter().any(|a| a == "--fast") {
-        RunScale::fast()
-    } else {
-        RunScale::full()
-    };
+    let cli = BenchCli::parse();
+    let engine = cli.engine();
+    let mut jobs = Vec::new();
+    for threshold in [10u64, 25, 50, 100, 200] {
+        for load in [0.30, 0.38] {
+            let cfg = SimConfig::builder()
+                .scheme(Scheme::ProgressiveRecovery)
+                .pattern(PatternSpec::pat271())
+                .vcs(4)
+                .detect_threshold(threshold)
+                .windows(cli.scale.warmup, cli.scale.measure)
+                .build()
+                .expect("PR always configurable");
+            jobs.push(Job::new(jobs.len(), format!("T={threshold}"), cfg.at_load(load)));
+        }
+    }
+    let report = engine.run_jobs(jobs);
     let mut t = Table::new(vec![
         "T", "load", "throughput", "latency", "detections", "rescues",
     ]);
     let mut csv = String::from("threshold,load,throughput,latency,detections,rescues\n");
-    for threshold in [10u64, 25, 50, 100, 200] {
-        for load in [0.30, 0.38] {
-            let mut cfg = SimConfig::paper_default(
-                Scheme::ProgressiveRecovery,
-                PatternSpec::pat271(),
-                4,
-                0.0,
-            );
-            cfg.detect_threshold = threshold;
-            cfg.warmup = scale.warmup;
-            cfg.measure = scale.measure;
-            let r = run_point(&cfg, load).expect("PR always configurable");
-            t.row(vec![
-                threshold.to_string(),
-                format!("{load:.2}"),
-                format!("{:.4}", r.throughput),
-                format!("{:.1}", r.avg_latency),
-                r.deadlocks.to_string(),
-                r.rescues.to_string(),
-            ]);
-            csv.push_str(&format!(
-                "{threshold},{load:.4},{:.6},{:.3},{},{}\n",
-                r.throughput, r.avg_latency, r.deadlocks, r.rescues
-            ));
+    for o in &report.outcomes {
+        let threshold = o.job.cfg.detect_threshold;
+        let load = o.job.load();
+        match &o.result {
+            Ok(r) => {
+                t.row(vec![
+                    threshold.to_string(),
+                    format!("{load:.2}"),
+                    format!("{:.4}", r.throughput),
+                    format!("{:.1}", r.avg_latency),
+                    r.deadlocks.to_string(),
+                    r.rescues.to_string(),
+                ]);
+                csv.push_str(&format!(
+                    "{threshold},{load:.4},{:.6},{:.3},{},{}\n",
+                    r.throughput, r.avg_latency, r.deadlocks, r.rescues
+                ));
+            }
+            Err(e) => eprintln!("ablation_threshold: {e}"),
         }
     }
     println!("Ablation A2 — PR detection time-out sensitivity (PAT271, 4 VCs)\n");
     print!("{}", t.render());
-    match write_results("ablation_threshold.csv", &csv) {
-        Ok(p) => println!("\nwrote {p}"),
-        Err(e) => eprintln!("could not write results: {e}"),
-    }
+    println!("{}", report.summary());
+    cli.write_reported("ablation_threshold.csv", &csv);
 }

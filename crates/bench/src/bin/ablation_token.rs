@@ -4,21 +4,33 @@
 //! recovery lane is scaled x1/x2/x4 to bound how much a slower (shared)
 //! path would cost PR.
 //!
-//! `cargo run -p mdd-bench --release --bin ablation_token [--smoke]`
+//! `cargo run -p mdd-bench --release --bin ablation_token [--smoke]
+//!  [--out DIR] [--jobs N] [--no-cache]`
 
-use mdd_bench::{write_results, RunScale};
-use mdd_core::{run_point, PatternSpec, Scheme, SimConfig};
+use mdd_bench::cli::BenchCli;
+use mdd_core::{PatternSpec, Scheme, SimConfig};
+use mdd_engine::Job;
 use mdd_stats::Table;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = if args.iter().any(|a| a == "--smoke") {
-        RunScale::smoke()
-    } else if args.iter().any(|a| a == "--fast") {
-        RunScale::fast()
-    } else {
-        RunScale::full()
-    };
+    let cli = BenchCli::parse();
+    let engine = cli.engine();
+    let mut jobs = Vec::new();
+    for hop in [1u64, 2, 4] {
+        for load in [0.30, 0.38] {
+            let cfg = SimConfig::builder()
+                .scheme(Scheme::ProgressiveRecovery)
+                .pattern(PatternSpec::pat271())
+                .vcs(4)
+                .token_hop(hop)
+                .lane_hop(hop)
+                .windows(cli.scale.warmup, cli.scale.measure)
+                .build()
+                .expect("PR always configurable");
+            jobs.push(Job::new(jobs.len(), format!("x{hop}"), cfg.at_load(load)));
+        }
+    }
+    let report = engine.run_jobs(jobs);
     let mut t = Table::new(vec![
         "hop cost",
         "load",
@@ -28,37 +40,29 @@ fn main() {
         "rescues",
     ]);
     let mut csv = String::from("hop,load,throughput,latency,detections,rescues\n");
-    for hop in [1u64, 2, 4] {
-        for load in [0.30, 0.38] {
-            let mut cfg = SimConfig::paper_default(
-                Scheme::ProgressiveRecovery,
-                PatternSpec::pat271(),
-                4,
-                0.0,
-            );
-            cfg.token_hop = hop;
-            cfg.lane_hop = hop;
-            cfg.warmup = scale.warmup;
-            cfg.measure = scale.measure;
-            let r = run_point(&cfg, load).expect("PR always configurable");
-            t.row(vec![
-                format!("x{hop}"),
-                format!("{load:.2}"),
-                format!("{:.4}", r.throughput),
-                format!("{:.1}", r.avg_latency),
-                r.deadlocks.to_string(),
-                r.rescues.to_string(),
-            ]);
-            csv.push_str(&format!(
-                "{hop},{load:.4},{:.6},{:.3},{},{}\n",
-                r.throughput, r.avg_latency, r.deadlocks, r.rescues
-            ));
+    for o in &report.outcomes {
+        let hop = o.job.cfg.token_hop;
+        let load = o.job.load();
+        match &o.result {
+            Ok(r) => {
+                t.row(vec![
+                    format!("x{hop}"),
+                    format!("{load:.2}"),
+                    format!("{:.4}", r.throughput),
+                    format!("{:.1}", r.avg_latency),
+                    r.deadlocks.to_string(),
+                    r.rescues.to_string(),
+                ]);
+                csv.push_str(&format!(
+                    "{hop},{load:.4},{:.6},{:.3},{},{}\n",
+                    r.throughput, r.avg_latency, r.deadlocks, r.rescues
+                ));
+            }
+            Err(e) => eprintln!("ablation_token: {e}"),
         }
     }
     println!("Ablation A3 — token/lane per-hop cost (PR, PAT271, 4 VCs)\n");
     print!("{}", t.render());
-    match write_results("ablation_token.csv", &csv) {
-        Ok(p) => println!("\nwrote {p}"),
-        Err(e) => eprintln!("could not write results: {e}"),
-    }
+    println!("{}", report.summary());
+    cli.write_reported("ablation_token.csv", &csv);
 }

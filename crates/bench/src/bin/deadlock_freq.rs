@@ -8,23 +8,28 @@
 //!   versus applied load for PR on PAT271 with 4 VCs (deadlocks appear
 //!   only beyond saturation, confirming \[7\]).
 //!
-//! `cargo run -p mdd-bench --release --bin deadlock_freq [--synthetic] [--smoke]`
+//! `cargo run -p mdd-bench --release --bin deadlock_freq [--synthetic]
+//!  [--smoke] [--out DIR] [--jobs N] [--no-cache]`
+//!
+//! Only the synthetic mode uses the result cache: the trace-driven mode
+//! drives the simulator with an application traffic source that is not
+//! captured by a `SimConfig`, so its points are not content-addressable.
 
-use mdd_bench::{bristling_characterization, synthetic_deadlock_frequency, write_results, RunScale};
+use mdd_bench::cli::BenchCli;
+use mdd_bench::{bristling_characterization, synthetic_deadlock_frequency_with};
 use mdd_stats::Table;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    if args.iter().any(|a| a == "--synthetic") {
-        synthetic(&args);
+    let cli = BenchCli::parse();
+    if cli.flag("--synthetic") {
+        synthetic(&cli);
     } else {
-        trace_driven(smoke);
+        trace_driven(&cli);
     }
 }
 
-fn trace_driven(smoke: bool) {
-    let horizon = if smoke { 15_000 } else { 80_000 };
+fn trace_driven(cli: &BenchCli) {
+    let horizon = if cli.smoke { 15_000 } else { 80_000 };
     let mut t = Table::new(vec!["configuration", "app", "mean load", "txns", "deadlocks"]);
     let mut csv = String::from("config,app,mean_load,txns,deadlocks\n");
     for (label, rows) in bristling_characterization(horizon) {
@@ -48,21 +53,11 @@ fn trace_driven(smoke: bool) {
         "\nPaper: no deadlock was observed for any application on any of \
          the three configurations."
     );
-    match write_results("deadlock_freq_trace.csv", &csv) {
-        Ok(p) => println!("\nwrote {p}"),
-        Err(e) => eprintln!("could not write results: {e}"),
-    }
+    cli.write_reported("deadlock_freq_trace.csv", &csv);
 }
 
-fn synthetic(args: &[String]) {
-    let scale = if args.iter().any(|a| a == "--smoke") {
-        RunScale::smoke()
-    } else if args.iter().any(|a| a == "--fast") {
-        RunScale::fast()
-    } else {
-        RunScale::full()
-    };
-    let results = synthetic_deadlock_frequency(scale);
+fn synthetic(cli: &BenchCli) {
+    let results = synthetic_deadlock_frequency_with(&cli.engine(), cli.scale);
     let mut t = Table::new(vec![
         "load",
         "throughput",
@@ -100,8 +95,5 @@ fn synthetic(args: &[String]) {
          deadlocks occur only once the network is driven into deep \
          saturation."
     );
-    match write_results("deadlock_freq_synthetic.csv", &csv) {
-        Ok(p) => println!("\nwrote {p}"),
-        Err(e) => eprintln!("could not write results: {e}"),
-    }
+    cli.write_reported("deadlock_freq_synthetic.csv", &csv);
 }

@@ -1,26 +1,18 @@
 //! Regenerate Figure 11: queue-organization ablation (QA) at 16 VCs on
 //! the 8x8 torus.
 //!
-//! `cargo run -p mdd-bench --release --bin fig11 [--smoke]`
+//! `cargo run -p mdd-bench --release --bin fig11 [--smoke] [--out DIR]
+//!  [--jobs N] [--no-cache] [--cache-dir DIR]`
 
-use mdd_bench::{figure11, write_results, RunScale};
+use mdd_bench::{cli::BenchCli, figure11_with};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = if args.iter().any(|a| a == "--smoke") {
-        RunScale::smoke()
-    } else if args.iter().any(|a| a == "--fast") {
-        RunScale::fast()
-    } else {
-        RunScale::full()
-    };
-    let fig = figure11(scale);
+    let cli = BenchCli::parse();
+    let fig = figure11_with(&cli.engine(), cli.scale);
     print!("{}", fig.render());
     println!();
     print!("{}", fig.render_plots());
     print!("{}", fig.render_summary());
-    match write_results("fig11.csv", &fig.to_csv()) {
-        Ok(p) => println!("\nwrote {p}"),
-        Err(e) => eprintln!("could not write results: {e}"),
-    }
+    println!("\n{}", fig.engine_summary());
+    cli.write_reported("fig11.csv", &fig.to_csv());
 }

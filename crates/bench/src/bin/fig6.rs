@@ -1,14 +1,18 @@
 //! Regenerate Figure 6: load-rate distributions of the four modelled
 //! Splash-2 applications on the 4x4 torus (16 processors, MSI directory).
 //!
-//! `cargo run -p mdd-bench --release --bin fig6 [--smoke]`
+//! `cargo run -p mdd-bench --release --bin fig6 [--smoke] [--out DIR]`
+//!
+//! Trace-driven characterization binaries drive the simulator with an
+//! application traffic source that is not captured by a `SimConfig`, so
+//! they share the CLI but not the result cache.
 
-use mdd_bench::{characterize_all, write_results};
+use mdd_bench::{characterize_all, cli::BenchCli};
 use mdd_stats::Table;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let horizon = if smoke { 20_000 } else { 120_000 };
+    let cli = BenchCli::parse();
+    let horizon = if cli.smoke { 20_000 } else { 120_000 };
     let rows = characterize_all(horizon);
 
     // Histogram table: fraction of execution time per load bucket.
@@ -42,8 +46,5 @@ fn main() {
          time;\nRadix up to 30% of capacity, under 5% for ~50% of the time, \
          mean 19.4%."
     );
-    match write_results("fig6.csv", &csv_rows) {
-        Ok(p) => println!("\nwrote {p}"),
-        Err(e) => eprintln!("could not write results: {e}"),
-    }
+    cli.write_reported("fig6.csv", &csv_rows);
 }

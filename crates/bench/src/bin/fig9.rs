@@ -1,26 +1,18 @@
 //! Regenerate Figure 9: BNF curves with 8 virtual channels per link on
 //! the 8x8 torus.
 //!
-//! `cargo run -p mdd-bench --release --bin fig9 [--smoke]`
+//! `cargo run -p mdd-bench --release --bin fig9 [--smoke] [--out DIR]
+//!  [--jobs N] [--no-cache] [--cache-dir DIR]`
 
-use mdd_bench::{figure9, write_results, RunScale};
+use mdd_bench::{cli::BenchCli, figure9_with};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = if args.iter().any(|a| a == "--smoke") {
-        RunScale::smoke()
-    } else if args.iter().any(|a| a == "--fast") {
-        RunScale::fast()
-    } else {
-        RunScale::full()
-    };
-    let fig = figure9(scale);
+    let cli = BenchCli::parse();
+    let fig = figure9_with(&cli.engine(), cli.scale);
     print!("{}", fig.render());
     println!();
     print!("{}", fig.render_plots());
     print!("{}", fig.render_summary());
-    match write_results("fig9.csv", &fig.to_csv()) {
-        Ok(p) => println!("\nwrote {p}"),
-        Err(e) => eprintln!("could not write results: {e}"),
-    }
+    println!("\n{}", fig.engine_summary());
+    cli.write_reported("fig9.csv", &fig.to_csv());
 }

@@ -24,6 +24,18 @@
 //! --plot                       render the ASCII BNF plot (sweep mode)
 //! ```
 //!
+//! Engine flags (shared with every bench binary):
+//!
+//! ```text
+//! --jobs N                     cap simulation worker threads
+//! --no-cache                   disable the persistent result cache
+//! --cache-dir DIR              cache location [results/cache]
+//! ```
+//!
+//! Points are served from the content-addressed result cache when an
+//! identical configuration was simulated before (by any binary sharing
+//! the cache directory); cache-served points carry no obs snapshot.
+//!
 //! Observability (either flag installs the global mdd-obs layer):
 //!
 //! ```text
@@ -37,11 +49,12 @@
 //!
 //! Counters are process-wide: with --sweep they aggregate every point of
 //! the sweep (which runs points in parallel), and the trace interleaves
-//! their events.
+//! their events. The engine's own progress counters (points_started,
+//! points_completed, points_cached, points_failed, point_wall_micros)
+//! appear in the same snapshot.
 
-use mdd_core::{
-    default_loads, run_curve, run_point, PatternSpec, QueueOrg, Scheme, SimConfig,
-};
+use mdd_bench::cli::BenchCli;
+use mdd_core::{default_loads, PatternSpec, QueueOrg, Scheme, SimConfig};
 use mdd_stats::{render_bnf, Table};
 use std::io::Write;
 
@@ -89,36 +102,13 @@ fn write_obs_outputs(counters_out: Option<&str>, trace_out: Option<&str>) {
     }
 }
 
-struct Args(Vec<String>);
-
-impl Args {
-    fn flag(&self, name: &str) -> bool {
-        self.0.iter().any(|a| a == name)
-    }
-    fn value(&self, name: &str) -> Option<&str> {
-        self.0
-            .iter()
-            .position(|a| a == name)
-            .and_then(|i| self.0.get(i + 1))
-            .map(String::as_str)
-    }
-    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
-        match self.value(name) {
-            None => default,
-            Some(v) => v
-                .parse()
-                .unwrap_or_else(|_| die(&format!("bad value for {name}: {v}"))),
-        }
-    }
-}
-
 fn main() {
-    let args = Args(std::env::args().skip(1).collect());
-    if args.flag("--help") || args.flag("-h") {
+    let cli = BenchCli::parse();
+    if cli.flag("--help") || cli.flag("-h") {
         println!("{}", include_str!("mddsim.rs").lines().take_while(|l| l.starts_with("//!")).map(|l| l.trim_start_matches("//!").trim_start()).filter(|l| !l.starts_with("```")).collect::<Vec<_>>().join("\n"));
         return;
     }
-    let scheme = match args.value("--scheme").unwrap_or("pr") {
+    let scheme = match cli.value("--scheme").unwrap_or("pr") {
         "sa" => Scheme::StrictAvoidance {
             shared_adaptive: false,
         },
@@ -129,7 +119,7 @@ fn main() {
         "pr" => Scheme::ProgressiveRecovery,
         other => die(&format!("unknown scheme {other}")),
     };
-    let pattern = match args.value("--pattern").unwrap_or("pat271") {
+    let pattern = match cli.value("--pattern").unwrap_or("pat271") {
         "pat100" => PatternSpec::pat100(),
         "pat721" => PatternSpec::pat721(),
         "pat451" => PatternSpec::pat451(),
@@ -137,33 +127,45 @@ fn main() {
         "pat280" => PatternSpec::pat280(),
         other => die(&format!("unknown pattern {other}")),
     };
-    let vcs: u8 = args.parse("--vcs", 4);
-    let load: f64 = args.parse("--load", 0.2);
-    let mut cfg = SimConfig::paper_default(scheme, pattern, vcs, load);
-    if let Some(radix) = args.value("--radix") {
-        cfg.radix = radix
+    let vcs: u8 = cli.parse_value("--vcs", 4);
+    let load: f64 = cli.parse_value("--load", 0.2);
+    let radix: Vec<u32> = match cli.value("--radix") {
+        None => vec![8, 8],
+        Some(s) => s
             .split('x')
             .map(|k| k.parse().unwrap_or_else(|_| die("bad --radix")))
-            .collect();
-    }
-    cfg.bristle = args.parse("--bristle", 1);
-    cfg.warmup = args.parse("--warmup", 10_000);
-    cfg.measure = args.parse("--measure", 30_000);
-    cfg.seed = args.parse("--seed", 0x5eed);
-    cfg.queue_org = match args.value("--queue-org") {
+            .collect(),
+    };
+    let queue_org = match cli.value("--queue-org") {
         None => None,
         Some("shared") => Some(QueueOrg::Shared),
         Some("pernet") => Some(QueueOrg::PerNetwork),
         Some("pertype") => Some(QueueOrg::PerType),
         Some(other) => die(&format!("unknown queue org {other}")),
     };
-    let counters_out = args.value("--counters-out").map(str::to_string);
-    let trace_out = args.value("--trace-out").map(str::to_string);
+    let cfg = SimConfig::builder()
+        .scheme(scheme)
+        .pattern(pattern)
+        .vcs(vcs)
+        .load(load)
+        .radix(&radix)
+        .bristle(cli.parse_value("--bristle", 1))
+        .windows(
+            cli.parse_value("--warmup", 10_000),
+            cli.parse_value("--measure", 30_000),
+        )
+        .seed(cli.parse_value("--seed", 0x5eed))
+        .queue_org(queue_org)
+        .build()
+        .unwrap_or_else(|e| die(&format!("infeasible configuration: {e}")));
+    let counters_out = cli.value("--counters-out").map(str::to_string);
+    let trace_out = cli.value("--trace-out").map(str::to_string);
     if counters_out.is_some() || trace_out.is_some() {
-        mdd_obs::install(args.parse("--trace-cap", 1 << 20));
+        mdd_obs::install(cli.parse_value("--trace-cap", 1 << 20));
     }
+    let engine = cli.engine();
 
-    if let Some(sweep) = args.value("--sweep") {
+    if let Some(sweep) = cli.value("--sweep") {
         let parts: Vec<&str> = sweep.split(':').collect();
         if parts.len() != 3 {
             die("--sweep wants LO:HI:N");
@@ -172,14 +174,14 @@ fn main() {
         let hi: f64 = parts[1].parse().unwrap_or_else(|_| die("bad sweep hi"));
         let n: usize = parts[2].parse().unwrap_or_else(|_| die("bad sweep n"));
         let loads = default_loads(lo, hi, n);
-        let (curve, results) = match run_curve(&cfg, &loads, scheme.label()) {
-            Ok(x) => x,
-            Err(e) => die(&format!("infeasible configuration: {e}")),
-        };
+        let report = engine.run_sweep(&cfg, &loads, scheme.label());
+        for err in report.errors() {
+            eprintln!("mddsim: {err}");
+        }
         let mut t = Table::new(vec![
             "load", "throughput", "latency", "txns", "deadlocks", "deflects", "rescues",
         ]);
-        for r in &results {
+        for r in report.results() {
             t.row(vec![
                 format!("{:.3}", r.applied_load),
                 format!("{:.4}", r.throughput),
@@ -191,23 +193,28 @@ fn main() {
             ]);
         }
         print!("{}", t.render());
-        if args.flag("--plot") {
+        let curve = report.curve(scheme.label());
+        if cli.flag("--plot") {
             println!();
             print!("{}", render_bnf(std::slice::from_ref(&curve), 64, 18));
         }
-        println!("\nsaturation throughput: {:.4}", curve.saturation_throughput());
+        println!("\n{}", report.summary());
+        println!("saturation throughput: {:.4}", curve.saturation_throughput());
     } else {
-        let r = match run_point(&cfg, load) {
+        let report = engine.run_sweep(&cfg, &[load], scheme.label());
+        let outcome = report.outcomes.first().expect("one job was scheduled");
+        let r = match &outcome.result {
             Ok(r) => r,
-            Err(e) => die(&format!("infeasible configuration: {e}")),
+            Err(e) => die(&format!("simulation failed: {e}")),
         };
         println!(
             "scheme {} | load {:.3} -> throughput {:.4} flits/node/cycle, \
-             latency {:.1} cycles",
+             latency {:.1} cycles{}",
             scheme.label(),
             r.applied_load,
             r.throughput,
-            r.avg_latency
+            r.avg_latency,
+            if outcome.from_cache { " (cached)" } else { "" }
         );
         println!(
             "transactions {} | messages {} | deadlocks {} | deflections {} | \

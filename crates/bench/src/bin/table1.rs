@@ -1,14 +1,18 @@
 //! Regenerate Table 1: types and frequencies of responses to request
 //! messages for the four modelled Splash-2 applications.
 //!
-//! `cargo run -p mdd-bench --release --bin table1 [--smoke]`
+//! `cargo run -p mdd-bench --release --bin table1 [--smoke] [--out DIR]`
+//!
+//! Trace-driven characterization binaries drive the simulator with an
+//! application traffic source that is not captured by a `SimConfig`, so
+//! they share the CLI but not the result cache.
 
-use mdd_bench::{characterize_all, write_results};
+use mdd_bench::{characterize_all, cli::BenchCli};
 use mdd_stats::Table;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let horizon = if smoke { 20_000 } else { 120_000 };
+    let cli = BenchCli::parse();
+    let horizon = if cli.smoke { 20_000 } else { 120_000 };
     let rows = characterize_all(horizon);
 
     let paper = [
@@ -43,8 +47,5 @@ fn main() {
     }
     println!("Table 1 — response types to request messages\n");
     print!("{}", t.render());
-    match write_results("table1.csv", &csv) {
-        Ok(p) => println!("\nwrote {p}"),
-        Err(e) => eprintln!("could not write results: {e}"),
-    }
+    cli.write_reported("table1.csv", &csv);
 }

@@ -4,31 +4,19 @@
 //! evenly. Reports mean/max per-VC utilization and the coefficient of
 //! variation for each scheme across VC counts.
 //!
-//! `cargo run -p mdd-bench --release --bin utilization [--smoke]`
+//! `cargo run -p mdd-bench --release --bin utilization [--smoke]
+//!  [--out DIR] [--jobs N] [--no-cache]`
 
-use mdd_bench::{write_results, RunScale};
-use mdd_core::{run_point, PatternSpec, Scheme, SimConfig};
+use mdd_bench::cli::BenchCli;
+use mdd_core::{PatternSpec, Scheme, SimConfig};
+use mdd_engine::Job;
 use mdd_stats::Table;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = if args.iter().any(|a| a == "--smoke") {
-        RunScale::smoke()
-    } else if args.iter().any(|a| a == "--fast") {
-        RunScale::fast()
-    } else {
-        RunScale::full()
-    };
+    let cli = BenchCli::parse();
+    let engine = cli.engine();
     let load = 0.25; // below every scheme's saturation: equal delivered load
-    let mut t = Table::new(vec![
-        "vcs",
-        "scheme",
-        "throughput",
-        "vc util mean",
-        "vc util max",
-        "imbalance (CV)",
-    ]);
-    let mut csv = String::from("vcs,scheme,throughput,util_mean,util_max,util_cv\n");
+    let mut jobs = Vec::new();
     for vcs in [8u8, 16] {
         for (label, scheme) in [
             (
@@ -46,22 +34,45 @@ fn main() {
             ("DR", Scheme::DeflectiveRecovery),
             ("PR", Scheme::ProgressiveRecovery),
         ] {
-            let mut cfg = SimConfig::paper_default(scheme, PatternSpec::pat721(), vcs, 0.0);
-            cfg.warmup = scale.warmup;
-            cfg.measure = scale.measure;
-            let r = run_point(&cfg, load).expect("feasible at 8+ VCs");
-            t.row(vec![
-                vcs.to_string(),
-                label.to_string(),
-                format!("{:.4}", r.throughput),
-                format!("{:.4}", r.vc_util_mean),
-                format!("{:.4}", r.vc_util_max),
-                format!("{:.3}", r.vc_util_cv),
-            ]);
-            csv.push_str(&format!(
-                "{vcs},{label},{:.6},{:.6},{:.6},{:.6}\n",
-                r.throughput, r.vc_util_mean, r.vc_util_max, r.vc_util_cv
-            ));
+            let cfg = SimConfig::builder()
+                .scheme(scheme)
+                .pattern(PatternSpec::pat721())
+                .vcs(vcs)
+                .windows(cli.scale.warmup, cli.scale.measure)
+                .build()
+                .expect("feasible at 8+ VCs");
+            jobs.push(Job::new(jobs.len(), label, cfg.at_load(load)));
+        }
+    }
+    let report = engine.run_jobs(jobs);
+    let mut t = Table::new(vec![
+        "vcs",
+        "scheme",
+        "throughput",
+        "vc util mean",
+        "vc util max",
+        "imbalance (CV)",
+    ]);
+    let mut csv = String::from("vcs,scheme,throughput,util_mean,util_max,util_cv\n");
+    for o in &report.outcomes {
+        let vcs = o.job.cfg.vcs;
+        let label = &o.job.label;
+        match &o.result {
+            Ok(r) => {
+                t.row(vec![
+                    vcs.to_string(),
+                    label.to_string(),
+                    format!("{:.4}", r.throughput),
+                    format!("{:.4}", r.vc_util_mean),
+                    format!("{:.4}", r.vc_util_max),
+                    format!("{:.3}", r.vc_util_cv),
+                ]);
+                csv.push_str(&format!(
+                    "{vcs},{label},{:.6},{:.6},{:.6},{:.6}\n",
+                    r.throughput, r.vc_util_mean, r.vc_util_max, r.vc_util_cv
+                ));
+            }
+            Err(e) => eprintln!("utilization: {e}"),
         }
     }
     println!(
@@ -73,8 +84,6 @@ fn main() {
         "\nHigher CV = more unbalanced channel usage. The paper attributes \
          SA's early\nsaturation to exactly this imbalance (Section 4.3.2)."
     );
-    match write_results("utilization.csv", &csv) {
-        Ok(p) => println!("\nwrote {p}"),
-        Err(e) => eprintln!("could not write results: {e}"),
-    }
+    println!("{}", report.summary());
+    cli.write_reported("utilization.csv", &csv);
 }

@@ -1,0 +1,149 @@
+//! Shared command-line handling for the experiment binaries.
+//!
+//! Every binary in `src/bin/` accepts the same base flags:
+//!
+//! ```text
+//! --smoke            smallest scale (smoke-test windows, 3 load points)
+//! --fast             reduced scale for constrained machines
+//! --out DIR          results directory [results]
+//! --jobs N           cap simulation worker threads [machine parallelism]
+//! --no-cache         disable the persistent result cache
+//! --cache-dir DIR    cache location [<out>/cache]
+//! ```
+//!
+//! plus binary-specific flags reachable through [`BenchCli::flag`] /
+//! [`BenchCli::value`] / [`BenchCli::parse_value`]. [`BenchCli::engine`]
+//! turns the cache/jobs flags into a configured [`Engine`].
+
+use crate::experiments::{write_results_in, RunScale};
+use mdd_engine::Engine;
+use std::path::PathBuf;
+
+/// Parsed common flags plus the raw argument list for per-binary extras.
+#[derive(Clone, Debug)]
+pub struct BenchCli {
+    args: Vec<String>,
+    /// Experiment scale selected by `--smoke` / `--fast` (full otherwise).
+    pub scale: RunScale,
+    /// True when `--smoke` was given (some characterization binaries use
+    /// a horizon rather than a [`RunScale`]).
+    pub smoke: bool,
+    /// Results directory (`--out`, default `results`).
+    pub out_dir: PathBuf,
+    /// Worker-thread cap (`--jobs`, `0` = machine parallelism).
+    pub jobs: usize,
+    /// True when `--no-cache` was given.
+    pub no_cache: bool,
+    /// Result-cache directory (`--cache-dir`, default `<out>/cache`).
+    pub cache_dir: PathBuf,
+}
+
+impl BenchCli {
+    /// Parse the process arguments.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1).collect())
+    }
+
+    /// Parse an explicit argument list (for tests).
+    pub fn from_args(args: Vec<String>) -> Self {
+        let flag = |name: &str| args.iter().any(|a| a == name);
+        let value = |name: &str| {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+        };
+        let smoke = flag("--smoke");
+        let scale = if smoke {
+            RunScale::smoke()
+        } else if flag("--fast") {
+            RunScale::fast()
+        } else {
+            RunScale::full()
+        };
+        let out_dir = PathBuf::from(value("--out").unwrap_or_else(|| "results".into()));
+        let jobs = value("--jobs")
+            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("bad --jobs: {v}"))))
+            .unwrap_or(0);
+        let cache_dir = value("--cache-dir")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| out_dir.join("cache"));
+        BenchCli {
+            smoke,
+            scale,
+            out_dir,
+            jobs,
+            no_cache: flag("--no-cache"),
+            cache_dir,
+            args,
+        }
+    }
+
+    /// True when the bare flag `name` is present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    /// The argument following `name`, if any.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// Parse the argument following `name`, exiting with a message on a
+    /// malformed value; `default` when absent.
+    pub fn parse_value<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.value(name) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| die(&format!("bad value for {name}: {v}"))),
+        }
+    }
+
+    /// An [`Engine`] honoring `--jobs`, `--no-cache` and `--cache-dir`.
+    /// A cache that cannot be opened degrades to uncached with a warning
+    /// rather than aborting the experiment.
+    pub fn engine(&self) -> Engine {
+        if self.jobs > 0 {
+            Engine::set_jobs(self.jobs);
+        }
+        if self.no_cache {
+            return Engine::new();
+        }
+        match Engine::with_cache_dir(&self.cache_dir) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!(
+                    "warning: cannot open result cache at {}: {e}; running uncached",
+                    self.cache_dir.display()
+                );
+                Engine::new()
+            }
+        }
+    }
+
+    /// Write `contents` under the selected results directory, returning
+    /// the path written.
+    pub fn write(&self, name: &str, contents: &str) -> std::io::Result<String> {
+        write_results_in(&self.out_dir, name, contents)
+    }
+
+    /// Write a result file and report it on stdout/stderr (the shared
+    /// tail of every binary's `main`).
+    pub fn write_reported(&self, name: &str, contents: &str) {
+        match self.write(name, contents) {
+            Ok(p) => println!("\nwrote {p}"),
+            Err(e) => eprintln!("could not write results: {e}"),
+        }
+    }
+}
+
+/// Exit with an argument-error message (status 2, like the classic CLIs).
+pub fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}

@@ -1,9 +1,8 @@
 //! Per-experiment drivers (see DESIGN.md §4 for the experiment index).
 
 use mdd_coherence::{CoherenceEngine, CoherentTraffic};
-use mdd_core::{
-    run_curve, BnfCurve, PatternSpec, QueueOrg, Scheme, SimConfig, SimResult, Simulator,
-};
+use mdd_core::{BnfCurve, PatternSpec, QueueOrg, Scheme, SimConfig, SimResult, Simulator};
+use mdd_engine::Engine;
 use mdd_stats::{Histogram, Table};
 use mdd_traffic::AppModel;
 use std::io::Write as _;
@@ -82,6 +81,13 @@ pub struct FigureResult {
     pub id: &'static str,
     /// `(pattern name, curves)` per panel.
     pub panels: Vec<(String, Vec<BnfCurve>)>,
+    /// Points freshly simulated while producing this figure.
+    pub points_simulated: u64,
+    /// Points served from the persistent result cache.
+    pub points_cached: u64,
+    /// Points that failed (reported, not fatal — curves are assembled
+    /// from the surviving points).
+    pub points_failed: u64,
 }
 
 impl FigureResult {
@@ -135,6 +141,19 @@ impl FigureResult {
         out
     }
 
+    /// One-line account of where the points came from, e.g.
+    /// `fig8: 27 points simulated, 0 cached`.
+    pub fn engine_summary(&self) -> String {
+        let mut s = format!(
+            "{}: {} points simulated, {} cached",
+            self.id, self.points_simulated, self.points_cached
+        );
+        if self.points_failed > 0 {
+            s.push_str(&format!(", {} FAILED", self.points_failed));
+        }
+        s
+    }
+
     /// CSV of every point.
     pub fn to_csv(&self) -> String {
         let mut t = Table::new(vec![
@@ -159,41 +178,67 @@ impl FigureResult {
     }
 }
 
-/// Run one figure panel set: for each pattern, each applicable scheme is
-/// swept over `loads(max_load)`.
+/// Run one figure panel set through `engine`: for each pattern, each
+/// applicable scheme is swept over `loads(max_load)`. Infeasible
+/// combinations are omitted at build time (as the paper omits them from
+/// the figures); points that fail mid-sweep are reported and the curve
+/// is assembled from the survivors.
 fn run_figure(
+    engine: &Engine,
     id: &'static str,
     vcs: u8,
     panels: &[(&PatternSpec, Vec<SchemeEntry>, f64)],
     scale: RunScale,
 ) -> FigureResult {
     let mut out = Vec::new();
+    let (mut simulated, mut cached, mut failed) = (0u64, 0u64, 0u64);
     for (pattern, entries, max_load) in panels {
         let loads = mdd_core::default_loads(0.05, *max_load, scale.load_points);
         let mut curves = Vec::new();
         for e in entries {
-            let mut cfg = SimConfig::paper_default(e.scheme, (*pattern).clone(), vcs, 0.0);
-            cfg.queue_org = e.org;
-            cfg.warmup = scale.warmup;
-            cfg.measure = scale.measure;
-            match run_curve(&cfg, &loads, e.label) {
-                Ok((curve, _)) => curves.push(curve),
+            let cfg = match SimConfig::builder()
+                .scheme(e.scheme)
+                .pattern((*pattern).clone())
+                .vcs(vcs)
+                .queue_org(e.org)
+                .windows(scale.warmup, scale.measure)
+                .build()
+            {
+                Ok(cfg) => cfg,
                 Err(err) => {
-                    // Infeasible combinations are silently omitted, as the
-                    // paper omits them from the figures.
                     eprintln!("{id}: skipping {} on {}: {err}", e.label, pattern.name());
+                    continue;
                 }
+            };
+            let report = engine.run_sweep(&cfg, &loads, e.label);
+            for err in report.errors() {
+                eprintln!("{id}: {err}");
             }
+            simulated += report.simulated();
+            cached += report.cached();
+            failed += report.failed();
+            curves.push(report.curve(e.label));
         }
         out.push((pattern.name().to_string(), curves));
     }
-    FigureResult { id, panels: out }
+    FigureResult {
+        id,
+        panels: out,
+        points_simulated: simulated,
+        points_cached: cached,
+        points_failed: failed,
+    }
 }
 
 /// Figure 8: 4 virtual channels. SA appears only for PAT100 (it needs
 /// `E_m = 8` channels for chain length 4); DR appears for every pattern
 /// except PAT100 (two types make DR collapse onto SA).
 pub fn figure8(scale: RunScale) -> FigureResult {
+    figure8_with(&Engine::new(), scale)
+}
+
+/// [`figure8`] through a caller-configured engine (cache, `--jobs`).
+pub fn figure8_with(engine: &Engine, scale: RunScale) -> FigureResult {
     let p100 = PatternSpec::pat100();
     let p721 = PatternSpec::pat721();
     let p451 = PatternSpec::pat451();
@@ -208,11 +253,16 @@ pub fn figure8(scale: RunScale) -> FigureResult {
         (&p271, vec![dr, pr], 0.42),
         (&p280, vec![dr, pr], 0.42),
     ];
-    run_figure("fig8", 4, &panels, scale)
+    run_figure(engine, "fig8", 4, &panels, scale)
 }
 
 /// Figure 9: 8 virtual channels — SA becomes feasible everywhere.
 pub fn figure9(scale: RunScale) -> FigureResult {
+    figure9_with(&Engine::new(), scale)
+}
+
+/// [`figure9`] through a caller-configured engine (cache, `--jobs`).
+pub fn figure9_with(engine: &Engine, scale: RunScale) -> FigureResult {
     let p100 = PatternSpec::pat100();
     let p721 = PatternSpec::pat721();
     let p451 = PatternSpec::pat451();
@@ -228,11 +278,16 @@ pub fn figure9(scale: RunScale) -> FigureResult {
         (&p271, vec![sa, dr, pr], 0.45),
         (&p280, vec![sa, dr, pr], 0.45),
     ];
-    run_figure("fig9", 8, &panels, scale)
+    run_figure(engine, "fig9", 8, &panels, scale)
 }
 
 /// Figure 10: 16 virtual channels, the four multi-type patterns.
 pub fn figure10(scale: RunScale) -> FigureResult {
+    figure10_with(&Engine::new(), scale)
+}
+
+/// [`figure10`] through a caller-configured engine (cache, `--jobs`).
+pub fn figure10_with(engine: &Engine, scale: RunScale) -> FigureResult {
     let p721 = PatternSpec::pat721();
     let p451 = PatternSpec::pat451();
     let p271 = PatternSpec::pat271();
@@ -246,13 +301,18 @@ pub fn figure10(scale: RunScale) -> FigureResult {
         (&p271, vec![sa, dr, pr], 0.50),
         (&p280, vec![sa, dr, pr], 0.50),
     ];
-    run_figure("fig10", 16, &panels, scale)
+    run_figure(engine, "fig10", 16, &panels, scale)
 }
 
 /// Figure 11: message-buffer organization ablation at 16 VCs on PAT271 —
 /// DR and PR with their default (shared-ish) queues versus per-type "QA"
 /// queues, against SA.
 pub fn figure11(scale: RunScale) -> FigureResult {
+    figure11_with(&Engine::new(), scale)
+}
+
+/// [`figure11`] through a caller-configured engine (cache, `--jobs`).
+pub fn figure11_with(engine: &Engine, scale: RunScale) -> FigureResult {
     let p271 = PatternSpec::pat271();
     let panels = vec![(
         &p271,
@@ -273,7 +333,7 @@ pub fn figure11(scale: RunScale) -> FigureResult {
         ],
         0.50,
     )];
-    run_figure("fig11", 16, &panels, scale)
+    run_figure(engine, "fig11", 16, &panels, scale)
 }
 
 /// One application's characterization results (Figure 6 + Table 1 row +
@@ -383,33 +443,45 @@ pub fn bristling_characterization(horizon: u64) -> Vec<(String, Vec<AppCharacter
 /// 4 VCs): the normalized number of deadlocks stays ~0 until deep
 /// saturation.
 pub fn synthetic_deadlock_frequency(scale: RunScale) -> Vec<SimResult> {
-    let loads = mdd_core::default_loads(0.05, 0.50, scale.load_points.max(6));
-    loads
-        .iter()
-        .map(|&l| {
-            let mut cfg = SimConfig::paper_default(
-                Scheme::ProgressiveRecovery,
-                PatternSpec::pat271(),
-                4,
-                0.0,
-            );
-            cfg.warmup = scale.warmup;
-            cfg.measure = scale.measure;
-            // Cross-check the threshold detector against the CWG oracle
-            // every 50 cycles, as FlexSim does (Section 4.1).
-            cfg.cwg_interval = Some(50);
-            mdd_core::run_point(&cfg, l).expect("PR always configurable")
-        })
-        .collect()
+    synthetic_deadlock_frequency_with(&Engine::new(), scale)
 }
 
-/// Write `contents` under `results/` (created on demand), returning the
-/// path written.
-pub fn write_results(name: &str, contents: &str) -> std::io::Result<String> {
-    let dir = Path::new("results");
+/// [`synthetic_deadlock_frequency`] through a caller-configured engine.
+pub fn synthetic_deadlock_frequency_with(engine: &Engine, scale: RunScale) -> Vec<SimResult> {
+    let loads = mdd_core::default_loads(0.05, 0.50, scale.load_points.max(6));
+    let cfg = SimConfig::builder()
+        .scheme(Scheme::ProgressiveRecovery)
+        .pattern(PatternSpec::pat271())
+        .vcs(4)
+        .windows(scale.warmup, scale.measure)
+        // Cross-check the threshold detector against the CWG oracle
+        // every 50 cycles, as FlexSim does (Section 4.1).
+        .cwg_interval(Some(50))
+        .build()
+        .expect("PR always configurable");
+    let report = engine.run_sweep(&cfg, &loads, "PR");
+    for err in report.errors() {
+        eprintln!("deadlock_freq: {err}");
+    }
+    report.into_results()
+}
+
+/// Write `contents` under `dir` (created on demand), returning the path
+/// written.
+pub fn write_results_in(
+    dir: impl AsRef<Path>,
+    name: &str,
+    contents: &str,
+) -> std::io::Result<String> {
+    let dir = dir.as_ref();
     std::fs::create_dir_all(dir)?;
     let path = dir.join(name);
     let mut f = std::fs::File::create(&path)?;
     f.write_all(contents.as_bytes())?;
     Ok(path.display().to_string())
+}
+
+/// Write `contents` under the default `results/` directory.
+pub fn write_results(name: &str, contents: &str) -> std::io::Result<String> {
+    write_results_in("results", name, contents)
 }

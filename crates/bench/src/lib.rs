@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod experiments;
 
 pub use experiments::*;

@@ -1,0 +1,316 @@
+//! Validated construction of [`SimConfig`]: the builder and its errors.
+//!
+//! Historically every harness filled the bare `SimConfig` struct by
+//! literal and the first sign of an invalid combination was a panic deep
+//! inside the simulator. The builder moves that to construction time:
+//! [`SimConfigBuilder::build`] returns `Result<SimConfig, ConfigError>`,
+//! running every structural check plus the scheme feasibility probe (the
+//! same `VcMap` construction [`Simulator::new`] performs), so an invalid
+//! configuration never reaches a sweep. The struct fields stay public for
+//! back-compatibility; [`SimConfig::validate`] applies the same checks to
+//! a hand-filled struct.
+//!
+//! [`Simulator::new`]: crate::Simulator::new
+
+use crate::config::SimConfig;
+use mdd_protocol::{PatternSpec, QueueOrg};
+use mdd_routing::{Scheme, SchemeConfigError, VcMap};
+use mdd_traffic::DestPattern;
+use std::sync::Arc;
+
+/// Why a [`SimConfig`] cannot describe a runnable simulation.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ConfigError {
+    /// The radix vector is empty (a network needs at least one dimension).
+    EmptyRadix,
+    /// A per-dimension radix below 2 (dimension index, offending value).
+    RadixTooSmall {
+        /// Which dimension.
+        dim: usize,
+        /// The radix given for it.
+        radix: u32,
+    },
+    /// Zero NICs per router.
+    ZeroBristle,
+    /// Zero virtual channels per physical link.
+    ZeroVirtualChannels,
+    /// Zero flit buffers per virtual channel.
+    ZeroFlitBuffers,
+    /// Zero-capacity endpoint message queues.
+    ZeroQueueCapacity,
+    /// Zero outstanding-transaction (MSHR) limit — no node could ever
+    /// issue a request.
+    ZeroMshrLimit,
+    /// Zero endpoint detection time-out: the detector would declare every
+    /// waiting message deadlocked on its first blocked cycle.
+    ZeroDetectThreshold,
+    /// Applied load is negative, NaN or infinite.
+    InvalidLoad {
+        /// The offending value.
+        load: f64,
+    },
+    /// The scheme cannot be configured with the requested virtual
+    /// channels for this protocol/topology (the paper's infeasible
+    /// figure cells, e.g. SA on a chain-4 protocol with 4 VCs).
+    Scheme(SchemeConfigError),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::EmptyRadix => write!(f, "radix vector is empty"),
+            ConfigError::RadixTooSmall { dim, radix } => {
+                write!(f, "radix {radix} in dimension {dim} (minimum is 2)")
+            }
+            ConfigError::ZeroBristle => write!(f, "bristle factor must be at least 1"),
+            ConfigError::ZeroVirtualChannels => write!(f, "at least 1 virtual channel required"),
+            ConfigError::ZeroFlitBuffers => write!(f, "at least 1 flit buffer per VC required"),
+            ConfigError::ZeroQueueCapacity => write!(f, "endpoint queue capacity must be nonzero"),
+            ConfigError::ZeroMshrLimit => write!(f, "MSHR limit must be nonzero"),
+            ConfigError::ZeroDetectThreshold => {
+                write!(f, "detection time-out must be at least 1 cycle")
+            }
+            ConfigError::InvalidLoad { load } => {
+                write!(f, "applied load {load} is not a finite non-negative number")
+            }
+            ConfigError::Scheme(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Scheme(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SchemeConfigError> for ConfigError {
+    fn from(e: SchemeConfigError) -> Self {
+        ConfigError::Scheme(e)
+    }
+}
+
+impl SimConfig {
+    /// Check every structural invariant plus scheme feasibility (the same
+    /// `VcMap` probe the simulator constructor runs), without building a
+    /// network. `Ok(())` guarantees [`Simulator::new`] will not fail on
+    /// this configuration.
+    ///
+    /// [`Simulator::new`]: crate::Simulator::new
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.radix.is_empty() {
+            return Err(ConfigError::EmptyRadix);
+        }
+        if let Some((dim, &radix)) = self.radix.iter().enumerate().find(|(_, &k)| k < 2) {
+            return Err(ConfigError::RadixTooSmall { dim, radix });
+        }
+        if self.bristle == 0 {
+            return Err(ConfigError::ZeroBristle);
+        }
+        if self.vcs == 0 {
+            return Err(ConfigError::ZeroVirtualChannels);
+        }
+        if self.flit_buf == 0 {
+            return Err(ConfigError::ZeroFlitBuffers);
+        }
+        if self.queue_capacity == 0 {
+            return Err(ConfigError::ZeroQueueCapacity);
+        }
+        if self.mshr_limit == 0 {
+            return Err(ConfigError::ZeroMshrLimit);
+        }
+        if self.detect_threshold == 0 {
+            return Err(ConfigError::ZeroDetectThreshold);
+        }
+        if !self.load.is_finite() || self.load < 0.0 {
+            return Err(ConfigError::InvalidLoad { load: self.load });
+        }
+        let escape = if self.mesh { 1 } else { 2 };
+        VcMap::build(self.scheme, self.pattern.protocol(), self.vcs, escape)?;
+        Ok(())
+    }
+
+    /// Start a builder seeded with the paper's Table 2 defaults
+    /// (progressive recovery, PAT271, 4 VCs, zero applied load). Every
+    /// field has a setter; [`SimConfigBuilder::build`] validates the
+    /// result.
+    ///
+    /// ```
+    /// use mdd_core::{Scheme, PatternSpec, SimConfig};
+    ///
+    /// let cfg = SimConfig::builder()
+    ///     .scheme(Scheme::DeflectiveRecovery)
+    ///     .pattern(PatternSpec::pat721())
+    ///     .vcs(8)
+    ///     .load(0.30)
+    ///     .build()
+    ///     .expect("feasible configuration");
+    /// assert_eq!(cfg.vcs, 8);
+    ///
+    /// // SA needs E_m * 2 = 8 VCs for a chain-4 protocol on a torus:
+    /// let err = SimConfig::builder()
+    ///     .scheme(Scheme::StrictAvoidance { shared_adaptive: false })
+    ///     .pattern(PatternSpec::pat721())
+    ///     .vcs(4)
+    ///     .build()
+    ///     .unwrap_err();
+    /// assert!(err.to_string().contains("virtual channels"));
+    /// ```
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder {
+            cfg: SimConfig::paper_default(
+                Scheme::ProgressiveRecovery,
+                PatternSpec::pat271(),
+                4,
+                0.0,
+            ),
+        }
+    }
+}
+
+/// Builder for [`SimConfig`] with validate-at-build semantics; obtained
+/// from [`SimConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+macro_rules! setter {
+    ($(#[$doc:meta])* $name:ident: $ty:ty) => {
+        $(#[$doc])*
+        pub fn $name(mut self, $name: $ty) -> Self {
+            self.cfg.$name = $name;
+            self
+        }
+    };
+}
+
+impl SimConfigBuilder {
+    /// The deadlock-handling scheme.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.cfg.scheme = scheme;
+        self
+    }
+
+    /// The transaction pattern (protocol + chain-length mix).
+    pub fn pattern(mut self, pattern: PatternSpec) -> Self {
+        self.cfg.pattern = Arc::new(pattern);
+        self
+    }
+
+    /// The transaction pattern, shared.
+    pub fn pattern_arc(mut self, pattern: Arc<PatternSpec>) -> Self {
+        self.cfg.pattern = pattern;
+        self
+    }
+
+    /// Per-dimension radices of the k-ary n-cube.
+    pub fn radix(mut self, radix: &[u32]) -> Self {
+        self.cfg.radix = radix.to_vec();
+        self
+    }
+
+    /// Queue-organization override (`None` = scheme default).
+    pub fn queue_org(mut self, org: Option<QueueOrg>) -> Self {
+        self.cfg.queue_org = org;
+        self
+    }
+
+    setter!(
+        /// Mesh instead of torus.
+        mesh: bool
+    );
+    setter!(
+        /// NICs per router (bristling factor).
+        bristle: u32
+    );
+    setter!(
+        /// Virtual channels per physical link.
+        vcs: u8
+    );
+    setter!(
+        /// Flit buffers per virtual channel.
+        flit_buf: u32
+    );
+    setter!(
+        /// Endpoint message-queue capacity in messages.
+        queue_capacity: u32
+    );
+    setter!(
+        /// Memory-controller service time in cycles.
+        service_time: u64
+    );
+    setter!(
+        /// Outstanding-transaction limit per node.
+        mshr_limit: u32
+    );
+    setter!(
+        /// Endpoint detection time-out `T` in cycles.
+        detect_threshold: u64
+    );
+    setter!(
+        /// Router-side blocked-head time-out before Disha token capture.
+        router_block_threshold: u64
+    );
+    setter!(
+        /// Cycles per token tour hop.
+        token_hop: u64
+    );
+    setter!(
+        /// Cycles per recovery-lane ring hop.
+        lane_hop: u64
+    );
+    setter!(
+        /// Destination pattern for original requests.
+        dest: DestPattern
+    );
+    setter!(
+        /// RNG seed.
+        seed: u64
+    );
+    setter!(
+        /// Warm-up cycles excluded from measurement.
+        warmup: u64
+    );
+    setter!(
+        /// Measured cycles.
+        measure: u64
+    );
+    setter!(
+        /// Applied load in flits/node/cycle.
+        load: f64
+    );
+    setter!(
+        /// CWG oracle period (`None` disables the oracle).
+        cwg_interval: Option<u64>
+    );
+    setter!(
+        /// Observability gauge-sampling period.
+        obs_sample_every: u64
+    );
+
+    /// Set both simulation windows (warmup, then measured cycles) in one
+    /// call.
+    pub fn windows(mut self, warmup: u64, measure: u64) -> Self {
+        self.cfg.warmup = warmup;
+        self.cfg.measure = measure;
+        self
+    }
+
+    /// Validate and produce the configuration. `Ok` guarantees the
+    /// simulator constructor will accept it.
+    pub fn build(self) -> Result<SimConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+
+    /// The configuration as currently set, *without* validation — for
+    /// callers that deliberately construct infeasible configurations
+    /// (e.g. tests of the error paths).
+    pub fn build_unchecked(self) -> SimConfig {
+        self.cfg
+    }
+}

@@ -111,6 +111,21 @@ impl SimConfig {
         cfg
     }
 
+    /// The per-point configuration of a load sweep: `self` at `load`,
+    /// with the seed decorrelated across points while staying a pure
+    /// function of `(self.seed, load)` so re-runs reproduce bit-identical
+    /// points (this derivation is what the sweep runner and the
+    /// `mdd-engine` cache key both use).
+    pub fn at_load(&self, load: f64) -> SimConfig {
+        let mut cfg = self.clone();
+        cfg.load = load;
+        cfg.seed = self
+            .seed
+            .wrapping_add((load * 1e6) as u64)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        cfg
+    }
+
     /// The effective queue organization (override or scheme default).
     pub fn effective_queue_org(&self) -> QueueOrg {
         self.queue_org.unwrap_or(self.scheme.default_queue_org())

@@ -22,6 +22,8 @@
 
 #![warn(missing_docs)]
 
+mod builder;
+mod canon;
 mod config;
 mod endpoint;
 mod recovery;
@@ -29,10 +31,13 @@ mod sim;
 mod sweep;
 mod validate;
 
+pub use builder::{ConfigError, SimConfigBuilder};
 pub use config::{SimConfig, SimResult};
 pub use recovery::{EpisodeOrigin, EpisodeRecord, PrRecovery};
 pub use sim::Simulator;
-pub use sweep::{default_loads, run_curve, run_point};
+#[allow(deprecated)]
+pub use sweep::run_curve;
+pub use sweep::{default_loads, run_curve_checked, run_point};
 pub use validate::build_waitfor_graph;
 
 // Re-export the pieces callers need to assemble configurations, so that

@@ -2,6 +2,13 @@
 //!
 //! Each sweep point is an independent simulation, so points run in
 //! parallel with rayon (the justification recorded in DESIGN.md §7).
+//!
+//! Two entry points remain here for direct library use:
+//! [`run_point`] for one configuration at one load, and
+//! [`run_curve_checked`] for a sweep with per-point error propagation.
+//! Figure harnesses should prefer the `mdd-engine` crate, which adds
+//! per-point panic isolation, a persistent result cache and progress
+//! counters on top of the same primitives.
 
 use crate::config::{SimConfig, SimResult};
 use crate::sim::Simulator;
@@ -18,21 +25,42 @@ pub fn default_loads(lo: f64, hi: f64, n: usize) -> Vec<f64> {
         .collect()
 }
 
-/// Run one configuration at one load.
+/// Run one configuration at one load (seed decorrelated per point via
+/// [`SimConfig::at_load`]).
 pub fn run_point(base: &SimConfig, load: f64) -> Result<SimResult, SchemeConfigError> {
-    let mut cfg = base.clone();
-    cfg.load = load;
-    // Decorrelate seeds across points while keeping the run reproducible.
-    cfg.seed = base
-        .seed
-        .wrapping_add((load * 1e6) as u64)
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    let mut sim = Simulator::new(cfg)?;
+    let mut sim = Simulator::new(base.at_load(load))?;
     Ok(sim.run())
+}
+
+/// Sweep `loads` in parallel, propagating every point's outcome: the
+/// returned vector has one `Result` per requested load, in load order,
+/// and the curve is assembled from the successful points only. A point
+/// that fails (an infeasible scheme configuration) does not disturb the
+/// others — callers decide whether a partial curve is acceptable.
+pub fn run_curve_checked(
+    base: &SimConfig,
+    loads: &[f64],
+    label: &str,
+) -> (BnfCurve, Vec<Result<SimResult, SchemeConfigError>>) {
+    let results: Vec<Result<SimResult, SchemeConfigError>> =
+        loads.par_iter().map(|&l| run_point(base, l)).collect();
+    let curve = BnfCurve::assemble(
+        label,
+        results
+            .iter()
+            .filter_map(|r| r.as_ref().ok().map(SimResult::bnf_point)),
+    );
+    (curve, results)
 }
 
 /// Sweep `loads` (in parallel) and assemble the labelled BNF curve.
 /// Returns the curve plus the raw per-point results.
+#[deprecated(
+    since = "0.1.0",
+    note = "panics if any individual point fails after the up-front probe; \
+            use run_curve_checked for per-point Results, or the mdd-engine \
+            crate for panic isolation and caching"
+)]
 pub fn run_curve(
     base: &SimConfig,
     loads: &[f64],
@@ -46,13 +74,10 @@ pub fn run_curve(
         probe.measure = 0;
         Simulator::new(probe)?;
     }
-    let results: Vec<SimResult> = loads
-        .par_iter()
-        .map(|&l| run_point(base, l).expect("feasibility checked above"))
+    let (curve, results) = run_curve_checked(base, loads, label);
+    let results = results
+        .into_iter()
+        .map(|r| r.expect("feasibility checked above"))
         .collect();
-    let mut curve = BnfCurve::new(label);
-    for r in &results {
-        curve.push(r.bnf_point());
-    }
     Ok((curve, results))
 }

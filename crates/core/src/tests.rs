@@ -214,9 +214,10 @@ fn throughput_tracks_load_below_saturation() {
 fn sweep_produces_monotone_applied_loads() {
     let base = small(Scheme::ProgressiveRecovery, PatternSpec::pat100(), 4, 0.0);
     let loads = default_loads(0.05, 0.25, 3);
-    let (curve, results) = run_curve(&base, &loads, "PR").unwrap();
+    let (curve, results) = run_curve_checked(&base, &loads, "PR");
     assert_eq!(curve.points.len(), 3);
     assert_eq!(results.len(), 3);
+    assert!(results.iter().all(Result::is_ok));
     assert!(curve
         .points
         .windows(2)

@@ -1,0 +1,137 @@
+//! The content-addressed persistent result cache.
+//!
+//! Layout: one append-only JSON Lines file, `points.jsonl`, in the cache
+//! directory (`results/cache/` by convention). Each line is one completed
+//! simulation point keyed by the canonical hash of its full
+//! [`SimConfig`](mdd_core::SimConfig) (see `SimConfig::canonical_string`
+//! for exactly what the key covers). Properties that fall out of this
+//! design:
+//!
+//! * **Invalidation is automatic and per-point.** Change any semantic
+//!   field — scheme, pattern, load, seed, windows, topology — and the key
+//!   changes, so the point re-simulates; untouched points keep hitting.
+//!   Nothing ever needs manual invalidation short of deleting the
+//!   directory (which is always safe: the cache is a pure memo).
+//! * **Resume after interrupt is free.** Completed points were already
+//!   appended and flushed; a re-run re-simulates only what is missing. A
+//!   line truncated by the interrupt fails to decode and is skipped.
+//! * **Duplicate keys collapse to the newest line**, so concurrent
+//!   writers or repeated runs stay harmless (last writer wins, and both
+//!   wrote identical results anyway — simulations are deterministic).
+//! * Cache-served results carry `obs: None`; counter snapshots are not
+//!   meaningful across processes (see `codec`).
+
+use crate::codec;
+use mdd_core::SimResult;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Name of the JSONL file inside the cache directory.
+pub const CACHE_FILE: &str = "points.jsonl";
+
+/// A persistent key → [`SimResult`] store, safe to share across the
+/// engine's worker threads.
+pub struct ResultCache {
+    dir: PathBuf,
+    entries: Mutex<HashMap<String, SimResult>>,
+    writer: Mutex<BufWriter<File>>,
+    hits: std::sync::atomic::AtomicU64,
+}
+
+impl ResultCache {
+    /// Open (creating on demand) the cache rooted at `dir`, loading every
+    /// decodable line of `dir/points.jsonl`. Corrupt or truncated lines
+    /// and lines of other format versions are skipped silently.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(CACHE_FILE);
+        let mut entries = HashMap::new();
+        let mut unterminated = false;
+        match File::open(&path) {
+            Ok(f) => {
+                let mut reader = BufReader::new(f);
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    if reader.read_line(&mut line)? == 0 {
+                        break;
+                    }
+                    // A final line with no newline is a write cut short
+                    // by a crash; remember to terminate it before
+                    // appending, or the next entry would glue onto it.
+                    unterminated = !line.ends_with('\n');
+                    if let Some((key, _label, result)) = codec::decode_line(line.trim_end()) {
+                        entries.insert(key, result);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if unterminated {
+            file.write_all(b"\n")?;
+        }
+        Ok(ResultCache {
+            dir,
+            entries: Mutex::new(entries),
+            writer: Mutex::new(BufWriter::new(file)),
+            hits: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// The directory this cache persists under.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of distinct points currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache map poisoned").len()
+    }
+
+    /// True when no points are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cache hits served since this handle was opened.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Look up a point by key.
+    pub fn get(&self, key: &str) -> Option<SimResult> {
+        let hit = self.entries.lock().expect("cache map poisoned").get(key).cloned();
+        if hit.is_some() {
+            self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Record a completed point: remembered in memory and appended +
+    /// flushed to `points.jsonl` so an interrupt cannot lose it.
+    pub fn put(&self, key: &str, label: &str, result: &SimResult) -> io::Result<()> {
+        self.entries
+            .lock()
+            .expect("cache map poisoned")
+            .insert(key.to_string(), result.clone());
+        let line = codec::encode_line(key, label, result);
+        let mut w = self.writer.lock().expect("cache writer poisoned");
+        writeln!(w, "{line}")?;
+        w.flush()
+    }
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("dir", &self.dir)
+            .field("len", &self.len())
+            .finish()
+    }
+}

@@ -1,0 +1,202 @@
+//! JSONL encoding of cached points.
+//!
+//! One flat JSON object per line: the cache key, the label, a format
+//! version, and every measured field of [`SimResult`]. Floats are written
+//! in Rust's shortest round-trip form, so decode(encode(r)) == r
+//! bit-for-bit. The observability snapshot is *not* persisted — obs
+//! counters are process-cumulative and meaningless outside the run that
+//! produced them — so cache-served results carry `obs: None`.
+
+use mdd_core::SimResult;
+
+/// Format version written into every line; lines with any other version
+/// are ignored on load (bulk invalidation when the schema changes).
+pub const CACHE_LINE_VERSION: u64 = 1;
+
+/// Encode one cached point as a single JSONL line (no trailing newline).
+pub fn encode_line(key: &str, label: &str, r: &SimResult) -> String {
+    let (q50, q95, q99) = r.latency_quantiles;
+    format!(
+        concat!(
+            "{{\"v\":{v},\"key\":\"{key}\",\"label\":\"{label}\",",
+            "\"applied_load\":{applied_load:?},\"throughput\":{throughput:?},",
+            "\"avg_latency\":{avg_latency:?},\"q50\":{q50:?},\"q95\":{q95:?},\"q99\":{q99:?},",
+            "\"messages_delivered\":{messages_delivered},\"transactions\":{transactions},",
+            "\"deadlocks\":{deadlocks},\"router_rescues\":{router_rescues},",
+            "\"deflections\":{deflections},\"rescues\":{rescues},\"generated\":{generated},",
+            "\"mc_utilization\":{mc_utilization:?},\"cwg_checks\":{cwg_checks},",
+            "\"cwg_deadlocked_checks\":{cwg_deadlocked_checks},",
+            "\"vc_util_mean\":{vc_util_mean:?},\"vc_util_max\":{vc_util_max:?},",
+            "\"vc_util_cv\":{vc_util_cv:?}}}"
+        ),
+        v = CACHE_LINE_VERSION,
+        key = escape(key),
+        label = escape(label),
+        applied_load = r.applied_load,
+        throughput = r.throughput,
+        avg_latency = r.avg_latency,
+        q50 = q50,
+        q95 = q95,
+        q99 = q99,
+        messages_delivered = r.messages_delivered,
+        transactions = r.transactions,
+        deadlocks = r.deadlocks,
+        router_rescues = r.router_rescues,
+        deflections = r.deflections,
+        rescues = r.rescues,
+        generated = r.generated,
+        mc_utilization = r.mc_utilization,
+        cwg_checks = r.cwg_checks,
+        cwg_deadlocked_checks = r.cwg_deadlocked_checks,
+        vc_util_mean = r.vc_util_mean,
+        vc_util_max = r.vc_util_max,
+        vc_util_cv = r.vc_util_cv,
+    )
+}
+
+/// Decode one line back into `(key, label, result)`. `None` on any
+/// malformed, truncated or version-mismatched line — the cache treats
+/// such lines as absent rather than failing, so a file cut short by an
+/// interrupt only loses its final entry.
+pub fn decode_line(line: &str) -> Option<(String, String, SimResult)> {
+    let fields = parse_flat_object(line)?;
+    let num = |k: &str| -> Option<f64> { fields.iter().find(|(n, _)| n == k)?.1.number() };
+    let int = |k: &str| -> Option<u64> {
+        let v = num(k)?;
+        (v >= 0.0 && v.fract() == 0.0).then_some(v as u64)
+    };
+    let text = |k: &str| -> Option<String> {
+        match &fields.iter().find(|(n, _)| n == k)?.1 {
+            Value::Text(s) => Some(s.clone()),
+            Value::Number(_) => None,
+        }
+    };
+    if int("v")? != CACHE_LINE_VERSION {
+        return None;
+    }
+    let result = SimResult {
+        applied_load: num("applied_load")?,
+        throughput: num("throughput")?,
+        avg_latency: num("avg_latency")?,
+        latency_quantiles: (num("q50")?, num("q95")?, num("q99")?),
+        messages_delivered: int("messages_delivered")?,
+        transactions: int("transactions")?,
+        deadlocks: int("deadlocks")?,
+        router_rescues: int("router_rescues")?,
+        deflections: int("deflections")?,
+        rescues: int("rescues")?,
+        generated: int("generated")?,
+        mc_utilization: num("mc_utilization")?,
+        cwg_checks: int("cwg_checks")?,
+        cwg_deadlocked_checks: int("cwg_deadlocked_checks")?,
+        vc_util_mean: num("vc_util_mean")?,
+        vc_util_max: num("vc_util_max")?,
+        vc_util_cv: num("vc_util_cv")?,
+        obs: None,
+    };
+    Some((text("key")?, text("label")?, result))
+}
+
+enum Value {
+    Text(String),
+    Number(f64),
+}
+
+impl Value {
+    fn number(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            Value::Text(_) => None,
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse a one-line flat JSON object of string and number values (the
+/// only shape this cache writes). Not a general JSON parser.
+fn parse_flat_object(line: &str) -> Option<Vec<(String, Value)>> {
+    let line = line.trim();
+    let body = line.strip_prefix('{')?.strip_suffix('}')?;
+    let mut fields = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        // Key.
+        skip_ws(&mut chars);
+        if chars.peek().is_none() {
+            break;
+        }
+        if chars.next()? != '"' {
+            return None;
+        }
+        let key = read_string_tail(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next()? != ':' {
+            return None;
+        }
+        skip_ws(&mut chars);
+        // Value: string or number.
+        let value = if chars.peek() == Some(&'"') {
+            chars.next();
+            Value::Text(read_string_tail(&mut chars)?)
+        } else {
+            let mut tok = String::new();
+            while let Some(&c) = chars.peek() {
+                if c == ',' {
+                    break;
+                }
+                tok.push(c);
+                chars.next();
+            }
+            Value::Number(tok.trim().parse().ok()?)
+        };
+        fields.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            None => break,
+            Some(',') => continue,
+            Some(_) => return None,
+        }
+    }
+    Some(fields)
+}
+
+fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+    while chars.peek().is_some_and(|c| c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+/// Read a JSON string after its opening quote, consuming the closing one.
+fn read_string_tail(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'u' => {
+                    let code: String = (0..4).filter_map(|_| chars.next()).collect();
+                    out.push(char::from_u32(u32::from_str_radix(&code, 16).ok()?)?);
+                }
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+}

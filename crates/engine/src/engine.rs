@@ -1,0 +1,266 @@
+//! The batch scheduler: cache lookup, parallel execution, panic
+//! isolation, progress counters.
+
+use crate::cache::ResultCache;
+use crate::error::{PointError, PointFailure};
+use crate::job::Job;
+use mdd_core::{SimConfig, SimResult, Simulator};
+use mdd_obs::CounterId;
+use mdd_stats::BnfCurve;
+use rayon::prelude::*;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::time::Instant;
+
+/// The batch experiment engine. Construction picks the cache policy;
+/// [`Engine::run_sweep`] / [`Engine::run_jobs`] then schedule any number
+/// of batches over the rayon workers, each point isolated by
+/// `catch_unwind` so one poisoned point becomes a [`PointError`] in the
+/// report instead of killing the sweep.
+///
+/// Progress is reported through the global `mdd-obs` counters when that
+/// layer is installed: `points_started`, `points_completed`,
+/// `points_cached`, `points_failed` and `point_wall_micros`.
+#[derive(Debug, Default)]
+pub struct Engine {
+    cache: Option<ResultCache>,
+}
+
+impl Engine {
+    /// An engine without a persistent cache: every point simulates.
+    pub fn new() -> Self {
+        Engine { cache: None }
+    }
+
+    /// An engine backed by the cache directory `dir` (created on demand;
+    /// `results/cache/` by convention — see [`ResultCache::open`]).
+    pub fn with_cache_dir(dir: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Engine {
+            cache: Some(ResultCache::open(dir)?),
+        })
+    }
+
+    /// An engine around an already opened cache.
+    pub fn with_cache(cache: ResultCache) -> Self {
+        Engine { cache: Some(cache) }
+    }
+
+    /// The cache, if this engine has one.
+    pub fn cache(&self) -> Option<&ResultCache> {
+        self.cache.as_ref()
+    }
+
+    /// Cap the number of worker threads used by every subsequent batch
+    /// (process-global, like rayon's `build_global`; `0` restores the
+    /// machine default). The `--jobs` flag of the bench binaries ends up
+    /// here.
+    pub fn set_jobs(n: usize) {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .expect("the rayon shim's build_global cannot fail");
+    }
+
+    /// Run one labelled load sweep of `base` over `loads` and assemble
+    /// the (possibly partial) BNF curve from the successful points.
+    pub fn run_sweep(&self, base: &SimConfig, loads: &[f64], label: &str) -> SweepReport {
+        self.run_jobs(Job::points(base, loads, label))
+    }
+
+    /// Run a batch of fully resolved jobs with the default simulation
+    /// runner.
+    pub fn run_jobs(&self, jobs: Vec<Job>) -> SweepReport {
+        self.run_jobs_with(jobs, |job: &Job| {
+            Simulator::new(job.cfg.clone()).map(|mut sim| sim.run())
+        })
+    }
+
+    /// Run a batch through a caller-supplied runner — the seam the
+    /// integration tests use to inject failures, and the hook for
+    /// alternative backends. Cache lookup, panic isolation, counters and
+    /// report assembly are identical to [`Engine::run_jobs`]; only the
+    /// simulation call itself is replaced.
+    pub fn run_jobs_with<F>(&self, jobs: Vec<Job>, runner: F) -> SweepReport
+    where
+        F: Fn(&Job) -> Result<SimResult, mdd_core::SchemeConfigError> + Sync,
+    {
+        let outcomes: Vec<PointOutcome> = jobs
+            .par_iter()
+            .map(|job| self.run_one(job, &runner))
+            .collect();
+        SweepReport { outcomes }
+    }
+
+    fn run_one<F>(&self, job: &Job, runner: &F) -> PointOutcome
+    where
+        F: Fn(&Job) -> Result<SimResult, mdd_core::SchemeConfigError> + Sync,
+    {
+        let key = job.key();
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.get(&key) {
+                mdd_obs::counter_add(CounterId::PointsCached, 1);
+                return PointOutcome {
+                    job: job.clone(),
+                    result: Ok(hit),
+                    from_cache: true,
+                    wall_micros: 0,
+                };
+            }
+        }
+        mdd_obs::counter_add(CounterId::PointsStarted, 1);
+        let start = Instant::now();
+        let run = catch_unwind(AssertUnwindSafe(|| runner(job)));
+        let wall_micros = start.elapsed().as_micros() as u64;
+        mdd_obs::counter_add(CounterId::PointWallMicros, wall_micros);
+        let result = match run {
+            Ok(Ok(result)) => {
+                mdd_obs::counter_add(CounterId::PointsCompleted, 1);
+                if let Some(cache) = &self.cache {
+                    if let Err(e) = cache.put(&key, &job.label, &result) {
+                        // A write failure degrades the cache, not the
+                        // sweep: the result is still returned.
+                        eprintln!("mdd-engine: cache write failed for {key}: {e}");
+                    }
+                }
+                Ok(result)
+            }
+            Ok(Err(e)) => {
+                mdd_obs::counter_add(CounterId::PointsFailed, 1);
+                Err(PointError {
+                    job: job.id,
+                    label: job.label.clone(),
+                    load: job.load(),
+                    failure: PointFailure::Config(e),
+                })
+            }
+            Err(payload) => {
+                mdd_obs::counter_add(CounterId::PointsFailed, 1);
+                Err(PointError {
+                    job: job.id,
+                    label: job.label.clone(),
+                    load: job.load(),
+                    failure: PointFailure::Panic(panic_message(payload.as_ref())),
+                })
+            }
+        };
+        PointOutcome {
+            job: job.clone(),
+            result,
+            from_cache: false,
+            wall_micros,
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The fate of one scheduled point.
+#[derive(Clone, Debug)]
+pub struct PointOutcome {
+    /// The job as scheduled.
+    pub job: Job,
+    /// The simulated (or cache-served) result, or the typed failure.
+    pub result: Result<SimResult, PointError>,
+    /// True when the result came from the persistent cache.
+    pub from_cache: bool,
+    /// Wall-clock microseconds this point's simulation took (0 for cache
+    /// hits).
+    pub wall_micros: u64,
+}
+
+/// Everything a batch produced, in job order.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// One outcome per scheduled job, in scheduling order.
+    pub outcomes: Vec<PointOutcome>,
+}
+
+impl SweepReport {
+    /// Points served from the cache.
+    pub fn cached(&self) -> u64 {
+        self.outcomes.iter().filter(|o| o.from_cache).count() as u64
+    }
+
+    /// Points that actually simulated to completion.
+    pub fn simulated(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.from_cache && o.result.is_ok())
+            .count() as u64
+    }
+
+    /// Points that failed (configuration errors and isolated panics).
+    pub fn failed(&self) -> u64 {
+        self.outcomes.iter().filter(|o| o.result.is_err()).count() as u64
+    }
+
+    /// True when every point succeeded.
+    pub fn complete(&self) -> bool {
+        self.failed() == 0
+    }
+
+    /// The successful results, in job order.
+    pub fn results(&self) -> Vec<&SimResult> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.result.as_ref().ok())
+            .collect()
+    }
+
+    /// The successful results by value, in job order (for call sites
+    /// migrating from the infallible `run_curve`).
+    pub fn into_results(self) -> Vec<SimResult> {
+        self.outcomes
+            .into_iter()
+            .filter_map(|o| o.result.ok())
+            .collect()
+    }
+
+    /// The failures, in job order.
+    pub fn errors(&self) -> Vec<&PointError> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.result.as_ref().err())
+            .collect()
+    }
+
+    /// Assemble the (possibly partial) BNF curve of the successful
+    /// points.
+    pub fn curve(&self, label: &str) -> BnfCurve {
+        BnfCurve::assemble(
+            label,
+            self.outcomes
+                .iter()
+                .filter_map(|o| o.result.as_ref().ok().map(SimResult::bnf_point)),
+        )
+    }
+
+    /// Total wall-clock microseconds spent simulating (cache hits add
+    /// nothing; parallel points sum, so this exceeds elapsed time).
+    pub fn wall_micros(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.wall_micros).sum()
+    }
+
+    /// One-line progress summary, e.g. `9 points: 6 simulated, 3 cached`.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "{} points: {} simulated, {} cached",
+            self.outcomes.len(),
+            self.simulated(),
+            self.cached()
+        );
+        if self.failed() > 0 {
+            s.push_str(&format!(", {} FAILED", self.failed()));
+        }
+        s
+    }
+}

@@ -1,0 +1,53 @@
+//! Typed per-point failures.
+
+use mdd_core::SchemeConfigError;
+
+/// Why one point of a batch failed. Other points are unaffected: the
+/// engine isolates each simulation, so a poisoned point surfaces here
+/// instead of killing the sweep.
+#[derive(Clone, PartialEq, Debug)]
+pub enum PointFailure {
+    /// The scheme could not be configured for this point's parameters.
+    Config(SchemeConfigError),
+    /// The simulation panicked; the payload is the panic message. The
+    /// panic was caught at the point boundary (`catch_unwind`), the
+    /// worker thread survived, and every other point ran to completion.
+    Panic(String),
+}
+
+/// One failed point of a batch: which job, under which label, at which
+/// load, and why.
+#[derive(Clone, PartialEq, Debug)]
+pub struct PointError {
+    /// Id of the failed [`Job`](crate::Job) within its batch.
+    pub job: usize,
+    /// The curve/series label of the failed point.
+    pub label: String,
+    /// The applied load of the failed point.
+    pub load: f64,
+    /// The failure itself.
+    pub failure: PointFailure,
+}
+
+impl std::fmt::Display for PointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "point {} ({} @ load {:.4}): ",
+            self.job, self.label, self.load
+        )?;
+        match &self.failure {
+            PointFailure::Config(e) => write!(f, "{e}"),
+            PointFailure::Panic(msg) => write!(f, "simulation panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.failure {
+            PointFailure::Config(e) => Some(e),
+            PointFailure::Panic(_) => None,
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! mdd-engine: the fault-tolerant, cached batch experiment engine.
+//!
+//! All figure harnesses and the bench binaries route their simulation
+//! points through this crate. Three ideas compose:
+//!
+//! 1. **Jobs.** A [`Job`] is one fully resolved
+//!    [`SimConfig`](mdd_core::SimConfig) plus the curve label and point
+//!    id it reports under. [`Job::points`] expands a base config and a
+//!    load vector into a batch, applying the same per-point seed
+//!    decorrelation the classic sweep used.
+//! 2. **Fault isolation.** The [`Engine`] schedules a batch across the
+//!    rayon workers and wraps every point in `catch_unwind`: a poisoned
+//!    point becomes a typed [`PointError`] in the [`SweepReport`]
+//!    while every other point runs to completion. Configuration
+//!    failures surface the same way.
+//! 3. **Content-addressed caching.** With [`Engine::with_cache_dir`],
+//!    each completed point is persisted to an append-only JSONL file
+//!    keyed by the canonical hash of its configuration. Re-running an
+//!    unchanged experiment simulates zero new points; changing any
+//!    semantic field invalidates exactly the affected points. An
+//!    interrupted sweep resumes from what it already finished.
+//!
+//! ```
+//! use mdd_engine::Engine;
+//! use mdd_core::{PatternSpec, Scheme, SimConfig};
+//!
+//! let base = SimConfig::builder()
+//!     .scheme(Scheme::ProgressiveRecovery)
+//!     .pattern(PatternSpec::pat271())
+//!     .radix(&[4, 4])
+//!     .windows(200, 400)
+//!     .build()
+//!     .unwrap();
+//! let engine = Engine::new(); // or Engine::with_cache_dir("results/cache")
+//! let report = engine.run_sweep(&base, &[0.1, 0.2], "PR");
+//! assert!(report.complete());
+//! let curve = report.curve("PR");
+//! assert_eq!(curve.points.len(), 2);
+//! ```
+
+mod cache;
+mod codec;
+mod engine;
+mod error;
+mod job;
+
+pub use cache::{ResultCache, CACHE_FILE};
+pub use codec::{decode_line, encode_line, CACHE_LINE_VERSION};
+pub use engine::{Engine, PointOutcome, SweepReport};
+pub use error::{PointError, PointFailure};
+pub use job::Job;
+
+/// The conventional cache directory used by the bench binaries.
+pub const DEFAULT_CACHE_DIR: &str = "results/cache";

@@ -90,11 +90,73 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
     }
 }
 
-/// Degree of parallelism: the machine's logical CPUs (at least 1).
+/// Global worker-count override installed by [`ThreadPoolBuilder::build_global`]
+/// (0 = unset).
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Mirror of rayon's `ThreadPoolBuilder` for the one use the workspace
+/// has: capping global parallelism (`--jobs` in the bench binaries).
+///
+/// ```
+/// rayon::ThreadPoolBuilder::new().num_threads(2).build_global().unwrap();
+/// # rayon::ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
+/// ```
+#[derive(Default, Debug)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (machine-sized) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Use at most `n` worker threads; `0` restores the default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install the setting process-globally. Unlike upstream rayon the
+    /// shim has no persistent pool, so repeated calls simply replace the
+    /// cap and never fail.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        MAX_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build_global`] (never produced by
+/// the shim; present for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global thread pool already initialized")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Degree of parallelism: the `build_global` cap if set, else the
+/// `RAYON_NUM_THREADS` environment variable (as upstream rayon), else the
+/// machine's logical CPUs (at least 1).
 fn workers(n_items: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    let configured = match MAX_THREADS.load(Ordering::Relaxed) {
+        0 => std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0),
+        n => Some(n),
+    };
+    configured
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
         .min(n_items.max(1))
 }
 

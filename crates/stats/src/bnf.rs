@@ -56,6 +56,33 @@ impl BnfCurve {
         self.points.push(p);
     }
 
+    /// Assemble a curve from an arbitrary point set: points are sorted by
+    /// applied load and exact-duplicate loads collapse to the last one
+    /// given. This is the entry point for *partial* result sets — a sweep
+    /// in which some points failed, or a mix of freshly simulated and
+    /// cache-served points arriving out of order — where the push-in-order
+    /// contract of [`BnfCurve::push`] cannot be met.
+    pub fn assemble(label: impl Into<String>, points: impl IntoIterator<Item = BnfPoint>) -> Self {
+        let mut points: Vec<BnfPoint> = points.into_iter().collect();
+        points.sort_by(|a, b| {
+            a.applied_load
+                .partial_cmp(&b.applied_load)
+                .expect("applied loads are finite")
+        });
+        points.dedup_by(|later, earlier| {
+            if later.applied_load == earlier.applied_load {
+                *earlier = *later;
+                true
+            } else {
+                false
+            }
+        });
+        BnfCurve {
+            label: label.into(),
+            points,
+        }
+    }
+
     /// Peak delivered throughput over the curve — the saturation
     /// throughput, the paper's primary comparison metric.
     pub fn saturation_throughput(&self) -> f64 {

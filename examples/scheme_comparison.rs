@@ -25,11 +25,19 @@ fn main() {
         Scheme::DeflectiveRecovery,
         Scheme::ProgressiveRecovery,
     ] {
-        let mut cfg = SimConfig::paper_default(scheme, pattern.clone(), vcs, 0.0);
-        cfg.warmup = 4_000;
-        cfg.measure = 10_000;
-        match run_curve(&cfg, &loads, scheme.label()) {
-            Ok((curve, _)) => curves.push(curve),
+        // The builder runs the scheme feasibility probe up front, so an
+        // impossible combination surfaces here, not mid-sweep.
+        match SimConfig::builder()
+            .scheme(scheme)
+            .pattern(pattern.clone())
+            .vcs(vcs)
+            .windows(4_000, 10_000)
+            .build()
+        {
+            Ok(cfg) => {
+                let (curve, _) = run_curve_checked(&cfg, &loads, scheme.label());
+                curves.push(curve);
+            }
             Err(e) => println!(
                 "{}: not configurable at {vcs} VCs ({e}) — exactly as the \
                  paper omits it from Figure 8\n",

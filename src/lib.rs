@@ -29,7 +29,10 @@
 //!   characterization;
 //! * [`core`] — the assembled simulator, scheme orchestration (including
 //!   Extended Disha Sequential progressive recovery) and the load-sweep
-//!   harness.
+//!   harness;
+//! * [`engine`] — the batch experiment engine: parallel job scheduling
+//!   with per-point panic isolation, a content-addressed persistent
+//!   result cache, and progress counters.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +58,7 @@
 pub use mdd_coherence as coherence;
 pub use mdd_core as simcore;
 pub use mdd_deadlock as deadlock;
+pub use mdd_engine as engine;
 pub use mdd_nic as nic;
 pub use mdd_obs as obs;
 pub use mdd_protocol as protocol;
@@ -68,10 +72,11 @@ pub use mdd_traffic as traffic;
 pub mod prelude {
     pub use mdd_coherence::{CoherenceEngine, CoherentTraffic, TxnClass};
     pub use mdd_core::{
-        build_waitfor_graph, default_loads, run_curve, run_point, BnfCurve, BnfPoint,
-        PatternSpec, ProtocolSpec, QueueOrg, Scheme, SchemeConfigError, SimConfig, SimResult,
-        Simulator,
+        build_waitfor_graph, default_loads, run_curve_checked, run_point, BnfCurve, BnfPoint,
+        ConfigError, PatternSpec, ProtocolSpec, QueueOrg, Scheme, SchemeConfigError, SimConfig,
+        SimConfigBuilder, SimResult, Simulator,
     };
+    pub use mdd_engine::{Engine, Job, PointError, PointFailure, SweepReport};
     pub use mdd_obs::{CounterId, Event as ObsEvent, ObsReport};
     pub use mdd_protocol::{
         HopTarget, IdAlloc, Message, MessageId, MsgKind, MsgType, TransactionShape,

@@ -17,13 +17,19 @@ fn curve(
     org: Option<QueueOrg>,
     max_load: f64,
 ) -> BnfCurve {
-    let mut cfg = SimConfig::paper_default(scheme, pattern, vcs, 0.0);
-    cfg.queue_org = org;
-    cfg.warmup = 2_000;
-    cfg.measure = 5_000;
+    let cfg = SimConfig::builder()
+        .scheme(scheme)
+        .pattern(pattern)
+        .vcs(vcs)
+        .queue_org(org)
+        .windows(2_000, 5_000)
+        .build()
+        .expect("feasible");
     let loads = default_loads(0.10, max_load, 4);
     let label = org.map_or_else(|| scheme.label().to_string(), |_| format!("{}-QA", scheme.label()));
-    run_curve(&cfg, &loads, &label).expect("feasible").0
+    let (curve, results) = run_curve_checked(&cfg, &loads, &label);
+    assert!(results.iter().all(Result::is_ok), "all points feasible");
+    curve
 }
 
 /// Figure 8 claim: with 4 VCs, PR clearly outperforms SA on PAT100 (the
