@@ -30,6 +30,15 @@ second=$(engine_sweep)
 echo "$second" | grep -q "3 points: 0 simulated, 3 cached" || {
     echo "engine smoke: warm run was not fully cache-served:"; echo "$second"; exit 1; }
 
+echo "==> hot-path bench smoke (writes BENCH_hotpath.json)"
+HOTPATH_QUICK=1 HOTPATH_OUT=BENCH_hotpath.json \
+    cargo bench -q -p mdd-bench --bench hotpath
+[ -s BENCH_hotpath.json ] || {
+    echo "hotpath smoke: BENCH_hotpath.json was not written"; exit 1; }
+grep -q '"pr"' BENCH_hotpath.json || {
+    echo "hotpath smoke: BENCH_hotpath.json is missing the pr scheme:"
+    cat BENCH_hotpath.json; exit 1; }
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets"
     cargo clippy --workspace --all-targets -q -- -D warnings

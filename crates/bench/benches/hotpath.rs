@@ -1,0 +1,103 @@
+//! Hot-path benchmark: end-to-end simulator throughput (cycles/sec) per
+//! scheme on a saturated 8×8 torus — the number that bounds how many load
+//! points per hour every figure harness can produce.
+//!
+//! Besides the criterion timing lines, the binary measures cycles/sec
+//! directly and writes them as JSON for the perf trajectory:
+//!
+//! * `HOTPATH_OUT=<path>` — where to write the JSON (default
+//!   `BENCH_hotpath.json` in the current directory);
+//! * `HOTPATH_QUICK=1` — CI smoke mode: fewer samples, shorter runs.
+
+use criterion::{black_box, Criterion};
+use mdd_core::{PatternSpec, Scheme, SimConfig, Simulator};
+use std::time::Instant;
+
+const SA: Scheme = Scheme::StrictAvoidance {
+    shared_adaptive: false,
+};
+
+fn quick() -> bool {
+    std::env::var("HOTPATH_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// A simulator warmed into saturation steady state (no measurement
+/// window: the benchmark drives cycles itself).
+fn saturated(scheme: Scheme, pattern: PatternSpec, vcs: u8, load: f64) -> Simulator {
+    let mut cfg = SimConfig::paper_default(scheme, pattern, vcs, load);
+    cfg.warmup = 0;
+    cfg.measure = 0;
+    let mut sim = Simulator::new(cfg).expect("benchmark config is feasible");
+    sim.run_cycles(if quick() { 500 } else { 2_000 });
+    sim
+}
+
+/// The benchmarked scheme points. SA runs PAT100 (its 4-VC-feasible
+/// pattern); DR and PR run PAT271 like the paper's saturation studies.
+fn points() -> Vec<(&'static str, Simulator)> {
+    vec![
+        ("sa", saturated(SA, PatternSpec::pat100(), 4, 0.30)),
+        (
+            "dr",
+            saturated(Scheme::DeflectiveRecovery, PatternSpec::pat271(), 4, 0.30),
+        ),
+        (
+            "pr",
+            saturated(Scheme::ProgressiveRecovery, PatternSpec::pat271(), 4, 0.30),
+        ),
+    ]
+}
+
+fn bench_hotpath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+    if quick() {
+        g.sample_size(5);
+    }
+    for (name, mut sim) in points() {
+        g.bench_function(format!("{name}_8x8_vc4_loaded_100cycles"), |b| {
+            b.iter(|| {
+                sim.run_cycles(100);
+                black_box(sim.cycle())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Direct cycles/sec measurement (steady state, best of `reps` runs) —
+/// what the JSON trajectory records.
+fn cycles_per_sec(sim: &mut Simulator, cycles: u64, reps: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        sim.run_cycles(cycles);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    cycles as f64 / best
+}
+
+fn write_json() {
+    let (cycles, reps) = if quick() { (2_000, 3) } else { (10_000, 5) };
+    let mut entries = Vec::new();
+    for (name, mut sim) in points() {
+        let cps = cycles_per_sec(&mut sim, cycles, reps);
+        println!("hotpath/{name}: {cps:.0} cycles/sec");
+        entries.push(format!(
+            "  {{\"scheme\": \"{name}\", \"cycles_per_sec\": {cps:.1}, \"cycles\": {cycles}}}"
+        ));
+    }
+    let out = std::env::var("HOTPATH_OUT").unwrap_or_else(|_| "BENCH_hotpath.json".into());
+    let json = format!(
+        "{{\"bench\": \"hotpath\", \"topology\": \"8x8 torus\", \"vcs\": 4, \
+         \"load\": 0.30, \"results\": [\n{}\n]}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(&out, json).expect("write BENCH_hotpath.json");
+    println!("wrote {out}");
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_hotpath(&mut criterion);
+    write_json();
+}

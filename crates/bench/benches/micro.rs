@@ -69,11 +69,14 @@ fn bench_recovery_lane(c: &mut Criterion) {
     let mut tr = SyntheticTraffic::new(Arc::new(pat), 64, 0.2, DestPattern::Random, 1);
     let mut ids = IdAlloc::new();
     let msg = tr.make_request(mdd_topology::NicId(0), 0, &mut ids);
+    let len = msg.length_flits;
+    let mut store = mdd_protocol::MessageStore::new();
+    let h = store.insert(msg);
     g.bench_function("send_poll_roundtrip", |b| {
         let mut lane = RecoveryLane::new(ring.clone(), 1);
         let mut now = 0u64;
         b.iter(|| {
-            let arrive = lane.send(msg.clone(), mdd_topology::NodeId(0), mdd_topology::NodeId(37), now);
+            let arrive = lane.send(h, len, mdd_topology::NodeId(0), mdd_topology::NodeId(37), now);
             now = arrive;
             black_box(lane.poll(now).is_some())
         })
@@ -87,15 +90,18 @@ fn bench_traffic_gen(c: &mut Criterion) {
     g.bench_function("synthetic_64nodes_1kcycles", |b| {
         let mut tr = SyntheticTraffic::new(pat.clone(), 64, 0.4, DestPattern::Random, 7);
         let mut ids = IdAlloc::new();
+        let mut store = mdd_protocol::MessageStore::new();
         let mut cycle = 0u64;
         b.iter(|| {
             for _ in 0..1000 {
-                tr.tick(cycle, &mut ids);
+                tr.tick(cycle, &mut ids, &mut store);
                 cycle += 1;
             }
             // Drain the backlog so memory stays bounded across iterations.
             for n in 0..64 {
-                while tr.pop_pending(mdd_topology::NicId(n)).is_some() {}
+                while let Some(h) = tr.pop_pending(mdd_topology::NicId(n)) {
+                    store.remove(h);
+                }
             }
             black_box(tr.generated)
         })

@@ -393,8 +393,9 @@ pub fn characterize_app(
         seed,
     );
     let mut ids = mdd_protocol::IdAlloc::new();
+    let mut store = mdd_protocol::MessageStore::new();
     for c in 0..horizon {
-        mdd_traffic::TrafficSource::tick(&mut probe, c, &mut ids);
+        mdd_traffic::TrafficSource::tick(&mut probe, c, &mut ids, &mut store);
     }
     let mut hist = Histogram::new(0.0, 0.5, 50);
     for &s in &probe.load_samples {

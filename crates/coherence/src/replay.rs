@@ -8,7 +8,7 @@
 //! directory engine as a [`TrafficSource`].
 
 use crate::engine::CoherenceEngine;
-use mdd_protocol::{IdAlloc, Message};
+use mdd_protocol::{IdAlloc, MessageStore, MsgHandle};
 use mdd_topology::NicId;
 use mdd_traffic::{AppModel, TraceEvent, TraceLog, TrafficSource};
 use rand::Rng;
@@ -51,7 +51,7 @@ pub struct TraceReplayTraffic {
     engine: CoherenceEngine,
     log: TraceLog,
     next_event: usize,
-    pending: Vec<VecDeque<Message>>,
+    pending: Vec<VecDeque<MsgHandle>>,
     generated_txns: u64,
 }
 
@@ -87,7 +87,7 @@ impl TraceReplayTraffic {
 }
 
 impl TrafficSource for TraceReplayTraffic {
-    fn tick(&mut self, cycle: u64, ids: &mut IdAlloc) {
+    fn tick(&mut self, cycle: u64, ids: &mut IdAlloc, store: &mut MessageStore) {
         while self.next_event < self.log.len() {
             let ev = self.log.events()[self.next_event];
             if ev.cycle > cycle {
@@ -95,17 +95,17 @@ impl TrafficSource for TraceReplayTraffic {
             }
             self.next_event += 1;
             if let Some(acc) = self.engine.access(ev.proc, ev.addr, ev.write, cycle, ids) {
-                self.pending[ev.proc as usize].push_back(acc.request);
+                self.pending[ev.proc as usize].push_back(store.insert(acc.request));
                 self.generated_txns += 1;
             }
         }
     }
 
-    fn pending_head(&self, nic: NicId) -> Option<&Message> {
-        self.pending[nic.index()].front()
+    fn pending_head(&self, nic: NicId) -> Option<MsgHandle> {
+        self.pending[nic.index()].front().copied()
     }
 
-    fn pop_pending(&mut self, nic: NicId) -> Option<Message> {
+    fn pop_pending(&mut self, nic: NicId) -> Option<MsgHandle> {
         self.pending[nic.index()].pop_front()
     }
 

@@ -179,11 +179,13 @@ fn trace_record_and_replay_is_deterministic() {
     let run = |_: ()| {
         let mut replay = TraceReplayTraffic::new(log.clone(), 16, 11);
         let mut ids = IdAlloc::new();
+        let mut store = mdd_protocol::MessageStore::new();
         let mut issued = Vec::new();
         for c in 0..5_000u64 {
-            replay.tick(c, &mut ids);
+            replay.tick(c, &mut ids, &mut store);
             for p in 0..16 {
-                while let Some(m) = replay.pop_pending(mdd_topology::NicId(p)) {
+                while let Some(h) = replay.pop_pending(mdd_topology::NicId(p)) {
+                    let m = store.remove(h);
                     issued.push((m.src.0, m.dst.0, m.shape.0));
                 }
             }
@@ -205,8 +207,9 @@ fn replay_roundtrips_through_the_text_format() {
     assert_eq!(loaded.events(), log.events());
     let mut replay = TraceReplayTraffic::new(loaded, 16, 5);
     let mut ids = IdAlloc::new();
+    let mut store = mdd_protocol::MessageStore::new();
     for c in 0..2_000u64 {
-        replay.tick(c, &mut ids);
+        replay.tick(c, &mut ids, &mut store);
     }
     assert!(replay.generated() > 0, "water traces cause transactions");
 }

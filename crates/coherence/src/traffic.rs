@@ -9,7 +9,7 @@
 //! reproduced without the original RSIM traces.
 
 use crate::engine::CoherenceEngine;
-use mdd_protocol::{IdAlloc, Message};
+use mdd_protocol::{IdAlloc, Message, MessageStore, MsgHandle};
 use mdd_topology::NicId;
 use mdd_traffic::{AppModel, TrafficSource};
 use rand::rngs::StdRng;
@@ -25,7 +25,7 @@ pub struct CoherentTraffic {
     engine: CoherenceEngine,
     app: AppModel,
     rng: StdRng,
-    pending: Vec<VecDeque<Message>>,
+    pending: Vec<VecDeque<MsgHandle>>,
     nprocs: u32,
     horizon: u64,
     access_rate: f64,
@@ -101,7 +101,7 @@ impl CoherentTraffic {
 }
 
 impl TrafficSource for CoherentTraffic {
-    fn tick(&mut self, cycle: u64, ids: &mut IdAlloc) {
+    fn tick(&mut self, cycle: u64, ids: &mut IdAlloc, store: &mut MessageStore) {
         if cycle > 0 && cycle.is_multiple_of(WINDOW) {
             let achieved = self.window_flits as f64 / (WINDOW * self.nprocs as u64) as f64;
             self.load_samples.push(achieved);
@@ -122,17 +122,17 @@ impl TrafficSource for CoherentTraffic {
             let (addr, write) = self.app.sample_access(proc, self.nprocs, &mut self.rng);
             if let Some(acc) = self.engine.access(proc, addr, write, cycle, ids) {
                 self.window_flits += self.txn_flits(&acc.request);
-                self.pending[proc as usize].push_back(acc.request);
+                self.pending[proc as usize].push_back(store.insert(acc.request));
                 self.generated_txns += 1;
             }
         }
     }
 
-    fn pending_head(&self, nic: NicId) -> Option<&Message> {
-        self.pending[nic.index()].front()
+    fn pending_head(&self, nic: NicId) -> Option<MsgHandle> {
+        self.pending[nic.index()].front().copied()
     }
 
-    fn pop_pending(&mut self, nic: NicId) -> Option<Message> {
+    fn pop_pending(&mut self, nic: NicId) -> Option<MsgHandle> {
         self.pending[nic.index()].pop_front()
     }
 

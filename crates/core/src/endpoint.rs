@@ -2,24 +2,27 @@
 //! [`mdd_router::EjectControl`].
 
 use mdd_nic::Nic;
-use mdd_protocol::{Message, MessageId};
+use mdd_protocol::{MessageStore, MsgHandle};
 use mdd_router::EjectControl;
 use mdd_topology::NicId;
 
+/// Borrow of the NIC array plus the message store the ejection callbacks
+/// resolve handles against.
 pub(crate) struct NicArray<'a> {
+    pub store: &'a MessageStore,
     pub nics: &'a mut [Nic],
 }
 
 impl EjectControl for NicArray<'_> {
-    fn can_accept(&mut self, nic: NicId, msg: &Message, _cycle: u64) -> bool {
-        self.nics[nic.index()].can_accept(msg)
+    fn can_accept(&mut self, nic: NicId, msg: MsgHandle, _cycle: u64) -> bool {
+        self.nics[nic.index()].can_accept(self.store.get(msg))
     }
 
-    fn deliver_flit(&mut self, nic: NicId, _msg: MessageId, _cycle: u64) {
+    fn deliver_flit(&mut self, nic: NicId, _msg: MsgHandle, _cycle: u64) {
         self.nics[nic.index()].on_flit();
     }
 
-    fn deliver_packet(&mut self, nic: NicId, msg: Message, _injected_at: u64, _cycle: u64) {
-        self.nics[nic.index()].on_packet(msg);
+    fn deliver_packet(&mut self, nic: NicId, msg: MsgHandle, _injected_at: u64, _cycle: u64) {
+        self.nics[nic.index()].on_packet(msg, self.store.get(msg));
     }
 }

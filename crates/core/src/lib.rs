@@ -35,8 +35,6 @@ pub use builder::{ConfigError, SimConfigBuilder};
 pub use config::{SimConfig, SimResult};
 pub use recovery::{EpisodeOrigin, EpisodeRecord, PrRecovery};
 pub use sim::Simulator;
-#[allow(deprecated)]
-pub use sweep::run_curve;
 pub use sweep::{default_loads, run_curve_checked, run_point};
 pub use validate::build_waitfor_graph;
 

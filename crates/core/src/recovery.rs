@@ -21,7 +21,7 @@
 use mdd_deadlock::{CirculatingToken, RecoveryLane, TokenState};
 use mdd_nic::{Nic, RescueOutcome};
 use mdd_obs::{CounterId, Event};
-use mdd_protocol::{Message, PatternSpec};
+use mdd_protocol::{MessageStore, MsgHandle, PatternSpec};
 use mdd_router::Network;
 use mdd_topology::{NicId, NodeId, RecoveryRing, Topology, TourStop};
 use std::collections::VecDeque;
@@ -33,8 +33,9 @@ struct Frame {
     router: NodeId,
     /// The NIC holding the token here (`None` for a router capture frame).
     nic: Option<NicId>,
-    /// Subordinates still to deliver from this holder.
-    pending: VecDeque<Message>,
+    /// Subordinates still to deliver from this holder (handles into the
+    /// simulation's message store).
+    pending: VecDeque<MsgHandle>,
     /// True while this holder's memory controller is producing
     /// subordinates.
     waiting_mc: bool,
@@ -49,7 +50,7 @@ enum Phase {
     /// A rescued message is streaming over the lane.
     Transfer,
     /// A lane-delivered message awaits placement at its destination.
-    Deposit(Message),
+    Deposit(MsgHandle),
     /// The token is retracing the lane back to the sender chain.
     TokenDelay {
         /// Cycle the token arrives.
@@ -124,6 +125,9 @@ pub struct PrRecovery {
     pub episodes_started: u64,
     /// Log of completed episodes (bounded; oldest dropped past 4096).
     episode_log: Vec<EpisodeRecord>,
+    /// Scratch for the router-blocked-head probe (reused every token stop
+    /// so the steady-state path allocates nothing).
+    blocked_scratch: Vec<(NodeId, MsgHandle)>,
     /// Token laps already published to the observability counters.
     laps_noted: u64,
 }
@@ -152,6 +156,7 @@ impl PrRecovery {
             episodes_completed: 0,
             episodes_started: 0,
             episode_log: Vec::new(),
+            blocked_scratch: Vec::new(),
             laps_noted: 0,
         }
     }
@@ -200,9 +205,16 @@ impl PrRecovery {
     }
 
     /// Advance the recovery machinery one cycle.
-    pub fn step(&mut self, net: &mut Network, nics: &mut [Nic], topo: &Topology, cycle: u64) {
+    pub fn step(
+        &mut self,
+        net: &mut Network,
+        nics: &mut [Nic],
+        topo: &Topology,
+        cycle: u64,
+        store: &mut MessageStore,
+    ) {
         if self.episode.is_some() {
-            self.episode_step(nics, topo, cycle);
+            self.episode_step(nics, topo, cycle, store);
             return;
         }
         debug_assert_ne!(
@@ -226,7 +238,7 @@ impl PrRecovery {
                     at_nic: true,
                 });
                 if nics[n.index()].detection_fired(cycle) && !nics[n.index()].rescue_busy() {
-                    let Some(head) = nics[n.index()].begin_rescue_from_input(cycle) else {
+                    let Some(head) = nics[n.index()].begin_rescue_from_input(cycle, store) else {
                         return;
                     };
                     self.token.capture();
@@ -263,17 +275,22 @@ impl PrRecovery {
                     at: r.0,
                     at_nic: false,
                 });
-                let blocked = net.blocked_heads(self.router_block_threshold, cycle);
-                let victim = blocked.iter().find(|(node, id)| {
+                net.blocked_heads_into(self.router_block_threshold, cycle, &mut self.blocked_scratch);
+                let victim = self.blocked_scratch.iter().find(|(node, h)| {
                     *node == r
                         && net
                             .packets()
-                            .try_get(*id)
+                            .get(*h)
                             .is_some_and(|p| p.dst_router != r)
                 });
-                if let Some(&(_, id)) = victim {
-                    let ex = net.extract_packet(id).expect("blocked packet is in flight");
-                    nics[ex.msg.src.index()].abort_injection(id);
+                if let Some(&(_, h)) = victim {
+                    let ex = net.extract_packet(h).expect("blocked packet is in flight");
+                    let (head_id, src) = {
+                        let m = store.get_mut(h);
+                        m.rescued = true;
+                        (m.id.0, m.src)
+                    };
+                    nics[src.index()].abort_injection(h);
                     self.token.capture();
                     self.router_captures += 1;
                     self.episodes_started += 1;
@@ -283,17 +300,19 @@ impl PrRecovery {
                     mdd_obs::trace!(Event::RecoveryStart {
                         cycle,
                         episode: self.episodes_started,
-                        msg: id.0,
+                        msg: head_id,
                         at: r.0,
                         at_nic: false,
                     });
-                    let mut msg = ex.msg;
-                    msg.rescued = true;
-                    let dst_router = topo.nic_router(msg.dst);
-                    self.lane.send(msg, ex.head_router, dst_router, cycle);
+                    let (dst, len) = {
+                        let m = store.get(h);
+                        (m.dst, m.length_flits)
+                    };
+                    let dst_router = topo.nic_router(dst);
+                    self.lane.send(h, len, ex.head_router, dst_router, cycle);
                     self.episode = Some(Episode {
                         id: self.episodes_started,
-                        head_msg: id.0,
+                        head_msg: head_id,
                         stack: vec![Frame {
                             router: r,
                             nic: None,
@@ -335,7 +354,13 @@ impl PrRecovery {
         });
     }
 
-    fn episode_step(&mut self, nics: &mut [Nic], topo: &Topology, cycle: u64) {
+    fn episode_step(
+        &mut self,
+        nics: &mut [Nic],
+        topo: &Topology,
+        cycle: u64,
+        store: &mut MessageStore,
+    ) {
         loop {
             let ep = self.episode.as_mut().expect("episode_step requires episode");
             match &ep.phase {
@@ -362,10 +387,13 @@ impl PrRecovery {
                     else {
                         unreachable!()
                     };
-                    let dst = msg.dst;
+                    let (dst, mtype) = {
+                        let m = store.get(msg);
+                        (m.dst, m.mtype)
+                    };
                     let dst_router = topo.nic_router(dst);
-                    let terminating = self.pattern.protocol().is_terminating(msg.mtype);
-                    match nics[dst.index()].try_deposit_input(msg) {
+                    let terminating = self.pattern.protocol().is_terminating(mtype);
+                    match nics[dst.index()].try_deposit_input(msg, store) {
                         Ok(()) => {
                             let back = ep.stack.last().expect("sender frame").router;
                             ep.phase = Phase::TokenDelay {
@@ -377,14 +405,14 @@ impl PrRecovery {
                             if terminating {
                                 // Sunk directly by the MC via preemption
                                 // (Appendix Case 2).
-                                nics[dst.index()].sink_terminating(msg, cycle);
+                                nics[dst.index()].sink_terminating(msg, cycle, store);
                                 let back = ep.stack.last().expect("sender frame").router;
                                 ep.phase = Phase::TokenDelay {
                                     until: cycle + self.lane.control_delay(dst_router, back),
                                 };
                                 return;
                             }
-                            match nics[dst.index()].rescue_process(msg.clone()) {
+                            match nics[dst.index()].rescue_process(msg) {
                                 RescueOutcome::Scheduled => {
                                     ep.stack.push(Frame {
                                         router: dst_router,
@@ -431,12 +459,16 @@ impl PrRecovery {
                                 .expect("router frames never have pending subordinates");
                             ep.messages_moved += 1;
                             mdd_obs::counter_add(CounterId::MessagesRescued, 1);
-                            match nics[holder.index()].try_deposit_output(m) {
+                            match nics[holder.index()].try_deposit_output(m, store) {
                                 Ok(()) => continue,
                                 Err(m) => {
-                                    let dst_router = topo.nic_router(m.dst);
+                                    let (m_dst, m_len) = {
+                                        let mm = store.get(m);
+                                        (mm.dst, mm.length_flits)
+                                    };
+                                    let dst_router = topo.nic_router(m_dst);
                                     mdd_obs::counter_add(CounterId::LaneTransfers, 1);
-                                    self.lane.send(m, top.router, dst_router, cycle);
+                                    self.lane.send(m, m_len, top.router, dst_router, cycle);
                                     ep.phase = Phase::Transfer;
                                     return;
                                 }

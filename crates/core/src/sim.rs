@@ -4,7 +4,7 @@ use crate::config::{SimConfig, SimResult};
 use crate::endpoint::NicArray;
 use crate::recovery::PrRecovery;
 use mdd_nic::{Nic, NicConfig, NicStats};
-use mdd_protocol::IdAlloc;
+use mdd_protocol::{IdAlloc, MessageStore};
 use mdd_router::Network;
 use mdd_routing::{Scheme, SchemeConfigError, SchemeRouting, VcMap};
 use mdd_topology::{NicId, Topology, TopologyKind};
@@ -17,6 +17,9 @@ pub struct Simulator {
     net: Network,
     routing: SchemeRouting,
     nics: Vec<Nic>,
+    /// Single owner of every live message; all queues and in-flight
+    /// records hold handles into this slab.
+    store: MessageStore,
     traffic: Box<dyn TrafficSource>,
     recovery: Option<PrRecovery>,
     ids: IdAlloc,
@@ -95,6 +98,7 @@ impl Simulator {
             net,
             routing,
             nics,
+            store: MessageStore::new(),
             traffic,
             recovery,
             ids: IdAlloc::new(),
@@ -135,6 +139,11 @@ impl Simulator {
         &self.nics
     }
 
+    /// The message store (read access, for validation and tests).
+    pub fn store(&self) -> &MessageStore {
+        &self.store
+    }
+
     /// The PR recovery machinery, when the scheme is PR.
     pub fn recovery(&self) -> Option<&PrRecovery> {
         self.recovery.as_ref()
@@ -163,15 +172,15 @@ impl Simulator {
         let c = self.cycle;
         // 1. Traffic generation.
         if self.generation {
-            self.traffic.tick(c, &mut self.ids);
+            self.traffic.tick(c, &mut self.ids, &mut self.store);
         }
         // 2. Request issue from source queues.
         for i in 0..self.nics.len() {
             let nic_id = NicId(i as u32);
             while let Some(head) = self.traffic.pending_head(nic_id) {
-                if self.nics[i].can_issue_request(head.mtype) {
-                    let m = self.traffic.pop_pending(nic_id).expect("head exists");
-                    self.nics[i].issue_request(m);
+                if self.nics[i].can_issue_request(self.store.get(head).mtype) {
+                    let h = self.traffic.pop_pending(nic_id).expect("head exists");
+                    self.nics[i].issue_request(h, &self.store);
                 } else {
                     break;
                 }
@@ -179,29 +188,30 @@ impl Simulator {
         }
         // 3. Endpoint work.
         for nic in &mut self.nics {
-            nic.tick(c, &mut self.ids);
+            nic.tick(c, &mut self.ids, &mut self.store);
         }
         // 4. Scheme actions.
         match self.cfg.scheme {
             Scheme::DeflectiveRecovery => {
                 for nic in &mut self.nics {
                     if nic.detection_fired(c) {
-                        nic.try_deflect(c, &mut self.ids);
+                        nic.try_deflect(c, &mut self.ids, &mut self.store);
                     }
                 }
             }
             Scheme::ProgressiveRecovery => {
                 let rec = self.recovery.as_mut().expect("PR has recovery state");
-                rec.step(&mut self.net, &mut self.nics, &self.topo, c);
+                rec.step(&mut self.net, &mut self.nics, &self.topo, c, &mut self.store);
             }
             Scheme::StrictAvoidance { .. } => {}
         }
         // 5. Injection.
         for nic in &mut self.nics {
-            nic.injection_tick(&mut self.net, &self.routing, c);
+            nic.injection_tick(&mut self.net, &self.routing, c, &self.store);
         }
         // 6. Network cycle.
         let mut ej = NicArray {
+            store: &self.store,
             nics: &mut self.nics,
         };
         self.net.step(c, &self.routing, &mut ej);
@@ -317,14 +327,22 @@ impl Simulator {
     /// excluded — check only meaningful after `set_generation(false)` and
     /// once source backlogs are consumed).
     pub fn is_quiescent(&self) -> bool {
-        self.traffic.backlog() == 0
+        let quiet = self.traffic.backlog() == 0
             && self.net.flits_in_network() == 0
             && self.net.packets().is_empty()
             && self.nics.iter().all(|n| n.buffered_messages() == 0)
             && self
                 .recovery
                 .as_ref()
-                .is_none_or(|r| !r.episode_active())
+                .is_none_or(|r| !r.episode_active());
+        // Single-ownership invariant: with nothing queued or in flight
+        // anywhere, every slab slot must have been consumed.
+        debug_assert!(
+            !quiet || self.store.is_empty(),
+            "quiescent system leaked {} message(s) in the store",
+            self.store.len()
+        );
+        quiet
     }
 
     /// Aggregate NIC statistics (merged).

@@ -5,7 +5,8 @@
 //!
 //! Two entry points remain here for direct library use:
 //! [`run_point`] for one configuration at one load, and
-//! [`run_curve_checked`] for a sweep with per-point error propagation.
+//! [`run_curve_checked`] for a sweep with per-point error propagation
+//! (the old panicking `run_curve` wrapper is gone).
 //! Figure harnesses should prefer the `mdd-engine` crate, which adds
 //! per-point panic isolation, a persistent result cache and progress
 //! counters on top of the same primitives.
@@ -51,33 +52,4 @@ pub fn run_curve_checked(
             .filter_map(|r| r.as_ref().ok().map(SimResult::bnf_point)),
     );
     (curve, results)
-}
-
-/// Sweep `loads` (in parallel) and assemble the labelled BNF curve.
-/// Returns the curve plus the raw per-point results.
-#[deprecated(
-    since = "0.1.0",
-    note = "panics if any individual point fails after the up-front probe; \
-            use run_curve_checked for per-point Results, or the mdd-engine \
-            crate for panic isolation and caching"
-)]
-pub fn run_curve(
-    base: &SimConfig,
-    loads: &[f64],
-    label: &str,
-) -> Result<(BnfCurve, Vec<SimResult>), SchemeConfigError> {
-    // Validate feasibility once up front so the error surfaces before
-    // spawning work.
-    {
-        let mut probe = base.clone();
-        probe.warmup = 0;
-        probe.measure = 0;
-        Simulator::new(probe)?;
-    }
-    let (curve, results) = run_curve_checked(base, loads, label);
-    let results = results
-        .into_iter()
-        .map(|r| r.expect("feasibility checked above"))
-        .collect();
-    Ok((curve, results))
 }

@@ -33,6 +33,7 @@ pub fn build_waitfor_graph(sim: &Simulator) -> WaitForGraph {
     let topo = sim.topo();
     let net = sim.network();
     let nics = sim.nics();
+    let store = sim.store();
     let pattern = sim.config().pattern.clone();
     let proto = pattern.protocol();
 
@@ -60,7 +61,7 @@ pub fn build_waitfor_graph(sim: &Simulator) -> WaitForGraph {
                 let vc = router.vc(PortId(p as u8), v as u8);
                 let Some(front) = vc.front() else { continue };
                 let src_vertex = vc_vertex(r, p, v);
-                let Some(pkt) = net.packets().try_get(front.msg) else {
+                let Some(pkt) = net.packets().get(front.msg) else {
                     continue;
                 };
                 let add_target = |g: &mut WaitForGraph, port: PortId, ovc: u8| {
@@ -77,7 +78,7 @@ pub fn build_waitfor_graph(sim: &Simulator) -> WaitForGraph {
                         // acceptance is imminent: progress, no wait).
                         let local = topo.port_local_index(port).expect("local port");
                         let nic = topo.nic_at(node, local);
-                        let qi = org.queue_index(proto, pkt.msg.mtype);
+                        let qi = org.queue_index(proto, pkt.mtype);
                         if nics[nic.index()].in_queue(qi).is_full() {
                             g.add_edge(src_vertex, inq_vertex(nic.index(), qi));
                         }
@@ -109,7 +110,8 @@ pub fn build_waitfor_graph(sim: &Simulator) -> WaitForGraph {
     for (n, nic) in nics.iter().enumerate() {
         for q in 0..nq {
             // Input queue head waits on the subordinate's output queue.
-            if let Some(head) = nic.in_queue(q).front() {
+            if let Some(&h) = nic.in_queue(q).front() {
+                let head = store.get(h);
                 let shape = pattern.shape(head.shape);
                 let pos = head.chain_pos as usize;
                 // Sinkable heads and multicast join replies drain without
@@ -130,12 +132,11 @@ pub fn build_waitfor_graph(sim: &Simulator) -> WaitForGraph {
                 }
             }
             // Output queue head waits on injection VCs.
-            if let Some(head) = nic.out_queue(q).front() {
-                let router = topo.nic_router(head.dst); // dst router (unused for vertex)
-                let _ = router;
+            if let Some(&h) = nic.out_queue(q).front() {
+                let head = store.get(h);
                 let my_router = topo.nic_router(nic.id());
                 let local_port = topo.local_port(topo.nic_local_index(nic.id()));
-                match nic.active_injection_vc(head.id) {
+                match nic.active_injection_vc(h) {
                     Some(v) => {
                         g.add_edge(
                             outq_vertex(n, q),
@@ -144,7 +145,10 @@ pub fn build_waitfor_graph(sim: &Simulator) -> WaitForGraph {
                     }
                     None => {
                         let pkt = mdd_router::PacketState {
-                            msg: head.clone(),
+                            msg: h,
+                            mtype: head.mtype,
+                            src: head.src,
+                            dst: head.dst,
                             dst_router: topo.nic_router(head.dst),
                             crossed_dateline: 0,
                             injected_at: 0,

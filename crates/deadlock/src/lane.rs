@@ -1,15 +1,15 @@
 //! The recovery lane: exclusive pipelined transport over the ring of
 //! deadlock buffers.
 
-use mdd_protocol::Message;
+use mdd_protocol::MsgHandle;
 use mdd_topology::{NodeId, RecoveryRing};
 
 /// A completed lane transfer: the rescued message has fully arrived in the
 /// destination NIC's deadlock message buffer.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct LaneDelivery {
-    /// The rescued message.
-    pub msg: Message,
+    /// Handle of the rescued message (still owned by the store).
+    pub msg: MsgHandle,
     /// Cycle at which the tail reached the destination DMB.
     pub arrived_at: u64,
 }
@@ -21,7 +21,7 @@ pub struct LaneDelivery {
 pub struct RecoveryLane {
     ring: RecoveryRing,
     hop_latency: u64,
-    active: Option<(Message, NodeId, u64)>,
+    active: Option<(MsgHandle, NodeId, u64)>,
     /// Transfers completed over the lane's lifetime.
     pub transfers: u64,
     /// Total flits carried.
@@ -59,14 +59,14 @@ impl RecoveryLane {
         self.active.is_some()
     }
 
-    /// Launch a transfer from `src` to `dst` at cycle `now`; returns the
-    /// arrival cycle. Panics if the lane is busy (the token excludes
-    /// concurrent rescues).
-    pub fn send(&mut self, msg: Message, src: NodeId, dst: NodeId, now: u64) -> u64 {
+    /// Launch a transfer of `length_flits` flits from `src` to `dst` at
+    /// cycle `now`; returns the arrival cycle. Panics if the lane is busy
+    /// (the token excludes concurrent rescues).
+    pub fn send(&mut self, msg: MsgHandle, length_flits: u32, src: NodeId, dst: NodeId, now: u64) -> u64 {
         assert!(self.active.is_none(), "recovery lane is exclusive");
         let d = self.ring.ring_distance(src, dst) as u64;
-        let arrive = now + d * self.hop_latency + msg.length_flits as u64;
-        self.flits_carried += msg.length_flits as u64;
+        let arrive = now + d * self.hop_latency + length_flits as u64;
+        self.flits_carried += length_flits as u64;
         self.active = Some((msg, dst, arrive));
         arrive
     }

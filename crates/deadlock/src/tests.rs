@@ -1,7 +1,7 @@
 //! Tests for the deadlock machinery.
 
 use crate::*;
-use mdd_protocol::{Message, MessageId, MsgType, ShapeId, TransactionId};
+use mdd_protocol::{Message, MessageId, MessageStore, MsgType, ShapeId, TransactionId};
 use mdd_topology::{NicId, NodeId, RecoveryRing, Topology, TopologyKind, TourStop};
 
 fn ring44() -> RecoveryRing {
@@ -123,12 +123,14 @@ fn lane_transfer_timing() {
     let mut lane = RecoveryLane::new(ring, 1);
     let a = lane.ring().at(2);
     let b = lane.ring().at(7);
-    let arrive = lane.send(msg(1, 8), a, b, 100);
+    let mut store = MessageStore::new();
+    let h = store.insert(msg(1, 8));
+    let arrive = lane.send(h, 8, a, b, 100);
     assert_eq!(arrive, 100 + 5 + 8, "5 ring hops + 8 flits");
     assert!(lane.busy());
     assert!(lane.poll(arrive - 1).is_none());
     let d = lane.poll(arrive).expect("arrives on time");
-    assert_eq!(d.msg.id, MessageId(1));
+    assert_eq!(store.get(d.msg).id, MessageId(1));
     assert!(!lane.busy());
     assert_eq!(lane.transfers, 1);
     assert_eq!(lane.flits_carried, 8);
@@ -140,7 +142,9 @@ fn lane_wraps_backward_destinations() {
     let mut lane = RecoveryLane::new(ring, 2);
     let a = lane.ring().at(10);
     let b = lane.ring().at(3); // 9 forward hops on a 16-ring
-    let arrive = lane.send(msg(1, 4), a, b, 0);
+    let mut store = MessageStore::new();
+    let h = store.insert(msg(1, 4));
+    let arrive = lane.send(h, 4, a, b, 0);
     assert_eq!(arrive, 9 * 2 + 4);
 }
 
@@ -151,8 +155,11 @@ fn lane_rejects_concurrent_transfers() {
     let mut lane = RecoveryLane::new(ring, 1);
     let a = lane.ring().at(0);
     let b = lane.ring().at(1);
-    lane.send(msg(1, 4), a, b, 0);
-    lane.send(msg(2, 4), a, b, 0);
+    let mut store = MessageStore::new();
+    let h1 = store.insert(msg(1, 4));
+    let h2 = store.insert(msg(2, 4));
+    lane.send(h1, 4, a, b, 0);
+    lane.send(h2, 4, a, b, 0);
 }
 
 #[test]
@@ -282,7 +289,9 @@ mod properties {
             let a = lane.ring().at(src);
             let b = lane.ring().at(dst);
             let d = lane.ring().ring_distance(a, b) as u64;
-            let arrive = lane.send(msg(1, len), a, b, now);
+            let mut store = MessageStore::new();
+            let hm = store.insert(msg(1, len));
+            let arrive = lane.send(hm, len, a, b, now);
             prop_assert_eq!(arrive, now + d * h + len as u64);
             prop_assert!(lane.poll(arrive).is_some());
         }

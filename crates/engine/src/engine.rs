@@ -217,7 +217,8 @@ impl SweepReport {
     }
 
     /// The successful results by value, in job order (for call sites
-    /// migrating from the infallible `run_curve`).
+    /// migrating from `run_curve_checked` without inspecting per-point
+    /// errors).
     pub fn into_results(self) -> Vec<SimResult> {
         self.outcomes
             .into_iter()

@@ -1,6 +1,9 @@
 //! Finite message queues with reservation accounting.
+//!
+//! Queues store [`MsgHandle`]s — the messages themselves stay in the
+//! simulation's `MessageStore` until consumed.
 
-use mdd_protocol::Message;
+use mdd_protocol::MsgHandle;
 use std::collections::VecDeque;
 
 /// A finite FIFO message queue with two kinds of reservations:
@@ -14,7 +17,7 @@ use std::collections::VecDeque;
 ///   network).
 #[derive(Clone, Debug)]
 pub struct MsgQueue {
-    q: VecDeque<Message>,
+    q: VecDeque<MsgHandle>,
     cap: u32,
     inflight: u32,
     earmarked: u32,
@@ -87,7 +90,7 @@ impl MsgQueue {
     }
 
     /// Materialize a previously reserved message at the tail.
-    pub fn push_reserved(&mut self, msg: Message) {
+    pub fn push_reserved(&mut self, msg: MsgHandle) {
         debug_assert!(self.inflight > 0, "push_reserved without reservation");
         self.inflight -= 1;
         self.q.push_back(msg);
@@ -95,7 +98,7 @@ impl MsgQueue {
 
     /// Admit a new message without prior reservation (used by request
     /// issue). Returns false (message given back via the Result) if full.
-    pub fn push_new(&mut self, msg: Message) -> Result<(), Message> {
+    pub fn push_new(&mut self, msg: MsgHandle) -> Result<(), MsgHandle> {
         if self.has_space() {
             self.q.push_back(msg);
             Ok(())
@@ -140,19 +143,19 @@ impl MsgQueue {
         self.inflight
     }
 
-    /// The head message.
+    /// Handle of the head message.
     #[inline]
-    pub fn front(&self) -> Option<&Message> {
+    pub fn front(&self) -> Option<&MsgHandle> {
         self.q.front()
     }
 
-    /// Remove and return the head message.
-    pub fn pop(&mut self) -> Option<Message> {
+    /// Remove and return the head message handle.
+    pub fn pop(&mut self) -> Option<MsgHandle> {
         self.q.pop_front()
     }
 
-    /// Iterate over enqueued messages front to back.
-    pub fn iter(&self) -> impl Iterator<Item = &Message> {
+    /// Iterate over enqueued message handles front to back.
+    pub fn iter(&self) -> impl Iterator<Item = &MsgHandle> {
         self.q.iter()
     }
 }

@@ -2,8 +2,8 @@
 
 use crate::*;
 use mdd_protocol::{
-    HopTarget, IdAlloc, Message, MessageId, MsgType, PatternSpec, QueueOrg, ShapeId,
-    TransactionId,
+    HopTarget, IdAlloc, Message, MessageId, MessageStore, MsgHandle, MsgType, PatternSpec,
+    QueueOrg, ShapeId, TransactionId,
 };
 use mdd_topology::NicId;
 use std::sync::Arc;
@@ -59,15 +59,32 @@ fn request(id: u64, src: u32, dst: u32) -> Message {
     msg(id, 0, 0, 0, src, dst, src)
 }
 
+/// Eject `m` into the NIC the way the network would: insert into the
+/// store, check acceptance, then deliver the tail.
+fn eject(nic: &mut Nic, store: &mut MessageStore, m: Message) -> MsgHandle {
+    assert!(nic.can_accept(&m));
+    let h = store.insert(m);
+    nic.on_packet(h, store.get(h));
+    h
+}
+
+/// Issue a fresh request through the store.
+fn issue(nic: &mut Nic, store: &mut MessageStore, m: Message) -> MsgHandle {
+    let h = store.insert(m);
+    nic.issue_request(h, store);
+    h
+}
+
 #[test]
 fn issue_request_consumes_mshr_and_earmark() {
+    let mut store = MessageStore::new();
     let mut nic = Nic::new(NicId(0), cfg(QueueOrg::PerType), pat(), 4);
     assert!(nic.can_issue_request(MsgType(0)));
-    nic.issue_request(request(1, 0, 5));
+    issue(&mut nic, &mut store, request(1, 0, 5));
     assert_eq!(nic.outstanding(), 1);
     // PerType org: terminating RP lands in queue index sa_partition(RP)=3.
     assert_eq!(nic.in_queue(3).earmarked(), 1);
-    nic.issue_request(request(2, 0, 5));
+    issue(&mut nic, &mut store, request(2, 0, 5));
     assert!(!nic.can_issue_request(MsgType(0)), "MSHR limit of 2 reached");
 }
 
@@ -84,21 +101,20 @@ fn queue_org_counts() {
 
 #[test]
 fn mc_services_head_and_generates_subordinate() {
+    let mut store = MessageStore::new();
     let mut nic = Nic::new(NicId(5), cfg(QueueOrg::Shared), pat(), 4);
     let mut ids = IdAlloc::new();
     ids.next_msg(); // keep ids distinct from the test message's id 0
     // An RQ (chain-2 shape) arrives at home node 5 from requester 0.
-    let m = request(0, 0, 5);
-    assert!(nic.can_accept(&m));
-    nic.on_packet(m);
+    eject(&mut nic, &mut store, request(0, 0, 5));
     assert_eq!(nic.in_queue(0).len(), 1);
     // Service takes 10 cycles; subordinate RP appears afterwards.
     for c in 0..12 {
-        nic.tick(c, &mut ids);
+        nic.tick(c, &mut ids, &mut store);
     }
     assert_eq!(nic.in_queue(0).len(), 0);
     assert_eq!(nic.out_queue(0).len(), 1);
-    let sub = nic.out_queue(0).front().unwrap();
+    let sub = store.get(*nic.out_queue(0).front().unwrap());
     assert_eq!(sub.mtype, MsgType(3), "chain-2 subordinate is RP");
     assert_eq!(sub.dst, NicId(0), "reply goes to the requester");
     assert_eq!(sub.chain_pos, 1);
@@ -107,16 +123,18 @@ fn mc_services_head_and_generates_subordinate() {
 
 #[test]
 fn terminating_reply_sinks_instantly_and_frees_mshr() {
+    let mut store = MessageStore::new();
     let mut nic = Nic::new(NicId(0), cfg(QueueOrg::PerType), pat(), 4);
     let mut ids = IdAlloc::new();
-    nic.issue_request(request(1, 0, 5));
+    issue(&mut nic, &mut store, request(1, 0, 5));
     assert_eq!(nic.outstanding(), 1);
     // The terminating RP comes back.
     let rp = msg(2, 3, 0, 1, 5, 0, 0);
     assert!(nic.can_accept(&rp), "earmarked slot guarantees acceptance");
     assert_eq!(nic.in_queue(3).earmarked(), 0, "earmark claimed");
-    nic.on_packet(rp);
-    nic.tick(100, &mut ids);
+    let h = store.insert(rp);
+    nic.on_packet(h, store.get(h));
+    nic.tick(100, &mut ids, &mut store);
     assert_eq!(nic.outstanding(), 0, "transaction complete");
     assert_eq!(nic.in_queue(3).len(), 0, "reply drained");
     assert_eq!(nic.stats.transactions_completed, 1);
@@ -125,17 +143,17 @@ fn terminating_reply_sinks_instantly_and_frees_mshr() {
 
 #[test]
 fn mc_blocked_when_output_full() {
+    let mut store = MessageStore::new();
     let mut nic = Nic::new(NicId(5), cfg(QueueOrg::Shared), pat(), 4);
     let mut ids = IdAlloc::new();
     // Fill the (shared) output queue with 4 unrelated requests.
     for i in 0..4 {
-        assert!(nic.try_deposit_output(request(100 + i, 5, 1)).is_ok());
+        let h = store.insert(request(100 + i, 5, 1));
+        assert!(nic.try_deposit_output(h, &store).is_ok());
     }
-    let m = request(0, 0, 5);
-    assert!(nic.can_accept(&m));
-    nic.on_packet(m);
+    eject(&mut nic, &mut store, request(0, 0, 5));
     for c in 0..50 {
-        nic.tick(c, &mut ids);
+        nic.tick(c, &mut ids, &mut store);
     }
     assert_eq!(
         nic.in_queue(0).len(),
@@ -146,21 +164,21 @@ fn mc_blocked_when_output_full() {
 
 #[test]
 fn detector_fires_after_threshold() {
+    let mut store = MessageStore::new();
     let mut nic = Nic::new(NicId(5), cfg(QueueOrg::Shared), pat(), 4);
     let mut ids = IdAlloc::new();
     // Fill output queue (4 slots) and input queue (4 requests).
     for i in 0..4 {
-        nic.try_deposit_output(request(100 + i, 5, 1)).unwrap();
+        let h = store.insert(request(100 + i, 5, 1));
+        nic.try_deposit_output(h, &store).unwrap();
     }
     for i in 0..4 {
-        let m = request(i, 0, 5);
-        assert!(nic.can_accept(&m));
-        nic.on_packet(m);
+        eject(&mut nic, &mut store, request(i, 0, 5));
     }
-    nic.tick(0, &mut ids);
+    nic.tick(0, &mut ids, &mut store);
     assert!(!nic.detection_fired(0), "time-out not yet elapsed");
     for c in 1..=6 {
-        nic.tick(c, &mut ids);
+        nic.tick(c, &mut ids, &mut store);
     }
     assert!(nic.detection_fired(6), "condition persisted past T=5");
     assert_eq!(nic.stats.deadlocks_detected, 1, "one episode counted once");
@@ -169,28 +187,28 @@ fn detector_fires_after_threshold() {
 #[test]
 fn deflection_generates_backoff_reply() {
     // Home node 5 under DR with a stuck FRQ-generating head (chain-3 shape).
+    let mut store = MessageStore::new();
     let mut nic = Nic::new(NicId(5), cfg(QueueOrg::PerNetwork), pat(), 4);
     let mut ids = IdAlloc::new();
     // Fill the request output queue (network 0) so FRQ cannot be deposited.
     for i in 0..4 {
-        nic.try_deposit_output(request(100 + i, 5, 1)).unwrap();
+        let h = store.insert(request(100 + i, 5, 1));
+        nic.try_deposit_output(h, &store).unwrap();
     }
     // Fill the request input queue with chain-3 RQs (subordinate FRQ).
     for i in 0..4 {
-        let m = msg(i, 0, 1, 0, 0, 5, 0); // shape 1 = chain-3
-        assert!(nic.can_accept(&m));
-        nic.on_packet(m);
+        eject(&mut nic, &mut store, msg(i, 0, 1, 0, 0, 5, 0)); // shape 1 = chain-3
     }
     for c in 0..6 {
-        nic.tick(c, &mut ids);
+        nic.tick(c, &mut ids, &mut store);
     }
     assert!(nic.detection_fired(5));
-    assert!(nic.try_deflect(6, &mut ids));
+    assert!(nic.try_deflect(6, &mut ids, &mut store));
     assert_eq!(nic.stats.deflections, 1);
     assert_eq!(nic.in_queue(0).len(), 3, "stuck head removed");
     // The backoff reply sits in the reply output queue (network 1).
     assert_eq!(nic.out_queue(1).len(), 1);
-    let bkf = nic.out_queue(1).front().unwrap();
+    let bkf = store.get(*nic.out_queue(1).front().unwrap());
     assert!(bkf.is_backoff);
     assert_eq!(bkf.dst, NicId(0), "backoff goes to the requester");
     assert_eq!(bkf.mtype, pat().protocol().backoff_type().unwrap());
@@ -198,19 +216,19 @@ fn deflection_generates_backoff_reply() {
 
 #[test]
 fn backoff_reply_resumes_chain_at_requester() {
+    let mut store = MessageStore::new();
     let mut nic = Nic::new(NicId(0), cfg(QueueOrg::PerNetwork), pat(), 4);
     let mut ids = IdAlloc::new();
     // Requester receives a backoff reply for a chain-3 transaction whose
     // deflected message was FRQ (chain position 1).
     let mut bkf = msg(7, 4, 1, 0, 5, 0, 0); // BKF = type 4
     bkf.is_backoff = true;
-    assert!(nic.can_accept(&bkf));
-    nic.on_packet(bkf);
-    nic.tick(0, &mut ids);
+    eject(&mut nic, &mut store, bkf);
+    nic.tick(0, &mut ids, &mut store);
     // The requester now issues the FRQ itself, to the owner.
     let frq_q = QueueOrg::PerNetwork.queue_index(pat().protocol(), MsgType(1));
     assert_eq!(nic.out_queue(frq_q).len(), 1);
-    let frq = nic.out_queue(frq_q).front().unwrap();
+    let frq = store.get(*nic.out_queue(frq_q).front().unwrap());
     assert_eq!(frq.mtype, MsgType(1));
     assert_eq!(frq.dst, NicId(2), "forwarded request goes to the owner");
     assert_eq!(frq.src, NicId(0), "sent by the requester, not the home");
@@ -218,27 +236,27 @@ fn backoff_reply_resumes_chain_at_requester() {
 
 #[test]
 fn rescue_from_input_produces_subordinate_for_dmb() {
+    let mut store = MessageStore::new();
     let mut nic = Nic::new(NicId(5), cfg(QueueOrg::Shared), pat(), 4);
     let mut ids = IdAlloc::new();
     for i in 0..4 {
-        nic.try_deposit_output(request(100 + i, 5, 1)).unwrap();
+        let h = store.insert(request(100 + i, 5, 1));
+        nic.try_deposit_output(h, &store).unwrap();
     }
     for i in 0..4 {
-        let m = request(i, 0, 5);
-        assert!(nic.can_accept(&m));
-        nic.on_packet(m);
+        eject(&mut nic, &mut store, request(i, 0, 5));
     }
     for c in 0..6 {
-        nic.tick(c, &mut ids);
+        nic.tick(c, &mut ids, &mut store);
     }
     assert!(nic.detection_fired(5));
-    assert!(nic.begin_rescue_from_input(6).is_some());
+    assert!(nic.begin_rescue_from_input(6, &store).is_some());
     assert!(nic.rescue_busy());
     assert_eq!(nic.in_queue(0).len(), 3, "head removed for rescue");
     // MC processes the rescued head; subordinate emerges for the DMB.
     let mut out = None;
     for c in 6..30 {
-        nic.tick(c, &mut ids);
+        nic.tick(c, &mut ids, &mut store);
         if let Some(subs) = nic.take_rescue_output() {
             out = Some((c, subs));
             break;
@@ -247,27 +265,26 @@ fn rescue_from_input_produces_subordinate_for_dmb() {
     let (c, subs) = out.expect("rescue processing must complete");
     assert!(c >= 16, "service time of 10 cycles applies");
     assert_eq!(subs.len(), 1);
-    assert_eq!(subs[0].mtype, MsgType(3), "RQ's subordinate is RP");
+    assert_eq!(store.get(subs[0]).mtype, MsgType(3), "RQ's subordinate is RP");
     assert!(!nic.rescue_busy());
     assert_eq!(nic.stats.rescues, 1);
 }
 
 #[test]
 fn rescue_process_waits_for_current_mc_operation() {
+    let mut store = MessageStore::new();
     let mut nic = Nic::new(NicId(5), cfg(QueueOrg::Shared), pat(), 4);
     let mut ids = IdAlloc::new();
     // Normal work first.
-    let m = request(0, 0, 5);
-    assert!(nic.can_accept(&m));
-    nic.on_packet(m);
-    nic.tick(0, &mut ids); // MC starts servicing at cycle 0
+    eject(&mut nic, &mut store, request(0, 0, 5));
+    nic.tick(0, &mut ids, &mut store); // MC starts servicing at cycle 0
     // A lane-delivered message needing preemption.
-    let lane = msg(50, 0, 1, 0, 1, 5, 1);
+    let lane = store.insert(msg(50, 0, 1, 0, 1, 5, 1));
     assert_eq!(nic.rescue_process(lane), RescueOutcome::Scheduled);
     // Completion of the normal op happens at cycle 10; rescue runs after.
     let mut done_at = None;
     for c in 1..40 {
-        nic.tick(c, &mut ids);
+        nic.tick(c, &mut ids, &mut store);
         if let Some(_subs) = nic.take_rescue_output() {
             done_at = Some(c);
             break;
@@ -281,25 +298,31 @@ fn rescue_process_waits_for_current_mc_operation() {
 
 #[test]
 fn deposit_paths() {
+    let mut store = MessageStore::new();
     let mut nic = Nic::new(NicId(0), cfg(QueueOrg::Shared), pat(), 4);
     // Input deposit succeeds until the queue is full.
     for i in 0..4 {
-        assert!(nic.try_deposit_input(request(i, 1, 0)).is_ok());
+        let h = store.insert(request(i, 1, 0));
+        assert!(nic.try_deposit_input(h, &store).is_ok());
     }
-    assert!(nic.try_deposit_input(request(9, 1, 0)).is_err());
+    let h = store.insert(request(9, 1, 0));
+    assert!(nic.try_deposit_input(h, &store).is_err());
     // Output deposit likewise.
     for i in 0..4 {
-        assert!(nic.try_deposit_output(request(10 + i, 0, 1)).is_ok());
+        let h = store.insert(request(10 + i, 0, 1));
+        assert!(nic.try_deposit_output(h, &store).is_ok());
     }
-    assert!(nic.try_deposit_output(request(19, 0, 1)).is_err());
+    let h = store.insert(request(19, 0, 1));
+    assert!(nic.try_deposit_output(h, &store).is_err());
 }
 
 #[test]
 fn sink_terminating_via_preemption() {
+    let mut store = MessageStore::new();
     let mut nic = Nic::new(NicId(0), cfg(QueueOrg::Shared), pat(), 4);
-    nic.issue_request(request(1, 0, 5));
-    let rp = msg(2, 3, 0, 1, 5, 0, 0);
-    nic.sink_terminating(rp, 44);
+    issue(&mut nic, &mut store, request(1, 0, 5));
+    let rp = store.insert(msg(2, 3, 0, 1, 5, 0, 0));
+    nic.sink_terminating(rp, 44, &mut store);
     assert_eq!(nic.outstanding(), 0);
     assert_eq!(nic.stats.transactions_completed, 1);
 }
@@ -321,7 +344,7 @@ fn injection_streams_one_flit_per_cycle() {
         ) {
             if node == pkt.dst_router {
                 out.push(RouteCandidate {
-                    port: topo.local_port(topo.nic_local_index(pkt.msg.dst)),
+                    port: topo.local_port(topo.nic_local_index(pkt.dst)),
                     vc: 0,
                 });
                 return;
@@ -339,17 +362,18 @@ fn injection_streams_one_flit_per_cycle() {
         }
     }
 
+    let mut store = MessageStore::new();
     let topo = Topology::new(TopologyKind::Torus, &[4, 4], 1);
     let mut net = Network::new(topo, 2, 2);
     let mut nic = Nic::new(NicId(0), cfg(QueueOrg::Shared), pat(), 2);
     let mut ej = AcceptAll::default();
     // Two requests queued for injection.
-    nic.issue_request(request(1, 0, 5));
+    issue(&mut nic, &mut store, request(1, 0, 5));
     // Second transaction is allowed (mshr_limit = 2).
     assert!(nic.can_issue_request(MsgType(0)));
-    nic.issue_request(request(2, 0, 6));
+    issue(&mut nic, &mut store, request(2, 0, 6));
     for c in 0..120 {
-        nic.injection_tick(&mut net, &Dor, c);
+        nic.injection_tick(&mut net, &Dor, c, &store);
         net.step(c, &Dor, &mut ej);
     }
     assert_eq!(ej.delivered.len(), 2, "both requests traverse the network");
@@ -380,14 +404,15 @@ fn abort_injection_removes_active_head() {
             out.push(0);
         }
     }
+    let mut store = MessageStore::new();
     let topo = Topology::new(TopologyKind::Torus, &[4, 4], 1);
     let mut net = Network::new(topo, 2, 2);
     let mut nic = Nic::new(NicId(0), cfg(QueueOrg::Shared), pat(), 2);
-    nic.issue_request(request(1, 0, 5));
-    nic.injection_tick(&mut net, &Stub, 0); // starts injection, sends one flit
-    assert!(nic.abort_injection(MessageId(1)));
+    let h = issue(&mut nic, &mut store, request(1, 0, 5));
+    nic.injection_tick(&mut net, &Stub, 0, &store); // starts injection, sends one flit
+    assert!(nic.abort_injection(h));
     assert_eq!(nic.out_queue(0).len(), 0, "aborted message left the queue");
-    assert!(!nic.abort_injection(MessageId(1)), "already aborted");
+    assert!(!nic.abort_injection(h), "already aborted");
 }
 
 // ---------------------------------------------------------------------
@@ -428,19 +453,19 @@ fn mcast_request(id: u64, src: u32, home: u32, sharers: u64) -> Message {
 
 #[test]
 fn multicast_generates_one_inv_per_sharer() {
+    let mut store = MessageStore::new();
     let mut nic = Nic::new(NicId(5), cfg(QueueOrg::Shared), multicast_pat(), 4);
     let mut ids = IdAlloc::new();
     ids.next_msg();
-    let m = mcast_request(0, 0, 5, 0b1110); // sharers 1, 2, 3
-    assert!(nic.can_accept(&m));
-    nic.on_packet(m);
+    eject(&mut nic, &mut store, mcast_request(0, 0, 5, 0b1110)); // sharers 1, 2, 3
     for c in 0..12 {
-        nic.tick(c, &mut ids);
+        nic.tick(c, &mut ids, &mut store);
     }
     assert_eq!(nic.out_queue(0).len(), 3, "one INV per sharer");
-    let dsts: Vec<u32> = nic.out_queue(0).iter().map(|s| s.dst.0).collect();
+    let dsts: Vec<u32> = nic.out_queue(0).iter().map(|h| store.get(*h).dst.0).collect();
     assert_eq!(dsts, vec![1, 2, 3]);
-    for s in nic.out_queue(0).iter() {
+    for h in nic.out_queue(0).iter() {
+        let s = store.get(*h);
         assert_eq!(s.mtype, MsgType(1));
         assert_eq!(s.chain_pos, 1);
         assert_eq!(s.sharers, 0b1110, "branch count travels with the chain");
@@ -450,16 +475,16 @@ fn multicast_generates_one_inv_per_sharer() {
 #[test]
 fn multicast_blocked_without_room_for_all_branches() {
     // Queue capacity 4; 3 slots already used: only 1 left but fanout 3.
+    let mut store = MessageStore::new();
     let mut nic = Nic::new(NicId(5), cfg(QueueOrg::Shared), multicast_pat(), 4);
     let mut ids = IdAlloc::new();
     for i in 0..3 {
-        nic.try_deposit_output(mcast_request(100 + i, 5, 1, 0)).unwrap();
+        let h = store.insert(mcast_request(100 + i, 5, 1, 0));
+        nic.try_deposit_output(h, &store).unwrap();
     }
-    let m = mcast_request(0, 0, 5, 0b1110);
-    assert!(nic.can_accept(&m));
-    nic.on_packet(m);
+    eject(&mut nic, &mut store, mcast_request(0, 0, 5, 0b1110));
     for c in 0..30 {
-        nic.tick(c, &mut ids);
+        nic.tick(c, &mut ids, &mut store);
     }
     assert_eq!(
         nic.in_queue(0).len(),
@@ -471,6 +496,7 @@ fn multicast_blocked_without_room_for_all_branches() {
 
 #[test]
 fn join_waits_for_all_branch_replies() {
+    let mut store = MessageStore::new();
     let mut nic = Nic::new(NicId(5), cfg(QueueOrg::Shared), multicast_pat(), 4);
     let mut ids = IdAlloc::new();
     ids.next_msg();
@@ -480,11 +506,10 @@ fn join_waits_for_all_branch_replies() {
         let mut ack = msg(10 + k as u64, 2, 0, 2, *src, 5, 0);
         ack.txn = TransactionId(77); // all branches belong to one transaction
         ack.sharers = 0b1110;
-        assert!(nic.can_accept(&ack));
-        nic.on_packet(ack);
+        eject(&mut nic, &mut store, ack);
         // Service this ack fully before delivering the next.
         for _ in 0..15 {
-            nic.tick(cycle, &mut ids);
+            nic.tick(cycle, &mut ids, &mut store);
             cycle += 1;
         }
         let rp_count = nic.out_queue(0).len();
@@ -492,7 +517,7 @@ fn join_waits_for_all_branch_replies() {
             assert_eq!(rp_count, 0, "no reply until the last ack (got one after ack {k})");
         } else {
             assert_eq!(rp_count, 1, "final ack releases the terminating reply");
-            let rp = nic.out_queue(0).front().unwrap();
+            let rp = store.get(*nic.out_queue(0).front().unwrap());
             assert_eq!(rp.mtype, MsgType(3));
             assert_eq!(rp.dst, NicId(0));
         }
@@ -501,26 +526,26 @@ fn join_waits_for_all_branch_replies() {
 
 #[test]
 fn rescue_of_multicast_head_yields_all_branches() {
+    let mut store = MessageStore::new();
     let mut nic = Nic::new(NicId(5), cfg(QueueOrg::Shared), multicast_pat(), 4);
     let mut ids = IdAlloc::new();
     ids.next_msg();
     // Wedge: output full, input full of multicast-generating heads.
     for i in 0..4 {
-        nic.try_deposit_output(mcast_request(100 + i, 5, 1, 0)).unwrap();
+        let h = store.insert(mcast_request(100 + i, 5, 1, 0));
+        nic.try_deposit_output(h, &store).unwrap();
     }
     for i in 0..4 {
-        let m = mcast_request(i, 0, 5, 0b0110);
-        assert!(nic.can_accept(&m));
-        nic.on_packet(m);
+        eject(&mut nic, &mut store, mcast_request(i, 0, 5, 0b0110));
     }
     for c in 0..6 {
-        nic.tick(c, &mut ids);
+        nic.tick(c, &mut ids, &mut store);
     }
     assert!(nic.detection_fired(5));
-    assert!(nic.begin_rescue_from_input(6).is_some());
+    assert!(nic.begin_rescue_from_input(6, &store).is_some());
     let mut subs = None;
     for c in 6..40 {
-        nic.tick(c, &mut ids);
+        nic.tick(c, &mut ids, &mut store);
         if let Some(v) = nic.take_rescue_output() {
             subs = Some(v);
             break;
@@ -528,7 +553,7 @@ fn rescue_of_multicast_head_yields_all_branches() {
     }
     let subs = subs.expect("rescue completes");
     assert_eq!(subs.len(), 2, "Appendix Case 4: all branch subordinates rescued");
-    let dsts: Vec<u32> = subs.iter().map(|s| s.dst.0).collect();
+    let dsts: Vec<u32> = subs.iter().map(|h| store.get(*h).dst.0).collect();
     assert_eq!(dsts, vec![1, 2]);
 }
 
@@ -570,6 +595,7 @@ mod queue_properties {
         #[test]
         fn capacity_invariant_holds(cap in 1u32..12,
                                     ops in proptest::collection::vec(arb_op(), 0..200)) {
+            let mut store = MessageStore::new();
             let mut q = MsgQueue::new(cap);
             let mut next_id = 0u64;
             for op in ops {
@@ -587,13 +613,15 @@ mod queue_properties {
                     Op::PushReserved => {
                         if q.inflight() > 0 {
                             next_id += 1;
-                            q.push_reserved(super::request(next_id, 0, 1));
+                            let h = store.insert(super::request(next_id, 0, 1));
+                            q.push_reserved(h);
                         }
                     }
                     Op::PushNew => {
                         next_id += 1;
                         let had_space = q.has_space();
-                        let r = q.push_new(super::request(next_id, 0, 1));
+                        let h = store.insert(super::request(next_id, 0, 1));
+                        let r = q.push_new(h);
                         prop_assert_eq!(r.is_ok(), had_space);
                     }
                     Op::Earmark => {

@@ -23,9 +23,11 @@ mod pattern;
 mod queue_org;
 mod shape;
 mod spec;
+mod store;
 mod types;
 
 pub use message::{IdAlloc, Message, MessageId, TransactionId};
+pub use store::{MessageStore, MsgHandle};
 pub use queue_org::QueueOrg;
 pub use pattern::{PatternSpec, ShapeId};
 pub use shape::{HopTarget, TransactionShape};

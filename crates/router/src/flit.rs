@@ -1,8 +1,7 @@
 //! Flits and in-flight packet routing state.
 
-use mdd_protocol::{Message, MessageId};
-use mdd_topology::NodeId;
-use std::collections::HashMap;
+use mdd_protocol::{MsgHandle, MsgType};
+use mdd_topology::{NicId, NodeId};
 
 /// One flow-control unit. Packets (== messages, paper footnote 1) are
 /// segmented into `length_flits` flits numbered `0..length`; flit 0 is the
@@ -10,8 +9,8 @@ use std::collections::HashMap;
 /// releases virtual channels as it passes).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Flit {
-    /// The packet this flit belongs to.
-    pub msg: MessageId,
+    /// Handle of the packet this flit belongs to.
+    pub msg: MsgHandle,
     /// Sequence number within the packet (0 = head).
     pub seq: u32,
     /// True for the final flit.
@@ -26,12 +25,20 @@ impl Flit {
     }
 }
 
-/// State of one in-flight packet: the full message plus mutable routing
-/// bookkeeping updated as the head flit advances.
-#[derive(Clone, Debug)]
+/// State of one in-flight packet: a handle to the store-owned message plus
+/// the routing-relevant message fields (cached at injection so the hot
+/// routing path never resolves the store) and mutable routing bookkeeping
+/// updated as the head flit advances.
+#[derive(Clone, Copy, Debug)]
 pub struct PacketState {
-    /// The message being carried.
-    pub msg: Message,
+    /// Handle of the message being carried.
+    pub msg: MsgHandle,
+    /// Message type (cached — drives VC-class selection).
+    pub mtype: MsgType,
+    /// Source NIC (cached — rescue fallback origin).
+    pub src: NicId,
+    /// Destination NIC (cached — selects the local ejection port).
+    pub dst: NicId,
     /// Destination router (where the destination NIC attaches).
     pub dst_router: NodeId,
     /// Per-dimension dateline-crossing bits: bit `d` is set once the head
@@ -43,10 +50,18 @@ pub struct PacketState {
     pub injected_at: u64,
 }
 
-/// Registry of in-flight packets, keyed by message id.
+/// Registry of in-flight packets: a slab indexed by the message handle's
+/// store slot, so lookup is a bounds-checked `Vec` index instead of a hash.
+///
+/// Because each live message owns exactly one store slot, the slot is a
+/// collision-free dense key for its packet state. Lookups return `Option`
+/// (no panicking accessors); under `debug_assertions` the full stored
+/// handle — including its generation tag — is compared against the query,
+/// so a stale handle whose slot was recycled fails loudly.
 #[derive(Default, Debug)]
 pub struct PacketTable {
-    map: HashMap<u64, PacketState>,
+    slots: Vec<Option<PacketState>>,
+    live: usize,
 }
 
 impl PacketTable {
@@ -56,51 +71,53 @@ impl PacketTable {
     }
 
     /// Register a packet at injection time.
-    pub fn insert(&mut self, id: MessageId, state: PacketState) {
-        let prev = self.map.insert(id.0, state);
-        debug_assert!(prev.is_none(), "packet {id:?} registered twice");
+    pub fn insert(&mut self, state: PacketState) {
+        let i = state.msg.slot() as usize;
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, None);
+        }
+        debug_assert!(self.slots[i].is_none(), "packet {:?} registered twice", state.msg);
+        self.slots[i] = Some(state);
+        self.live += 1;
     }
 
-    /// Routing state of packet `id` (panics if unknown — every in-network
-    /// flit must have a registered packet).
     #[inline]
-    pub fn get(&self, id: MessageId) -> &PacketState {
-        self.map
-            .get(&id.0)
-            .expect("flit in network without a registered packet")
+    fn check(&self, h: MsgHandle, st: &PacketState) {
+        debug_assert_eq!(st.msg, h, "stale MsgHandle queried against PacketTable");
     }
 
-    /// Mutable routing state of packet `id`.
+    /// Routing state of packet `h`, or `None` if it is not in flight.
     #[inline]
-    pub fn get_mut(&mut self, id: MessageId) -> &mut PacketState {
-        self.map
-            .get_mut(&id.0)
-            .expect("flit in network without a registered packet")
+    pub fn get(&self, h: MsgHandle) -> Option<&PacketState> {
+        let st = self.slots.get(h.slot() as usize)?.as_ref()?;
+        self.check(h, st);
+        Some(st)
     }
 
-    /// Look up without panicking.
-    pub fn try_get(&self, id: MessageId) -> Option<&PacketState> {
-        self.map.get(&id.0)
+    /// Mutable routing state of packet `h`, or `None` if not in flight.
+    #[inline]
+    pub fn get_mut(&mut self, h: MsgHandle) -> Option<&mut PacketState> {
+        let st = self.slots.get_mut(h.slot() as usize)?.as_mut()?;
+        debug_assert_eq!(st.msg, h, "stale MsgHandle queried against PacketTable");
+        Some(st)
     }
 
     /// Remove a packet once its tail has been delivered (or it has been
     /// extracted for rescue). Returns its state.
-    pub fn remove(&mut self, id: MessageId) -> Option<PacketState> {
-        self.map.remove(&id.0)
+    pub fn remove(&mut self, h: MsgHandle) -> Option<PacketState> {
+        let st = self.slots.get_mut(h.slot() as usize)?.take()?;
+        self.check(h, &st);
+        self.live -= 1;
+        Some(st)
     }
 
     /// Number of in-flight packets.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.live
     }
 
     /// True if no packets are in flight.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
-    }
-
-    /// Iterate over in-flight packet ids.
-    pub fn ids(&self) -> impl Iterator<Item = MessageId> + '_ {
-        self.map.keys().copied().map(MessageId)
+        self.live == 0
     }
 }

@@ -30,7 +30,7 @@ use crate::flit::{Flit, PacketState, PacketTable};
 use crate::router::Router;
 use crate::traits::{EjectControl, RouteCandidate, Routing};
 use mdd_obs::CounterId;
-use mdd_protocol::{Message, MessageId};
+use mdd_protocol::{Message, MsgHandle};
 use mdd_topology::{NicId, NodeId, PortId, Topology};
 
 /// Aggregate transport counters.
@@ -50,10 +50,10 @@ pub struct NetworkCounters {
 
 /// A packet removed from normal virtual-channel resources for progressive
 /// recovery over the deadlock-buffer lane.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct ExtractedPacket {
-    /// The message being rescued.
-    pub msg: Message,
+    /// Handle of the message being rescued (still owned by the store).
+    pub msg: MsgHandle,
     /// Router where the head flit was found (the rescue starting point);
     /// the source NIC's router if the head had not yet entered the network.
     pub head_router: NodeId,
@@ -67,6 +67,16 @@ struct Move {
     router: u32,
     in_port: u8,
     in_vc: u8,
+    out_port: u8,
+    out_vc: u8,
+}
+
+/// One input VC's standing switch request (gathered once per router per
+/// cycle, then granted per output port in round-robin order).
+#[derive(Clone, Copy)]
+struct SwitchReq {
+    /// Flat input-VC index (`port * vcs + vc`).
+    idx: u16,
     out_port: u8,
     out_vc: u8,
 }
@@ -86,6 +96,11 @@ pub struct Network {
     vc_busy: Vec<u64>,
     cand_buf: Vec<RouteCandidate>,
     move_buf: Vec<Move>,
+    req_buf: Vec<SwitchReq>,
+    /// Per-port flag: true for network (inter-router) ports, false for
+    /// local (NIC) ports — a lookup for the hot loops, identical for
+    /// every router.
+    net_port: Vec<bool>,
 }
 
 impl Network {
@@ -100,6 +115,9 @@ impl Network {
             .collect();
         let ports = topo.ports_per_router();
         let vc_busy = vec![0u64; topo.num_routers() as usize * ports * vcs as usize];
+        let net_port = (0..ports)
+            .map(|p| topo.port_dim_dir(PortId(p as u8)).is_some())
+            .collect();
         Network {
             topo,
             vcs,
@@ -110,6 +128,8 @@ impl Network {
             vc_busy,
             cand_buf: Vec::with_capacity(64),
             move_buf: Vec::with_capacity(256),
+            req_buf: Vec::with_capacity(64),
+            net_port,
         }
     }
 
@@ -157,19 +177,20 @@ impl Network {
             .sum()
     }
 
-    /// Register a packet about to be injected by `msg.src`'s NIC.
-    pub fn begin_packet(&mut self, msg: Message, now: u64) {
+    /// Register a packet about to be injected by `msg.src`'s NIC. The
+    /// message stays in the store; routing-relevant fields are cached in
+    /// the packet table entry.
+    pub fn begin_packet(&mut self, h: MsgHandle, msg: &Message, now: u64) {
         let dst_router = self.topo.nic_router(msg.dst);
-        let id = msg.id;
-        self.packets.insert(
-            id,
-            PacketState {
-                msg,
-                dst_router,
-                crossed_dateline: 0,
-                injected_at: now,
-            },
-        );
+        self.packets.insert(PacketState {
+            msg: h,
+            mtype: msg.mtype,
+            src: msg.src,
+            dst: msg.dst,
+            dst_router,
+            crossed_dateline: 0,
+            injected_at: now,
+        });
         self.counters.packets_injected += 1;
     }
 
@@ -178,7 +199,7 @@ impl Network {
     pub fn injection_free(&self, nic: NicId, vc: u8) -> u32 {
         let router = self.topo.nic_router(nic);
         let port = self.topo.local_port(self.topo.nic_local_index(nic));
-        self.routers[router.index()].in_vcs[port.index()][vc as usize].free_slots()
+        self.routers[router.index()].vc(port, vc).free_slots()
     }
 
     /// True if injection VC `vc` of `nic` is between packets (its last
@@ -186,7 +207,7 @@ impl Network {
     pub fn injection_vc_idle(&self, nic: NicId, vc: u8) -> bool {
         let router = self.topo.nic_router(nic);
         let port = self.topo.local_port(self.topo.nic_local_index(nic));
-        let vcb = &self.routers[router.index()].in_vcs[port.index()][vc as usize];
+        let vcb = self.routers[router.index()].vc(port, vc);
         match vcb.buf.back() {
             None => true,
             Some(f) => f.is_tail,
@@ -198,7 +219,9 @@ impl Network {
     pub fn inject_flit(&mut self, nic: NicId, vc: u8, flit: Flit) -> bool {
         let router = self.topo.nic_router(nic);
         let port = self.topo.local_port(self.topo.nic_local_index(nic));
-        let vcb = &mut self.routers[router.index()].in_vcs[port.index()][vc as usize];
+        let r = &mut self.routers[router.index()];
+        let slot = r.slot(port.index(), vc as usize);
+        let vcb = &mut r.in_vcs[slot];
         if vcb.free_slots() == 0 {
             return false;
         }
@@ -230,9 +253,8 @@ impl Network {
             let start = self.routers[r].rr_alloc as usize % total;
             for i in 0..total {
                 let idx = (start + i) % total;
-                let (p, v) = (idx / nvcs, idx % nvcs);
-                let Some(msgid) = ({
-                    let vc = &self.routers[r].in_vcs[p][v];
+                let Some(h) = ({
+                    let vc = &self.routers[r].in_vcs[idx];
                     if vc.awaiting_route() {
                         vc.front_packet()
                     } else {
@@ -242,15 +264,18 @@ impl Network {
                     continue;
                 };
                 self.cand_buf.clear();
-                let pkt = self.packets.get(msgid);
+                let Some(pkt) = self.packets.get(h).copied() else {
+                    debug_assert!(false, "flit in network without a registered packet");
+                    continue;
+                };
                 let hint = cycle
                     .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                     .wrapping_add((r as u64) << 8)
                     .wrapping_add(idx as u64);
-                routing.candidates(&self.topo, node, pkt, hint, &mut self.cand_buf);
+                routing.candidates(&self.topo, node, &pkt, hint, &mut self.cand_buf);
                 debug_assert!(
                     !self.cand_buf.is_empty(),
-                    "routing function returned no candidates for {msgid:?} at {node}"
+                    "routing function returned no candidates for {h:?} at {node}"
                 );
                 let mut granted = false;
                 for ci in 0..self.cand_buf.len() {
@@ -261,17 +286,17 @@ impl Network {
                             "local candidate away from destination router"
                         );
                         let nic = self.topo.nic_at(node, local);
-                        if ej.can_accept(nic, &pkt.msg, cycle) {
-                            self.routers[r].in_vcs[p][v].route = Some((c.port, 0));
+                        if ej.can_accept(nic, h, cycle) {
+                            self.routers[r].in_vcs[idx].route = Some((c.port, 0));
                             granted = true;
                             break;
                         }
                     } else {
-                        let ov =
-                            &mut self.routers[r].out_vcs[c.port.index()][c.vc as usize];
+                        let ov = &mut self.routers[r].out_vcs
+                            [c.port.index() * nvcs + c.vc as usize];
                         if ov.is_free() {
-                            ov.owner = Some(msgid);
-                            self.routers[r].in_vcs[p][v].route = Some((c.port, c.vc));
+                            ov.owner = Some(h);
+                            self.routers[r].in_vcs[idx].route = Some((c.port, c.vc));
                             granted = true;
                             break;
                         }
@@ -290,43 +315,64 @@ impl Network {
     }
 
     /// Phase 2: switch allocation — one flit per input port and output port.
+    ///
+    /// Requests are gathered in one pass over the input VCs, then each
+    /// output port grants the eligible request closest after its
+    /// round-robin pointer — the same flit the old full rescan would have
+    /// picked, at a fraction of the per-cycle scan work.
     fn switch_phase(&mut self) {
         self.move_buf.clear();
         let nvcs = self.vcs as usize;
         for (r, router) in self.routers.iter_mut().enumerate() {
             let nports = router.ports();
             let total = nports * nvcs;
-            let mut in_used = [false; 64];
             debug_assert!(nports <= 64);
+            self.req_buf.clear();
+            for (idx, vc) in router.in_vcs.iter().enumerate() {
+                if let Some((op, ov)) = vc.route {
+                    if !vc.buf.is_empty() {
+                        self.req_buf.push(SwitchReq {
+                            idx: idx as u16,
+                            out_port: op.0,
+                            out_vc: ov,
+                        });
+                    }
+                }
+            }
+            if self.req_buf.is_empty() {
+                continue;
+            }
+            let mut in_used = [false; 64];
             for q in 0..nports {
                 let rr = router.rr_out[q] as usize % total;
-                for i in 0..total {
-                    let idx = (rr + i) % total;
-                    let (p, v) = (idx / nvcs, idx % nvcs);
-                    if in_used[p] {
-                        continue;
-                    }
-                    let vc = &router.in_vcs[p][v];
-                    let Some((op, ov)) = vc.route else { continue };
-                    if op.index() != q || vc.buf.is_empty() {
+                let mut best: Option<(usize, SwitchReq)> = None;
+                for req in &self.req_buf {
+                    if req.out_port as usize != q || in_used[req.idx as usize / nvcs] {
                         continue;
                     }
                     // Network outputs need a credit; local outputs were
                     // reserved at acceptance time.
-                    let is_network = self.topo.port_dim_dir(op).is_some();
-                    if is_network && router.out_vcs[q][ov as usize].credits == 0 {
+                    if self.net_port[q]
+                        && router.out_vcs[q * nvcs + req.out_vc as usize].credits == 0
+                    {
                         continue;
                     }
-                    in_used[p] = true;
+                    let rank = (req.idx as usize + total - rr) % total;
+                    if best.is_none_or(|(b, _)| rank < b) {
+                        best = Some((rank, *req));
+                    }
+                }
+                if let Some((_, req)) = best {
+                    let idx = req.idx as usize;
+                    in_used[idx / nvcs] = true;
                     router.rr_out[q] = ((idx + 1) % total) as u32;
                     self.move_buf.push(Move {
                         router: r as u32,
-                        in_port: p as u8,
-                        in_vc: v as u8,
+                        in_port: (idx / nvcs) as u8,
+                        in_vc: (idx % nvcs) as u8,
                         out_port: q as u8,
-                        out_vc: ov,
+                        out_vc: req.out_vc,
                     });
-                    break;
                 }
             }
         }
@@ -335,6 +381,7 @@ impl Network {
     /// Phase 3: apply granted moves.
     fn apply_moves(&mut self, cycle: u64, ej: &mut dyn EjectControl) {
         mdd_obs::counter_add(CounterId::FlitsRouted, self.move_buf.len() as u64);
+        let nvcs = self.vcs as usize;
         for mi in 0..self.move_buf.len() {
             let Move {
                 router: r,
@@ -345,7 +392,8 @@ impl Network {
             } = self.move_buf[mi];
             let node = NodeId(r);
             let flit = {
-                let vc = &mut self.routers[r as usize].in_vcs[in_port as usize][in_vc as usize];
+                let vc = &mut self.routers[r as usize].in_vcs
+                    [in_port as usize * nvcs + in_vc as usize];
                 let flit = vc.pop().expect("granted move lost its flit");
                 vc.blocked_since = None;
                 if flit.is_tail {
@@ -361,7 +409,8 @@ impl Network {
                     .neighbor(node, d, dir)
                     .expect("input port implies the link exists");
                 let upport = self.topo.port(d, dir.opposite());
-                let ovc = &mut self.routers[up.index()].out_vcs[upport.index()][in_vc as usize];
+                let ovc = &mut self.routers[up.index()].out_vcs
+                    [upport.index() * nvcs + in_vc as usize];
                 ovc.credits += 1;
                 debug_assert!(ovc.credits <= self.buf_depth);
             }
@@ -370,21 +419,26 @@ impl Network {
                 let ports = self.topo.ports_per_router();
                 self.vc_busy[(r as usize * ports + out_port as usize) * self.vcs as usize
                     + out_vc as usize] += 1;
-                let ovc = &mut self.routers[r as usize].out_vcs[out_port as usize][out_vc as usize];
+                let ovc = &mut self.routers[r as usize].out_vcs
+                    [out_port as usize * nvcs + out_vc as usize];
                 debug_assert!(ovc.credits > 0);
                 ovc.credits -= 1;
                 if flit.is_tail {
                     ovc.owner = None;
                 }
                 if flit.is_head() && self.topo.crosses_dateline(node, d2, dir2) {
-                    self.packets.get_mut(flit.msg).crossed_dateline |= 1 << d2;
+                    match self.packets.get_mut(flit.msg) {
+                        Some(st) => st.crossed_dateline |= 1 << d2,
+                        None => debug_assert!(false, "dateline hop by unregistered packet"),
+                    }
                 }
                 let down = self
                     .topo
                     .neighbor(node, d2, dir2)
                     .expect("allocated output implies the link exists");
                 let dport = self.topo.port(d2, dir2.opposite());
-                self.routers[down.index()].in_vcs[dport.index()][out_vc as usize].push(flit);
+                self.routers[down.index()].in_vcs[dport.index() * nvcs + out_vc as usize]
+                    .push(flit);
             } else {
                 let local = self
                     .topo
@@ -413,23 +467,28 @@ impl Network {
     /// blocked time; VCs that moved were reset during apply.
     fn blocked_sweep(&mut self, cycle: u64) {
         for router in &mut self.routers {
-            for vcs in &mut router.in_vcs {
-                for vc in vcs {
-                    if vc.buf.is_empty() {
-                        vc.blocked_since = None;
-                    } else if vc.blocked_since.is_none() {
-                        vc.blocked_since = Some(cycle);
-                    }
+            for vc in &mut router.in_vcs {
+                if vc.buf.is_empty() {
+                    vc.blocked_since = None;
+                } else if vc.blocked_since.is_none() {
+                    vc.blocked_since = Some(cycle);
                 }
             }
         }
     }
 
-    /// Packets whose head flit has been blocked at a router for at least
-    /// `threshold` cycles as of `now` — the candidates for Disha
-    /// router-side token capture.
-    pub fn blocked_heads(&self, threshold: u64, now: u64) -> Vec<(NodeId, MessageId)> {
-        let mut out = Vec::new();
+    /// Collect into `out` the packets whose head flit has been blocked at
+    /// a router for at least `threshold` cycles as of `now` — the
+    /// candidates for Disha router-side token capture. `out` is cleared
+    /// first; callers keep a scratch vector so the periodic detector sweep
+    /// allocates nothing in steady state.
+    pub fn blocked_heads_into(
+        &self,
+        threshold: u64,
+        now: u64,
+        out: &mut Vec<(NodeId, MsgHandle)>,
+    ) {
+        out.clear();
         for (r, router) in self.routers.iter().enumerate() {
             for (_, _, vc) in router.iter_vcs() {
                 if let Some(f) = vc.front() {
@@ -439,15 +498,14 @@ impl Network {
                 }
             }
         }
-        out
     }
 
     /// Remove every buffered flit of packet `id` from the network,
     /// releasing virtual-channel ownership and restoring upstream credits,
     /// in preparation for recovery-lane transport. Returns `None` if the
     /// packet is unknown (already delivered).
-    pub fn extract_packet(&mut self, id: MessageId) -> Option<ExtractedPacket> {
-        let st = self.packets.remove(id)?;
+    pub fn extract_packet(&mut self, h: MsgHandle) -> Option<ExtractedPacket> {
+        let st = self.packets.remove(h)?;
         let mut flits_removed = 0u32;
         let mut head_router = None;
         for r in 0..self.routers.len() {
@@ -457,12 +515,12 @@ impl Network {
             for p in 0..nports {
                 for v in 0..nvcs {
                     let (removed, had_head, front_was) = {
-                        let vc = &mut self.routers[r].in_vcs[p][v];
-                        let front_was = vc.front_packet() == Some(id);
+                        let vc = &mut self.routers[r].in_vcs[p * nvcs + v];
+                        let front_was = vc.front_packet() == Some(h);
                         let before = vc.buf.len();
                         let mut had_head = false;
                         vc.buf.retain(|f| {
-                            if f.msg == id {
+                            if f.msg == h {
                                 had_head |= f.is_head();
                                 false
                             } else {
@@ -486,7 +544,8 @@ impl Network {
                         if let Some((d, dir)) = self.topo.port_dim_dir(PortId(p as u8)) {
                             let up = self.topo.neighbor(node, d, dir).unwrap();
                             let upport = self.topo.port(d, dir.opposite());
-                            let ovc = &mut self.routers[up.index()].out_vcs[upport.index()][v];
+                            let ovc = &mut self.routers[up.index()].out_vcs
+                                [upport.index() * nvcs + v];
                             ovc.credits += removed;
                             debug_assert!(ovc.credits <= self.buf_depth);
                         }
@@ -494,16 +553,13 @@ impl Network {
                 }
             }
             // Release any output VCs the packet held.
-            for q in 0..nports {
-                for v in 0..nvcs {
-                    let ovc = &mut self.routers[r].out_vcs[q][v];
-                    if ovc.owner == Some(id) {
-                        ovc.owner = None;
-                    }
+            for ovc in &mut self.routers[r].out_vcs {
+                if ovc.owner == Some(h) {
+                    ovc.owner = None;
                 }
             }
         }
-        let src_router = self.topo.nic_router(st.msg.src);
+        let src_router = self.topo.nic_router(st.src);
         Some(ExtractedPacket {
             head_router: head_router.unwrap_or(src_router),
             flits_in_network: flits_removed,

@@ -6,73 +6,78 @@ use mdd_topology::PortId;
 
 /// One wormhole router: `ports_per_router` input ports and output ports,
 /// each with `vcs` virtual channels.
+///
+/// Virtual channels are stored flat, indexed `port * vcs + vc`, so the
+/// per-cycle allocation and switch scans walk contiguous memory instead
+/// of chasing a `Vec` per port.
 #[derive(Clone, Debug)]
 pub struct Router {
-    pub(crate) in_vcs: Vec<Vec<Vc>>,
-    pub(crate) out_vcs: Vec<Vec<OutVc>>,
+    pub(crate) in_vcs: Vec<Vc>,
+    pub(crate) out_vcs: Vec<OutVc>,
     /// Round-robin pointer per output port, rotating switch-allocation
     /// priority over `(input port, vc)` requesters.
     pub(crate) rr_out: Vec<u32>,
     /// Rotation offset for the VC-allocation scan, advanced every cycle to
     /// avoid structural starvation.
     pub(crate) rr_alloc: u32,
+    nvcs: u8,
 }
 
 impl Router {
     /// Create a router with `ports` ports, `vcs` VCs per port, and
     /// `buf_depth`-flit input buffers per VC.
     pub fn new(ports: usize, vcs: u8, buf_depth: u32) -> Self {
+        let slots = ports * vcs as usize;
         Router {
-            in_vcs: (0..ports)
-                .map(|_| (0..vcs).map(|_| Vc::new(buf_depth)).collect())
-                .collect(),
-            out_vcs: (0..ports)
-                .map(|_| (0..vcs).map(|_| OutVc::new(buf_depth)).collect())
-                .collect(),
+            in_vcs: (0..slots).map(|_| Vc::new(buf_depth)).collect(),
+            out_vcs: (0..slots).map(|_| OutVc::new(buf_depth)).collect(),
             rr_out: vec![0; ports],
             rr_alloc: 0,
+            nvcs: vcs,
         }
     }
 
     /// Number of ports.
     #[inline]
     pub fn ports(&self) -> usize {
-        self.in_vcs.len()
+        self.rr_out.len()
     }
 
     /// Virtual channels per port.
     #[inline]
     pub fn vcs(&self) -> u8 {
-        self.in_vcs[0].len() as u8
+        self.nvcs
+    }
+
+    /// Flat index of `(port, vc)` into the VC arrays.
+    #[inline]
+    pub(crate) fn slot(&self, port: usize, vc: usize) -> usize {
+        port * self.nvcs as usize + vc
     }
 
     /// Read access to an input VC.
     #[inline]
     pub fn vc(&self, port: PortId, vc: u8) -> &Vc {
-        &self.in_vcs[port.index()][vc as usize]
+        &self.in_vcs[self.slot(port.index(), vc as usize)]
     }
 
     /// Read access to an output VC.
     #[inline]
     pub fn out_vc(&self, port: PortId, vc: u8) -> &OutVc {
-        &self.out_vcs[port.index()][vc as usize]
+        &self.out_vcs[self.slot(port.index(), vc as usize)]
     }
 
     /// Total buffered flits across all input VCs.
     pub fn buffered_flits(&self) -> u32 {
-        self.in_vcs
-            .iter()
-            .flatten()
-            .map(|v| v.buf.len() as u32)
-            .sum()
+        self.in_vcs.iter().map(|v| v.buf.len() as u32).sum()
     }
 
     /// Iterate `(port, vc_index, vc)` over all input VCs.
     pub fn iter_vcs(&self) -> impl Iterator<Item = (PortId, u8, &Vc)> {
-        self.in_vcs.iter().enumerate().flat_map(|(p, vcs)| {
-            vcs.iter()
-                .enumerate()
-                .map(move |(v, vc)| (PortId(p as u8), v as u8, vc))
-        })
+        let nvcs = self.nvcs as usize;
+        self.in_vcs
+            .iter()
+            .enumerate()
+            .map(move |(i, vc)| (PortId((i / nvcs) as u8), (i % nvcs) as u8, vc))
     }
 }

@@ -1,7 +1,7 @@
 //! Unit tests for the wormhole transport substrate.
 
 use crate::*;
-use mdd_protocol::{Message, MessageId, MsgType, ShapeId, TransactionId};
+use mdd_protocol::{Message, MessageId, MessageStore, MsgHandle, MsgType, ShapeId, TransactionId};
 use mdd_topology::{MinimalHops, NicId, NodeId, Topology, TopologyKind};
 
 /// Minimal dimension-order routing with dateline classes on VCs {0,1},
@@ -18,7 +18,7 @@ impl Routing for TestDor {
         out: &mut Vec<RouteCandidate>,
     ) {
         if node == pkt.dst_router {
-            let local = topo.nic_local_index(pkt.msg.dst);
+            let local = topo.nic_local_index(pkt.dst);
             out.push(RouteCandidate {
                 port: topo.local_port(local),
                 vc: 0,
@@ -65,28 +65,32 @@ fn msg(id: u64, src: u32, dst: u32, len: u32) -> Message {
 /// flits of distinct packets must never interleave within one VC).
 fn run(
     net: &mut Network,
+    store: &mut MessageStore,
     msgs: Vec<Message>,
     ej: &mut dyn EjectControl,
     max: u64,
 ) -> u64 {
     use std::collections::HashMap;
-    let mut per_nic: HashMap<u32, Vec<(Message, u32)>> = HashMap::new();
+    let mut per_nic: HashMap<u32, Vec<(MsgHandle, u32)>> = HashMap::new();
     for m in msgs {
-        net.begin_packet(m.clone(), 0);
-        per_nic.entry(m.src.0).or_default().push((m, 0));
+        let src = m.src;
+        let h = store.insert(m);
+        net.begin_packet(h, store.get(h), 0);
+        per_nic.entry(src.0).or_default().push((h, 0));
     }
     let mut cycle = 0;
     while cycle < max {
         for queue in per_nic.values_mut() {
-            let Some((m, sent)) = queue.first_mut() else {
+            let Some((h, sent)) = queue.first_mut() else {
                 continue;
             };
+            let m = store.get(*h);
             if net.injection_free(m.src, 0) > 0 {
                 let ok = net.inject_flit(
                     m.src,
                     0,
                     Flit {
-                        msg: m.id,
+                        msg: *h,
                         seq: *sent,
                         is_tail: *sent + 1 == m.length_flits,
                     },
@@ -116,13 +120,14 @@ fn torus44() -> Network {
 #[test]
 fn single_packet_delivered_to_correct_nic() {
     let mut net = torus44();
+    let mut store = MessageStore::new();
     let mut ej = AcceptAll::default();
     let m = msg(1, 0, 5, 4);
-    let cycles = run(&mut net, vec![m], &mut ej, 200);
+    let cycles = run(&mut net, &mut store, vec![m], &mut ej, 200);
     assert_eq!(ej.delivered.len(), 1);
-    let (nic, dm, _) = &ej.delivered[0];
-    assert_eq!(*nic, NicId(5));
-    assert_eq!(dm.id, MessageId(1));
+    let (nic, h, _) = ej.delivered[0];
+    assert_eq!(nic, NicId(5));
+    assert_eq!(store.get(h).id, MessageId(1));
     assert!(cycles < 60, "short packet should arrive quickly, took {cycles}");
     assert_eq!(net.counters().packets_delivered, 1);
     assert_eq!(net.counters().flits_delivered, 4);
@@ -135,9 +140,10 @@ fn latency_scales_with_distance_plus_length() {
     // pipeline + streaming of the remaining flits.
     let topo = Topology::new(TopologyKind::Torus, &[8, 8], 1);
     let mut net = Network::new(topo, 2, 2);
+    let mut store = MessageStore::new();
     let mut ej = AcceptAll::default();
     let m = msg(1, 0, 3, 20); // 3 hops in dim 0
-    let cycles = run(&mut net, vec![m], &mut ej, 400);
+    let cycles = run(&mut net, &mut store, vec![m], &mut ej, 400);
     // Lower bound: 20 flits serialized + 3 hops.
     assert!(cycles >= 23, "impossibly fast: {cycles}");
     assert!(cycles <= 60, "idle-network delivery too slow: {cycles}");
@@ -146,12 +152,13 @@ fn latency_scales_with_distance_plus_length() {
 #[test]
 fn many_packets_conserved_and_delivered() {
     let mut net = torus44();
+    let mut store = MessageStore::new();
     let mut ej = AcceptAll::default();
     let msgs: Vec<Message> = (0..32)
         .map(|i| msg(i, (i % 16) as u32, ((i * 7 + 3) % 16) as u32, 4 + (i as u32 % 3) * 8))
         .collect();
     let total_flits: u64 = msgs.iter().map(|m| m.length_flits as u64).sum();
-    run(&mut net, msgs, &mut ej, 5_000);
+    run(&mut net, &mut store, msgs, &mut ej, 5_000);
     assert_eq!(ej.delivered.len(), 32, "all packets must arrive");
     assert_eq!(net.counters().flits_delivered, total_flits);
     assert_eq!(net.counters().flits_injected, total_flits);
@@ -163,8 +170,9 @@ fn self_delivery_via_local_port() {
     // Destination NIC on the same router: the packet enters and immediately
     // ejects without using network links.
     let mut net = torus44();
+    let mut store = MessageStore::new();
     let mut ej = AcceptAll::default();
-    run(&mut net, vec![msg(1, 3, 3, 4)], &mut ej, 100);
+    run(&mut net, &mut store, vec![msg(1, 3, 3, 4)], &mut ej, 100);
     assert_eq!(ej.delivered.len(), 1);
 }
 
@@ -176,13 +184,13 @@ struct GateUntil {
 }
 
 impl EjectControl for GateUntil {
-    fn can_accept(&mut self, _nic: NicId, _msg: &Message, cycle: u64) -> bool {
+    fn can_accept(&mut self, _nic: NicId, _msg: MsgHandle, cycle: u64) -> bool {
         cycle >= self.open_at
     }
-    fn deliver_flit(&mut self, nic: NicId, msg: MessageId, cycle: u64) {
+    fn deliver_flit(&mut self, nic: NicId, msg: MsgHandle, cycle: u64) {
         self.inner.deliver_flit(nic, msg, cycle);
     }
-    fn deliver_packet(&mut self, nic: NicId, msg: Message, injected_at: u64, cycle: u64) {
+    fn deliver_packet(&mut self, nic: NicId, msg: MsgHandle, injected_at: u64, cycle: u64) {
         self.inner.deliver_packet(nic, msg, injected_at, cycle);
     }
 }
@@ -190,11 +198,12 @@ impl EjectControl for GateUntil {
 #[test]
 fn ejection_gating_blocks_then_drains() {
     let mut net = torus44();
+    let mut store = MessageStore::new();
     let mut ej = GateUntil {
         open_at: 120,
         inner: AcceptAll::default(),
     };
-    let cycles = run(&mut net, vec![msg(1, 0, 5, 4)], &mut ej, 500);
+    let cycles = run(&mut net, &mut store, vec![msg(1, 0, 5, 4)], &mut ej, 500);
     assert_eq!(ej.inner.delivered.len(), 1);
     assert!(cycles > 120, "packet cannot finish before the gate opens");
 }
@@ -202,20 +211,21 @@ fn ejection_gating_blocks_then_drains() {
 #[test]
 fn blocked_heads_flagged_after_threshold() {
     let mut net = torus44();
+    let mut store = MessageStore::new();
     let mut ej = GateUntil {
         open_at: u64::MAX,
         inner: AcceptAll::default(),
     };
-    let m = msg(1, 0, 5, 4);
-    net.begin_packet(m.clone(), 0);
+    let h = store.insert(msg(1, 0, 5, 4));
+    net.begin_packet(h, store.get(h), 0);
     let mut sent = 0;
     for cycle in 0..100 {
-        if sent < 4 && net.injection_free(m.src, 0) > 0 {
+        if sent < 4 && net.injection_free(NicId(0), 0) > 0 {
             let ok = net.inject_flit(
-                m.src,
+                NicId(0),
                 0,
                 Flit {
-                    msg: m.id,
+                    msg: h,
                     seq: sent,
                     is_tail: sent == 3,
                 },
@@ -226,35 +236,39 @@ fn blocked_heads_flagged_after_threshold() {
         }
         net.step(cycle, &TestDor, &mut ej);
     }
-    let flagged = net.blocked_heads(25, 100);
+    let mut flagged = Vec::new();
+    net.blocked_heads_into(25, 100, &mut flagged);
     assert_eq!(flagged.len(), 1, "the head must be flagged as blocked");
-    let (node, id) = flagged[0];
-    assert_eq!(id, MessageId(1));
+    let (node, fh) = flagged[0];
+    assert_eq!(fh, h);
+    assert_eq!(store.get(fh).id, MessageId(1));
     // Head should be blocked at the destination router awaiting ejection.
     assert_eq!(node, net.topo().nic_router(NicId(5)));
-    // Short threshold check is monotone.
-    assert_eq!(net.blocked_heads(1000, 100).len(), 0);
+    // Short threshold check is monotone (scratch vector is reusable).
+    net.blocked_heads_into(1000, 100, &mut flagged);
+    assert_eq!(flagged.len(), 0);
 }
 
 #[test]
 fn extraction_reclaims_buffers_and_restores_credits() {
     let mut net = torus44();
+    let mut store = MessageStore::new();
     let mut ej = GateUntil {
         open_at: u64::MAX,
         inner: AcceptAll::default(),
     };
     // Long packet wedges across several routers against a closed gate.
-    let m = msg(1, 0, 2, 12);
-    net.begin_packet(m.clone(), 0);
+    let h = store.insert(msg(1, 0, 2, 12));
+    net.begin_packet(h, store.get(h), 0);
     let mut sent = 0u32;
     for cycle in 0..60 {
         if sent < 12
-            && net.injection_free(m.src, 0) > 0
+            && net.injection_free(NicId(0), 0) > 0
             && net.inject_flit(
-                m.src,
+                NicId(0),
                 0,
                 Flit {
-                    msg: m.id,
+                    msg: h,
                     seq: sent,
                     is_tail: sent == 11,
                 },
@@ -266,23 +280,33 @@ fn extraction_reclaims_buffers_and_restores_credits() {
     }
     let in_net = net.flits_in_network();
     assert!(in_net > 0, "packet must be wedged in network buffers");
-    let ex = net.extract_packet(MessageId(1)).expect("packet in flight");
+    let ex = net.extract_packet(h).expect("packet in flight");
     assert_eq!(ex.flits_in_network as u64, in_net);
-    assert_eq!(ex.msg.id, MessageId(1));
+    assert_eq!(ex.msg, h);
+    assert_eq!(store.get(ex.msg).id, MessageId(1));
     assert_eq!(ex.head_router, net.topo().nic_router(NicId(2)));
     assert_eq!(net.flits_in_network(), 0);
     assert!(net.packets().is_empty());
     // The network must be fully usable afterwards: run fresh traffic
     // through the same links and VCs.
     let mut ej2 = AcceptAll::default();
-    run(&mut net, vec![msg(2, 0, 2, 12), msg(3, 1, 2, 4)], &mut ej2, 500);
+    run(
+        &mut net,
+        &mut store,
+        vec![msg(2, 0, 2, 12), msg(3, 1, 2, 4)],
+        &mut ej2,
+        500,
+    );
     assert_eq!(ej2.delivered.len(), 2, "network must be clean after extraction");
 }
 
 #[test]
 fn extract_unknown_packet_is_none() {
     let mut net = torus44();
-    assert!(net.extract_packet(MessageId(99)).is_none());
+    let mut store = MessageStore::new();
+    // A live message that was never injected is not in the packet table.
+    let h = store.insert(msg(99, 0, 5, 4));
+    assert!(net.extract_packet(h).is_none());
 }
 
 #[test]
@@ -291,23 +315,26 @@ fn wormhole_vc_exclusivity() {
     // column must both arrive (one waits for the VC, no interleaving
     // corruption).
     let mut net = torus44();
+    let mut store = MessageStore::new();
     let mut ej = AcceptAll::default();
     let a = msg(1, 0, 2, 16);
     let b = msg(2, 4, 2, 16); // different row, same destination column
-    run(&mut net, vec![a, b], &mut ej, 2_000);
+    run(&mut net, &mut store, vec![a, b], &mut ej, 2_000);
     assert_eq!(ej.delivered.len(), 2);
 }
 
 #[test]
 fn injection_vc_idle_tracks_tails() {
     let mut net = torus44();
+    let mut store = MessageStore::new();
     assert!(net.injection_vc_idle(NicId(0), 0));
-    net.begin_packet(msg(1, 0, 5, 2), 0);
+    let h = store.insert(msg(1, 0, 5, 2));
+    net.begin_packet(h, store.get(h), 0);
     net.inject_flit(
         NicId(0),
         0,
         Flit {
-            msg: MessageId(1),
+            msg: h,
             seq: 0,
             is_tail: false,
         },
@@ -317,7 +344,7 @@ fn injection_vc_idle_tracks_tails() {
         NicId(0),
         0,
         Flit {
-            msg: MessageId(1),
+            msg: h,
             seq: 1,
             is_tail: true,
         },
@@ -329,20 +356,21 @@ fn injection_vc_idle_tracks_tails() {
 fn dateline_bits_set_on_wrap() {
     let topo = Topology::new(TopologyKind::Torus, &[4, 4], 1);
     let mut net = Network::new(topo, 2, 2);
+    let mut store = MessageStore::new();
     let mut ej = AcceptAll::default();
     // 0 -> 3 in dim 0: minimal route is Minus through the wraparound.
-    let m = msg(1, 0, 3, 6);
-    net.begin_packet(m.clone(), 0);
+    let h = store.insert(msg(1, 0, 3, 6));
+    net.begin_packet(h, store.get(h), 0);
     let mut sent = 0u32;
     let mut saw_crossed = false;
     for cycle in 0..100 {
         if sent < 6
-            && net.injection_free(m.src, 0) > 0
+            && net.injection_free(NicId(0), 0) > 0
             && net.inject_flit(
-                m.src,
+                NicId(0),
                 0,
                 Flit {
-                    msg: m.id,
+                    msg: h,
                     seq: sent,
                     is_tail: sent == 5,
                 },
@@ -351,7 +379,7 @@ fn dateline_bits_set_on_wrap() {
             sent += 1;
         }
         net.step(cycle, &TestDor, &mut ej);
-        if let Some(pkt) = net.packets().try_get(MessageId(1)) {
+        if let Some(pkt) = net.packets().get(h) {
             saw_crossed |= pkt.crossed_dateline & 1 != 0;
         }
     }
@@ -362,21 +390,22 @@ fn dateline_bits_set_on_wrap() {
 #[test]
 fn hard_reset_clears_everything() {
     let mut net = torus44();
+    let mut store = MessageStore::new();
     let mut ej = GateUntil {
         open_at: u64::MAX,
         inner: AcceptAll::default(),
     };
-    let m = msg(1, 0, 5, 8);
-    net.begin_packet(m.clone(), 0);
+    let h = store.insert(msg(1, 0, 5, 8));
+    net.begin_packet(h, store.get(h), 0);
     for cycle in 0..30 {
-        if net.injection_free(m.src, 0) > 0 {
+        if net.injection_free(NicId(0), 0) > 0 {
             let seq = net.counters().flits_injected as u32;
             if seq < 8 {
                 net.inject_flit(
-                    m.src,
+                    NicId(0),
                     0,
                     Flit {
-                        msg: m.id,
+                        msg: h,
                         seq,
                         is_tail: seq == 7,
                     },
@@ -391,7 +420,7 @@ fn hard_reset_clears_everything() {
     assert!(net.packets().is_empty());
     // Reusable after reset.
     let mut ej2 = AcceptAll::default();
-    run(&mut net, vec![msg(9, 1, 2, 4)], &mut ej2, 200);
+    run(&mut net, &mut store, vec![msg(9, 1, 2, 4)], &mut ej2, 200);
     assert_eq!(ej2.delivered.len(), 1);
 }
 
@@ -410,37 +439,22 @@ mod stress {
     /// reorders a packet's own flits).
     #[derive(Default)]
     struct OrderCheck {
-        seen: std::collections::HashMap<u64, u32>,
-        delivered: Vec<(NicId, Message)>,
-        order_ok: bool,
-    }
-
-    impl OrderCheck {
-        fn new() -> Self {
-            OrderCheck {
-                order_ok: true,
-                ..Default::default()
-            }
-        }
+        body_flits: std::collections::HashMap<u32, u32>,
+        delivered: Vec<(NicId, MsgHandle, u32)>,
     }
 
     impl EjectControl for OrderCheck {
-        fn can_accept(&mut self, _n: NicId, _m: &Message, _c: u64) -> bool {
+        fn can_accept(&mut self, _n: NicId, _m: MsgHandle, _c: u64) -> bool {
             true
         }
-        fn deliver_flit(&mut self, _n: NicId, msg: MessageId, _c: u64) {
-            let next = self.seen.entry(msg.0).or_insert(0);
-            // deliver_flit carries non-tail flits in seq order 0..len-1.
-            // We can't see seq here, so just count; order is enforced by
-            // the tail check below (count must equal len-1 at tail).
-            *next += 1;
+        fn deliver_flit(&mut self, _n: NicId, msg: MsgHandle, _c: u64) {
+            // deliver_flit carries non-tail flits; just count — the tail
+            // check (count must equal len-1 at tail) happens post-run.
+            *self.body_flits.entry(msg.slot()).or_insert(0) += 1;
         }
-        fn deliver_packet(&mut self, nic: NicId, msg: Message, _i: u64, _c: u64) {
-            let body = self.seen.remove(&msg.id.0).unwrap_or(0);
-            if body + 1 != msg.length_flits {
-                self.order_ok = false;
-            }
-            self.delivered.push((nic, msg));
+        fn deliver_packet(&mut self, nic: NicId, msg: MsgHandle, _i: u64, _c: u64) {
+            let body = self.body_flits.remove(&msg.slot()).unwrap_or(0);
+            self.delivered.push((nic, msg, body));
         }
     }
 
@@ -453,6 +467,7 @@ mod stress {
             let topo = Topology::new(TopologyKind::Torus, &[k, k], 1);
             let n = topo.num_nics();
             let mut net = Network::new(topo, 2, 2);
+            let mut store = MessageStore::new();
             // Simple deterministic PRNG for message parameters.
             let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
             let mut rnd = move |m: u32| {
@@ -472,9 +487,12 @@ mod stress {
             let total_flits: u64 = msgs.iter().map(|m| m.length_flits as u64).sum();
             let expect: Vec<(u32, u64)> =
                 msgs.iter().map(|m| (m.dst.0, m.id.0)).collect();
-            let mut ej = OrderCheck::new();
-            run(&mut net, msgs, &mut ej, 60_000);
-            prop_assert!(ej.order_ok, "flit count mismatch at some tail");
+            let mut ej = OrderCheck::default();
+            run(&mut net, &mut store, msgs, &mut ej, 60_000);
+            for (_, h, body) in &ej.delivered {
+                prop_assert_eq!(body + 1, store.get(*h).length_flits,
+                                "flit count mismatch at some tail");
+            }
             prop_assert_eq!(ej.delivered.len(), n_msgs, "every packet delivered");
             prop_assert_eq!(net.counters().flits_delivered, total_flits);
             prop_assert_eq!(net.flits_in_network(), 0);
@@ -482,7 +500,7 @@ mod stress {
             let mut got: Vec<(u32, u64)> = ej
                 .delivered
                 .iter()
-                .map(|(nic, m)| (nic.0, m.id.0))
+                .map(|(nic, h, _)| (nic.0, store.get(*h).id.0))
                 .collect();
             let mut want = expect;
             got.sort_unstable();
@@ -496,6 +514,7 @@ mod stress {
         fn credit_and_ownership_invariants(seed in 0u64..5_000) {
             let topo = Topology::new(TopologyKind::Torus, &[4, 4], 1);
             let mut net = Network::new(topo, 2, 2);
+            let mut store = MessageStore::new();
             let mut x = seed.wrapping_add(7);
             let mut rnd = move |m: u32| {
                 x = x.wrapping_mul(6364136223846793005).wrapping_add(99);
@@ -511,17 +530,20 @@ mod stress {
                 .collect();
             // Drive manually so we can inspect between cycles.
             use std::collections::HashMap;
-            let mut per_nic: HashMap<u32, Vec<(Message, u32)>> = HashMap::new();
+            let mut per_nic: HashMap<u32, Vec<(MsgHandle, u32)>> = HashMap::new();
             for m in msgs {
-                net.begin_packet(m.clone(), 0);
-                per_nic.entry(m.src.0).or_default().push((m, 0));
+                let src = m.src;
+                let h = store.insert(m);
+                net.begin_packet(h, store.get(h), 0);
+                per_nic.entry(src.0).or_default().push((h, 0));
             }
             let mut ej = AcceptAll::default();
             for cycle in 0..400u64 {
                 for q in per_nic.values_mut() {
-                    let Some((m, sent)) = q.first_mut() else { continue };
+                    let Some((h, sent)) = q.first_mut() else { continue };
+                    let m = store.get(*h);
                     if net.injection_free(m.src, 0) > 0 {
-                        let f = Flit { msg: m.id, seq: *sent,
+                        let f = Flit { msg: *h, seq: *sent,
                                        is_tail: *sent + 1 == m.length_flits };
                         if net.inject_flit(m.src, 0, f) {
                             *sent += 1;

@@ -2,7 +2,7 @@
 //! control.
 
 use crate::flit::PacketState;
-use mdd_protocol::{Message, MessageId};
+use mdd_protocol::MsgHandle;
 use mdd_topology::{NicId, NodeId, PortId, Topology};
 
 /// One admissible `(output port, output virtual channel)` choice for a
@@ -24,6 +24,9 @@ pub struct RouteCandidate {
 /// return only local-port candidates when `node == pkt.dst_router`.
 /// `rr_hint` is a deterministic per-(router, cycle) salt implementations
 /// may use to rotate equally preferred adaptive candidates.
+///
+/// All routing-relevant message fields (`mtype`, `dst`) are cached inside
+/// [`PacketState`], so implementations never resolve the message store.
 pub trait Routing {
     /// Compute candidates, most preferred first. `out` arrives empty.
     fn candidates(
@@ -48,17 +51,21 @@ pub trait Routing {
 /// can drain (a message-queue slot plus a reassembly buffer). Subsequent
 /// flits are delivered unconditionally; the tail arrives via
 /// `deliver_packet`.
+///
+/// All hooks receive the message *handle*; implementations resolve it
+/// against the simulation's `MessageStore` when they need message fields.
+/// Ownership of the message never moves — it stays in the store.
 pub trait EjectControl {
     /// May packet `msg` begin ejecting at `nic`? Must reserve resources on
     /// success. May be re-asked on later cycles after refusal.
-    fn can_accept(&mut self, nic: NicId, msg: &Message, cycle: u64) -> bool;
+    fn can_accept(&mut self, nic: NicId, msg: MsgHandle, cycle: u64) -> bool;
 
     /// Deliver one non-tail flit of `msg` to `nic`.
-    fn deliver_flit(&mut self, nic: NicId, msg: MessageId, cycle: u64);
+    fn deliver_flit(&mut self, nic: NicId, msg: MsgHandle, cycle: u64);
 
     /// Deliver the tail flit: the packet is complete. `injected_at` is the
     /// cycle its head entered the network.
-    fn deliver_packet(&mut self, nic: NicId, msg: Message, injected_at: u64, cycle: u64);
+    fn deliver_packet(&mut self, nic: NicId, msg: MsgHandle, injected_at: u64, cycle: u64);
 }
 
 /// An [`EjectControl`] that accepts everything, for tests and drain-only
@@ -66,15 +73,15 @@ pub trait EjectControl {
 #[derive(Default, Debug)]
 pub struct AcceptAll {
     /// Complete packets delivered, in arrival order.
-    pub delivered: Vec<(NicId, Message, u64)>,
+    pub delivered: Vec<(NicId, MsgHandle, u64)>,
 }
 
 impl EjectControl for AcceptAll {
-    fn can_accept(&mut self, _nic: NicId, _msg: &Message, _cycle: u64) -> bool {
+    fn can_accept(&mut self, _nic: NicId, _msg: MsgHandle, _cycle: u64) -> bool {
         true
     }
-    fn deliver_flit(&mut self, _nic: NicId, _msg: MessageId, _cycle: u64) {}
-    fn deliver_packet(&mut self, nic: NicId, msg: Message, _injected_at: u64, cycle: u64) {
+    fn deliver_flit(&mut self, _nic: NicId, _msg: MsgHandle, _cycle: u64) {}
+    fn deliver_packet(&mut self, nic: NicId, msg: MsgHandle, _injected_at: u64, cycle: u64) {
         self.delivered.push((nic, msg, cycle));
     }
 }

@@ -2,7 +2,7 @@
 //! ownership/credit tracking.
 
 use crate::flit::Flit;
-use mdd_protocol::MessageId;
+use mdd_protocol::MsgHandle;
 use mdd_topology::PortId;
 use std::collections::VecDeque;
 
@@ -74,7 +74,7 @@ impl Vc {
     }
 
     /// Packet id of the front flit, if any.
-    pub fn front_packet(&self) -> Option<MessageId> {
+    pub fn front_packet(&self) -> Option<MsgHandle> {
         self.front().map(|f| f.msg)
     }
 
@@ -93,7 +93,7 @@ impl Vc {
 pub struct OutVc {
     /// The packet holding this output VC (wormhole: held from head until
     /// tail transmission).
-    pub owner: Option<MessageId>,
+    pub owner: Option<MsgHandle>,
     /// Free flit-buffer slots in the downstream input VC.
     pub credits: u32,
 }

@@ -46,26 +46,33 @@ impl Routing for SchemeRouting {
         out: &mut Vec<RouteCandidate>,
     ) {
         if node == pkt.dst_router {
-            let local = topo.nic_local_index(pkt.msg.dst);
+            let local = topo.nic_local_index(pkt.dst);
             out.push(RouteCandidate {
                 port: topo.local_port(local),
                 vc: 0,
             });
             return;
         }
-        let tv = self.map.for_type(pkt.msg.mtype);
+        let tv = self.map.for_type(pkt.mtype);
         let mh = MinimalHops::new(topo, node, pkt.dst_router);
 
         // Adaptive candidates: every productive direction x adaptive VC.
         if !tv.adaptive.is_empty() {
-            let mut dirs = Vec::with_capacity(2 * topo.dims());
+            // At most two productive directions per dimension under
+            // minimal routing; a fixed-size scratch keeps this
+            // allocation-free.
+            let mut dirs = [mdd_topology::PortId(0); 8];
+            let mut ndirs = 0usize;
+            debug_assert!(2 * topo.dims() <= dirs.len());
             for d in 0..topo.dims() {
                 for dir in mh.dim(d).productive() {
                     // On a mesh the productive link always exists (minimal
                     // geometry); on a torus all links exist.
-                    dirs.push(topo.port(d, dir));
+                    dirs[ndirs] = topo.port(d, dir);
+                    ndirs += 1;
                 }
             }
+            let dirs = &dirs[..ndirs];
             let n = dirs.len() * tv.adaptive.len();
             if n > 0 {
                 let rot = (rr_hint % n as u64) as usize;
@@ -97,7 +104,7 @@ impl Routing for SchemeRouting {
     }
 
     fn injection_vcs(&self, pkt: &PacketState, out: &mut Vec<u8>) {
-        let tv = self.map.for_type(pkt.msg.mtype);
+        let tv = self.map.for_type(pkt.mtype);
         out.extend_from_slice(&tv.adaptive);
         // Injection may also use the class-0 escape channel (a packet has
         // crossed no datelines at injection). Class-1 escape is reserved to

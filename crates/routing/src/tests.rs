@@ -3,7 +3,7 @@
 
 use crate::*;
 use mdd_protocol::{
-    Message, MessageId, MsgType, ProtocolSpec, ShapeId, TransactionId,
+    Message, MessageId, MessageStore, MsgType, ProtocolSpec, ShapeId, TransactionId,
 };
 use mdd_router::{PacketState, RouteCandidate, Routing};
 use mdd_topology::{NicId, NodeId, Topology, TopologyKind};
@@ -16,24 +16,31 @@ const SAP: Scheme = Scheme::StrictAvoidance {
 };
 
 fn pkt(mtype: u8, src: u32, dst: u32, crossed: u8) -> PacketState {
+    // Routing reads only the fields cached in PacketState; the handle is
+    // minted from a throwaway store to keep it well-formed.
+    let mut store = MessageStore::new();
+    let h = store.insert(Message {
+        id: MessageId(1),
+        txn: TransactionId(1),
+        mtype: MsgType(mtype),
+        shape: ShapeId(0),
+        chain_pos: 0,
+        src: NicId(src),
+        dst: NicId(dst),
+        requester: NicId(src),
+        home: NicId(dst),
+        owner: NicId(dst),
+        length_flits: 4,
+        created: 0,
+        is_backoff: false,
+        rescued: false,
+        sharers: 0,
+    });
     PacketState {
-        msg: Message {
-            id: MessageId(1),
-            txn: TransactionId(1),
-            mtype: MsgType(mtype),
-            shape: ShapeId(0),
-            chain_pos: 0,
-            src: NicId(src),
-            dst: NicId(dst),
-            requester: NicId(src),
-            home: NicId(dst),
-            owner: NicId(dst),
-            length_flits: 4,
-            created: 0,
-            is_backoff: false,
-            rescued: false,
-            sharers: 0,
-        },
+        msg: h,
+        mtype: MsgType(mtype),
+        src: NicId(src),
+        dst: NicId(dst),
         dst_router: NodeId(dst),
         crossed_dateline: crossed,
         injected_at: 0,

@@ -1,6 +1,6 @@
 //! The traffic-source abstraction the simulator drives.
 
-use mdd_protocol::{IdAlloc, Message};
+use mdd_protocol::{IdAlloc, MessageStore, MsgHandle};
 use mdd_topology::NicId;
 
 /// A source of original request messages. The simulator calls [`tick`]
@@ -8,16 +8,20 @@ use mdd_topology::NicId;
 /// the NIC as MSHRs/queue space permit (open-loop: the source queue is
 /// unbounded, so applied load is independent of acceptance).
 ///
+/// Generated messages live in the simulation's [`MessageStore`]; the
+/// source queues hold only their handles.
+///
 /// [`tick`]: TrafficSource::tick
 pub trait TrafficSource: Send {
-    /// Generate this cycle's new requests into per-node source queues.
-    fn tick(&mut self, cycle: u64, ids: &mut IdAlloc);
+    /// Generate this cycle's new requests into per-node source queues,
+    /// inserting each message into `store`.
+    fn tick(&mut self, cycle: u64, ids: &mut IdAlloc, store: &mut MessageStore);
 
     /// Peek the head of `nic`'s source queue.
-    fn pending_head(&self, nic: NicId) -> Option<&Message>;
+    fn pending_head(&self, nic: NicId) -> Option<MsgHandle>;
 
     /// Pop the head of `nic`'s source queue.
-    fn pop_pending(&mut self, nic: NicId) -> Option<Message>;
+    fn pop_pending(&mut self, nic: NicId) -> Option<MsgHandle>;
 
     /// Total requests waiting in source queues.
     fn backlog(&self) -> usize;

@@ -1,7 +1,7 @@
 //! Open-loop synthetic request generation.
 
 use crate::source::TrafficSource;
-use mdd_protocol::{IdAlloc, Message, PatternSpec};
+use mdd_protocol::{IdAlloc, Message, MessageStore, MsgHandle, PatternSpec};
 use mdd_topology::NicId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -42,7 +42,8 @@ pub enum DestPattern {
 /// let mut tr = SyntheticTraffic::new(pat, 64, 0.24, DestPattern::Random, 7);
 /// assert!((tr.txn_rate() - 0.01).abs() < 1e-12);
 /// let mut ids = IdAlloc::new();
-/// for c in 0..100 { tr.tick(c, &mut ids); }
+/// let mut store = mdd_protocol::MessageStore::new();
+/// for c in 0..100 { tr.tick(c, &mut ids, &mut store); }
 /// assert!(tr.generated() > 0);
 /// ```
 pub struct SyntheticTraffic {
@@ -50,7 +51,7 @@ pub struct SyntheticTraffic {
     txn_rate: f64,
     dest: DestPattern,
     rng: StdRng,
-    pending: Vec<VecDeque<Message>>,
+    pending: Vec<VecDeque<MsgHandle>>,
     num_nics: u32,
     /// Transactions generated so far.
     pub generated: u64,
@@ -85,30 +86,31 @@ impl SyntheticTraffic {
     }
 
     /// Generate this cycle's new requests into the per-node source queues.
-    pub fn tick(&mut self, cycle: u64, ids: &mut IdAlloc) {
+    pub fn tick(&mut self, cycle: u64, ids: &mut IdAlloc, store: &mut MessageStore) {
         for src in 0..self.num_nics {
             if self.rng.random::<f64>() >= self.txn_rate {
                 continue;
             }
             let msg = self.make_request(NicId(src), cycle, ids);
-            self.pending[src as usize].push_back(msg);
+            self.pending[src as usize].push_back(store.insert(msg));
             self.generated += 1;
         }
     }
 
     /// Build one original request from `src` at `cycle`.
     pub fn make_request(&mut self, src: NicId, cycle: u64, ids: &mut IdAlloc) -> Message {
-        let pattern = self.pattern.clone();
-        let shape_id = pattern.sample_shape(&mut self.rng);
-        let shape = pattern.shape(shape_id);
+        // Field-disjoint borrows (pattern shared, rng mutable) make the
+        // old defensive `Arc` clone unnecessary; RNG draw order (shape,
+        // home, owner) is load-bearing for reproducibility.
+        let shape_id = self.pattern.sample_shape(&mut self.rng);
+        let uses_owner = self.pattern.shape(shape_id).uses_owner();
         let home = self.pick_dest(src);
-        let owner = if shape.uses_owner() {
+        let owner = if uses_owner {
             self.pick_third(src, home)
         } else {
             home
         };
-        let mtype = shape.mtype(0);
-        let proto = pattern.protocol();
+        let mtype = self.pattern.shape(shape_id).mtype(0);
         Message {
             id: ids.next_msg(),
             txn: ids.next_txn(),
@@ -120,7 +122,7 @@ impl SyntheticTraffic {
             requester: src,
             home,
             owner,
-            length_flits: proto.length(mtype),
+            length_flits: self.pattern.protocol().length(mtype),
             created: cycle,
             is_backoff: false,
             rescued: false,
@@ -179,15 +181,15 @@ impl SyntheticTraffic {
 }
 
 impl TrafficSource for SyntheticTraffic {
-    fn tick(&mut self, cycle: u64, ids: &mut IdAlloc) {
-        SyntheticTraffic::tick(self, cycle, ids)
+    fn tick(&mut self, cycle: u64, ids: &mut IdAlloc, store: &mut MessageStore) {
+        SyntheticTraffic::tick(self, cycle, ids, store)
     }
 
-    fn pending_head(&self, nic: NicId) -> Option<&Message> {
-        self.pending[nic.index()].front()
+    fn pending_head(&self, nic: NicId) -> Option<MsgHandle> {
+        self.pending[nic.index()].front().copied()
     }
 
-    fn pop_pending(&mut self, nic: NicId) -> Option<Message> {
+    fn pop_pending(&mut self, nic: NicId) -> Option<MsgHandle> {
         self.pending[nic.index()].pop_front()
     }
 

@@ -1,7 +1,7 @@
 //! Tests for workload generation.
 
 use crate::*;
-use mdd_protocol::{IdAlloc, PatternSpec};
+use mdd_protocol::{IdAlloc, MessageStore, PatternSpec};
 use mdd_topology::NicId;
 use std::sync::Arc;
 
@@ -13,9 +13,10 @@ fn generation_rate_matches_load() {
     let mut tr = SyntheticTraffic::new(pat, 64, 0.24, DestPattern::Random, 42);
     assert!((tr.txn_rate() - 0.01).abs() < 1e-12);
     let mut ids = IdAlloc::new();
+    let mut store = MessageStore::new();
     let cycles = 20_000u64;
     for c in 0..cycles {
-        tr.tick(c, &mut ids);
+        tr.tick(c, &mut ids, &mut store);
     }
     let expected = 0.01 * 64.0 * cycles as f64;
     let got = tr.generated as f64;
@@ -51,13 +52,15 @@ fn pending_queue_fifo() {
     let pat = Arc::new(PatternSpec::pat100());
     let mut tr = SyntheticTraffic::new(pat, 4, 10.0, DestPattern::Random, 1);
     let mut ids = IdAlloc::new();
+    let mut store = MessageStore::new();
     for c in 0..10 {
-        tr.tick(c, &mut ids);
+        tr.tick(c, &mut ids, &mut store);
     }
     assert!(tr.backlog() > 0, "rate 10 flits/cycle floods the queues");
-    let first = tr.pending_head(NicId(0)).unwrap().id;
+    let first = tr.pending_head(NicId(0)).unwrap();
     let popped = tr.pop_pending(NicId(0)).unwrap();
-    assert_eq!(popped.id, first);
+    assert_eq!(popped, first);
+    assert_eq!(store.get(popped).src, NicId(0));
 }
 
 #[test]

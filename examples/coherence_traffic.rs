@@ -49,8 +49,9 @@ fn main() {
             42,
         );
         let mut ids = IdAlloc::new();
+        let mut store = mdd_sim::protocol::MessageStore::new();
         for c in 0..horizon {
-            mdd_sim::traffic::TrafficSource::tick(&mut probe, c, &mut ids);
+            mdd_sim::traffic::TrafficSource::tick(&mut probe, c, &mut ids, &mut store);
         }
         let (direct, inval, fwd) = probe.engine().table1_row();
         let mut hist = Histogram::new(0.0, 0.5, 50);

@@ -79,7 +79,8 @@ pub mod prelude {
     pub use mdd_engine::{Engine, Job, PointError, PointFailure, SweepReport};
     pub use mdd_obs::{CounterId, Event as ObsEvent, ObsReport};
     pub use mdd_protocol::{
-        HopTarget, IdAlloc, Message, MessageId, MsgKind, MsgType, TransactionShape,
+        HopTarget, IdAlloc, Message, MessageId, MessageStore, MsgHandle, MsgKind, MsgType,
+        TransactionShape,
     };
     pub use mdd_stats::{Histogram, OnlineStats, Table};
     pub use mdd_topology::{NicId, NodeId, Topology, TopologyKind};
