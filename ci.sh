@@ -30,6 +30,28 @@ second=$(engine_sweep)
 echo "$second" | grep -q "3 points: 0 simulated, 3 cached" || {
     echo "engine smoke: warm run was not fully cache-served:"; echo "$second"; exit 1; }
 
+echo "==> static verifier smoke (mddsim --verify)"
+verify_one() { # scheme vcs expected_verdict
+    local out
+    out=$(cargo run -q -p mdd-bench --release --bin mddsim -- \
+        --verify --scheme "$1" --pattern pat271 --vcs "$2" --radix 8x8) || true
+    echo "$out" | grep -q "verdict: $3" || {
+        echo "verify smoke: $1 vcs=$2 expected $3, got:"; echo "$out"; exit 1; }
+}
+verify_one sa 8 ProvenFree
+verify_one dr 8 RecoverableCycles
+verify_one pr 4 RecoverableCycles
+# One VC short of SA's budget must be rejected outright (exit status 3).
+set +e
+unsafe_out=$(cargo run -q -p mdd-bench --release --bin mddsim -- \
+    --verify --scheme sa --pattern pat271 --vcs 7 --radix 8x8)
+unsafe_status=$?
+set -e
+[ "$unsafe_status" -eq 3 ] || {
+    echo "verify smoke: crippled SA should exit 3, got $unsafe_status"; exit 1; }
+echo "$unsafe_out" | grep -q "verdict: Unsafe" || {
+    echo "verify smoke: crippled SA should be Unsafe, got:"; echo "$unsafe_out"; exit 1; }
+
 echo "==> hot-path bench smoke (writes BENCH_hotpath.json)"
 HOTPATH_QUICK=1 HOTPATH_OUT=BENCH_hotpath.json \
     cargo bench -q -p mdd-bench --bench hotpath

@@ -58,7 +58,7 @@ fn bench_hotpath(c: &mut Criterion) {
             b.iter(|| {
                 sim.run_cycles(100);
                 black_box(sim.cycle())
-            })
+            });
         });
     }
     g.finish();

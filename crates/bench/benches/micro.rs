@@ -32,7 +32,7 @@ fn bench_network_cycle(c: &mut Criterion) {
         b.iter(|| {
             sim.run_cycles(100);
             black_box(sim.cycle())
-        })
+        });
     });
     g.finish();
 }
@@ -41,10 +41,10 @@ fn bench_cwg(c: &mut Criterion) {
     let mut g = c.benchmark_group("cwg_detection");
     let sim = saturated_sim();
     g.bench_function("build_8x8_loaded", |b| {
-        b.iter(|| black_box(build_waitfor_graph(&sim).num_edges()))
+        b.iter(|| black_box(build_waitfor_graph(&sim).num_edges()));
     });
     g.bench_function("build_and_knots_8x8_loaded", |b| {
-        b.iter(|| black_box(build_waitfor_graph(&sim).knots().len()))
+        b.iter(|| black_box(build_waitfor_graph(&sim).knots().len()));
     });
     let mut big = WaitForGraph::new(4096);
     let mut x = 12345u64;
@@ -56,7 +56,7 @@ fn bench_cwg(c: &mut Criterion) {
         big.add_edge(a as u32, b as u32);
     }
     g.bench_function("tarjan_4096v_16384e", |b| {
-        b.iter(|| black_box(big.sccs().len()))
+        b.iter(|| black_box(big.sccs().len()));
     });
     g.finish();
 }
@@ -79,7 +79,7 @@ fn bench_recovery_lane(c: &mut Criterion) {
             let arrive = lane.send(h, len, mdd_topology::NodeId(0), mdd_topology::NodeId(37), now);
             now = arrive;
             black_box(lane.poll(now).is_some())
-        })
+        });
     });
     g.finish();
 }
@@ -104,7 +104,7 @@ fn bench_traffic_gen(c: &mut Criterion) {
                 }
             }
             black_box(tr.generated)
-        })
+        });
     });
     g.finish();
 }

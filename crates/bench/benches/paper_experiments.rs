@@ -27,13 +27,13 @@ fn bench_fig8_vc4(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig8_vc4");
     g.sample_size(10);
     g.bench_function("pr_pat721", |b| {
-        b.iter(|| black_box(point(Scheme::ProgressiveRecovery, PatternSpec::pat721(), 4, None)))
+        b.iter(|| black_box(point(Scheme::ProgressiveRecovery, PatternSpec::pat721(), 4, None)));
     });
     g.bench_function("dr_pat721", |b| {
-        b.iter(|| black_box(point(Scheme::DeflectiveRecovery, PatternSpec::pat721(), 4, None)))
+        b.iter(|| black_box(point(Scheme::DeflectiveRecovery, PatternSpec::pat721(), 4, None)));
     });
     g.bench_function("sa_pat100", |b| {
-        b.iter(|| black_box(point(SA, PatternSpec::pat100(), 4, None)))
+        b.iter(|| black_box(point(SA, PatternSpec::pat100(), 4, None)));
     });
     g.finish();
 }
@@ -47,7 +47,7 @@ fn bench_fig9_vc8(c: &mut Criterion) {
         ("pr", Scheme::ProgressiveRecovery),
     ] {
         g.bench_function(format!("{name}_pat271"), |b| {
-            b.iter(|| black_box(point(scheme, PatternSpec::pat271(), 8, None)))
+            b.iter(|| black_box(point(scheme, PatternSpec::pat271(), 8, None)));
         });
     }
     g.finish();
@@ -62,7 +62,7 @@ fn bench_fig10_vc16(c: &mut Criterion) {
         ("pr", Scheme::ProgressiveRecovery),
     ] {
         g.bench_function(format!("{name}_pat451"), |b| {
-            b.iter(|| black_box(point(scheme, PatternSpec::pat451(), 16, None)))
+            b.iter(|| black_box(point(scheme, PatternSpec::pat451(), 16, None)));
         });
     }
     g.finish();
@@ -72,7 +72,7 @@ fn bench_fig11_queue_sep(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig11_queue_sep");
     g.sample_size(10);
     g.bench_function("pr_shared", |b| {
-        b.iter(|| black_box(point(Scheme::ProgressiveRecovery, PatternSpec::pat271(), 16, None)))
+        b.iter(|| black_box(point(Scheme::ProgressiveRecovery, PatternSpec::pat271(), 16, None)));
     });
     g.bench_function("pr_qa", |b| {
         b.iter(|| {
@@ -82,7 +82,7 @@ fn bench_fig11_queue_sep(c: &mut Criterion) {
                 16,
                 Some(QueueOrg::PerType),
             ))
-        })
+        });
     });
     g.bench_function("dr_qa", |b| {
         b.iter(|| {
@@ -92,7 +92,7 @@ fn bench_fig11_queue_sep(c: &mut Criterion) {
                 16,
                 Some(QueueOrg::PerType),
             ))
-        })
+        });
     });
     g.finish();
 }
@@ -101,7 +101,7 @@ fn bench_fig6_loads(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig6_loads");
     g.sample_size(10);
     g.bench_function("radix_4x4", |b| {
-        b.iter(|| black_box(characterize_app(AppModel::radix(), &[4, 4], 1, 4_000, 42).mean_load))
+        b.iter(|| black_box(characterize_app(AppModel::radix(), &[4, 4], 1, 4_000, 42).mean_load));
     });
     g.finish();
 }
@@ -110,7 +110,7 @@ fn bench_table1_traces(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1_traces");
     g.sample_size(10);
     g.bench_function("water_4x4", |b| {
-        b.iter(|| black_box(characterize_app(AppModel::water(), &[4, 4], 1, 4_000, 42).table1))
+        b.iter(|| black_box(characterize_app(AppModel::water(), &[4, 4], 1, 4_000, 42).table1));
     });
     g.finish();
 }
@@ -119,7 +119,7 @@ fn bench_deadlock_freq(c: &mut Criterion) {
     let mut g = c.benchmark_group("deadlock_freq");
     g.sample_size(10);
     g.bench_function("bristled_2x2_fft", |b| {
-        b.iter(|| black_box(characterize_app(AppModel::fft(), &[2, 2], 4, 4_000, 42).deadlocks))
+        b.iter(|| black_box(characterize_app(AppModel::fft(), &[2, 2], 4, 4_000, 42).deadlocks));
     });
     g.finish();
 }

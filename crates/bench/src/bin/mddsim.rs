@@ -22,6 +22,14 @@
 //! --warmup N / --measure N     [10000 / 30000]
 //! --seed N                     [0x5eed]
 //! --plot                       render the ASCII BNF plot (sweep mode)
+//! --verify                     statically verify the configuration and
+//!                              exit without simulating: prints
+//!                              `verdict: ProvenFree|RecoverableCycles|Unsafe`
+//!                              plus the witness cycle when one exists.
+//!                              Exit status 0 unless the verdict is
+//!                              Unsafe (then 3). A VC budget infeasible
+//!                              for the scheme is verified against the
+//!                              degraded map it would force.
 //! ```
 //!
 //! Engine flags (shared with every bench binary):
@@ -143,7 +151,7 @@ fn main() {
         Some("pertype") => Some(QueueOrg::PerType),
         Some(other) => die(&format!("unknown queue org {other}")),
     };
-    let cfg = SimConfig::builder()
+    let builder = SimConfig::builder()
         .scheme(scheme)
         .pattern(pattern)
         .vcs(vcs)
@@ -155,7 +163,36 @@ fn main() {
             cli.parse_value("--measure", 30_000),
         )
         .seed(cli.parse_value("--seed", 0x5eed))
-        .queue_org(queue_org)
+        .queue_org(queue_org);
+    if cli.flag("--verify") {
+        // Static verification mode: classify, print, exit — no simulation.
+        // Deliberately skips feasibility validation so infeasible VC
+        // budgets can be explained via the degraded map.
+        let cfg = builder.build_unchecked();
+        let counters_out = cli.value("--counters-out").map(str::to_string);
+        if counters_out.is_some() {
+            mdd_obs::install(cli.parse_value("--trace-cap", 1 << 20));
+        }
+        let verdict = mdd_core::verify_config(&cfg).unwrap_or_else(|e| {
+            eprintln!("mddsim: {e}; verifying the degraded channel map it would force");
+            mdd_core::verify_config_degraded(&cfg)
+        });
+        write_obs_outputs(counters_out.as_deref(), None);
+        println!(
+            "config: scheme {} pattern {} vcs {} radix {} queue-org {:?}",
+            scheme.label(),
+            cli.value("--pattern").unwrap_or("pat271"),
+            vcs,
+            cli.value("--radix").unwrap_or("8x8"),
+            cfg.effective_queue_org(),
+        );
+        println!("verdict: {}", verdict.name());
+        if let Some(w) = verdict.witness() {
+            println!("witness cycle:\n{w}");
+        }
+        std::process::exit(if verdict.is_unsafe() { 3 } else { 0 });
+    }
+    let cfg = builder
         .build()
         .unwrap_or_else(|e| die(&format!("infeasible configuration: {e}")));
     let counters_out = cli.value("--counters-out").map(str::to_string);

@@ -63,11 +63,8 @@ impl BenchCli {
         };
         let out_dir = PathBuf::from(value("--out").unwrap_or_else(|| "results".into()));
         let jobs = value("--jobs")
-            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("bad --jobs: {v}"))))
-            .unwrap_or(0);
-        let cache_dir = value("--cache-dir")
-            .map(PathBuf::from)
-            .unwrap_or_else(|| out_dir.join("cache"));
+            .map_or(0, |v| v.parse().unwrap_or_else(|_| die(&format!("bad --jobs: {v}"))));
+        let cache_dir = value("--cache-dir").map_or_else(|| out_dir.join("cache"), PathBuf::from);
         BenchCli {
             smoke,
             scale,

@@ -76,6 +76,7 @@ fn entry(label: &'static str, scheme: Scheme) -> SchemeEntry {
 
 /// The BNF panels of one figure: per pattern, the curves of every
 /// applicable scheme.
+#[derive(Debug)]
 pub struct FigureResult {
     /// Figure id ("fig8", ...).
     pub id: &'static str,
@@ -338,6 +339,7 @@ pub fn figure11_with(engine: &Engine, scale: RunScale) -> FigureResult {
 
 /// One application's characterization results (Figure 6 + Table 1 row +
 /// the Section 4.2.2 deadlock count).
+#[derive(Debug)]
 pub struct AppCharacterization {
     /// Application name.
     pub app: &'static str,

@@ -30,6 +30,7 @@ pub struct CoherentAccess {
 
 /// Drives the [`Directory`] from an access stream and emits the original
 /// request message of each resulting network transaction.
+#[derive(Debug)]
 pub struct CoherenceEngine {
     pattern: Arc<PatternSpec>,
     directory: Directory,

@@ -47,6 +47,7 @@ pub fn record_app_trace(app: &AppModel, nprocs: u32, horizon: u64, seed: u64) ->
 /// A [`TrafficSource`] replaying a recorded access trace through the MSI
 /// directory engine, issuing the resulting network transactions at the
 /// recorded cycles.
+#[derive(Debug)]
 pub struct TraceReplayTraffic {
     engine: CoherenceEngine,
     log: TraceLog,

@@ -21,6 +21,7 @@ const WINDOW: u64 = 500;
 
 /// A [`TrafficSource`] that drives the network from a coherence-filtered
 /// application access stream.
+#[derive(Debug)]
 pub struct CoherentTraffic {
     engine: CoherenceEngine,
     app: AppModel,

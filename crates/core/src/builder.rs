@@ -53,6 +53,13 @@ pub enum ConfigError {
     /// channels for this protocol/topology (the paper's infeasible
     /// figure cells, e.g. SA on a chain-4 protocol with 4 VCs).
     Scheme(SchemeConfigError),
+    /// Strict mode ([`SimConfigBuilder::verify`]) ran the static
+    /// deadlock-safety analysis and found a dependency cycle no
+    /// configured mechanism can drain.
+    StaticallyUnsafe {
+        /// The rendered witness cycle (`mdd-verify`'s trace format).
+        witness: String,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -74,6 +81,11 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "applied load {load} is not a finite non-negative number")
             }
             ConfigError::Scheme(e) => write!(f, "{e}"),
+            ConfigError::StaticallyUnsafe { witness } => write!(
+                f,
+                "statically unsafe: a dependency cycle no configured mechanism \
+                 can drain:\n{witness}"
+            ),
         }
     }
 }
@@ -167,6 +179,7 @@ impl SimConfig {
                 4,
                 0.0,
             ),
+            verify: false,
         }
     }
 }
@@ -176,6 +189,10 @@ impl SimConfig {
 #[derive(Clone, Debug)]
 pub struct SimConfigBuilder {
     cfg: SimConfig,
+    // Strict-mode flag. Deliberately NOT a `SimConfig` field: verification
+    // is a property of how the config was constructed, not of what it
+    // simulates, so it must stay out of the canonical content hash.
+    verify: bool,
 }
 
 macro_rules! setter {
@@ -300,10 +317,46 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Strict mode: in addition to the structural checks, [`build`] runs
+    /// the full static deadlock-safety analysis (`mdd-verify`) and
+    /// rejects any configuration classified `Unsafe` with
+    /// [`ConfigError::StaticallyUnsafe`], witness included. A few
+    /// milliseconds per build on the paper's 8x8 torus.
+    ///
+    /// ```
+    /// use mdd_core::{PatternSpec, Scheme, SimConfig};
+    /// let cfg = SimConfig::builder()
+    ///     .scheme(Scheme::StrictAvoidance { shared_adaptive: false })
+    ///     .pattern(PatternSpec::pat271())
+    ///     .vcs(8)
+    ///     .verify()
+    ///     .build()
+    ///     .expect("SA with full partitions is statically safe");
+    /// assert_eq!(cfg.vcs, 8);
+    /// ```
+    ///
+    /// [`build`]: SimConfigBuilder::build
+    pub fn verify(mut self) -> Self {
+        self.verify = true;
+        self
+    }
+
     /// Validate and produce the configuration. `Ok` guarantees the
-    /// simulator constructor will accept it.
+    /// simulator constructor will accept it; with [`verify`] set, it
+    /// additionally guarantees the configuration is not statically
+    /// unsafe.
+    ///
+    /// [`verify`]: SimConfigBuilder::verify
     pub fn build(self) -> Result<SimConfig, ConfigError> {
         self.cfg.validate()?;
+        if self.verify {
+            let verdict = crate::preflight::verify_config(&self.cfg)?;
+            if let mdd_verify::Verdict::Unsafe { witness } = verdict {
+                return Err(ConfigError::StaticallyUnsafe {
+                    witness: witness.rendered,
+                });
+            }
+        }
         Ok(self.cfg)
     }
 

@@ -38,7 +38,7 @@ impl SimConfig {
             "radix={}",
             self.radix
                 .iter()
-                .map(|k| k.to_string())
+                .map(std::string::ToString::to_string)
                 .collect::<Vec<_>>()
                 .join("x")
         );

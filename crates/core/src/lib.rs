@@ -26,6 +26,7 @@ mod builder;
 mod canon;
 mod config;
 mod endpoint;
+mod preflight;
 mod recovery;
 mod sim;
 mod sweep;
@@ -33,10 +34,16 @@ mod validate;
 
 pub use builder::{ConfigError, SimConfigBuilder};
 pub use config::{SimConfig, SimResult};
+pub use preflight::{verify_config, verify_config_degraded};
 pub use recovery::{EpisodeOrigin, EpisodeRecord, PrRecovery};
 pub use sim::Simulator;
 pub use sweep::{default_loads, run_curve_checked, run_point};
-pub use validate::build_waitfor_graph;
+pub use validate::{build_waitfor_graph, deadlock_witness};
+
+// Static verification verdicts surface through the builder's strict mode
+// and the engine pre-flight; re-export the types so `mdd-core` callers
+// can match on them without naming `mdd-verify` directly.
+pub use mdd_verify::{CycleWitness, Verdict};
 
 // Re-export the pieces callers need to assemble configurations, so that
 // downstream crates (examples, benches) can depend on `mdd-core` alone.

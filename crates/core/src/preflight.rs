@@ -1,0 +1,51 @@
+//! Static pre-flight verification of a [`SimConfig`].
+//!
+//! Thin adapters from the simulator's configuration surface to
+//! `mdd-verify`'s [`VerifyInput`]: they construct the same topology and
+//! routing function `Simulator::new` would, then run the static analysis
+//! — no simulator, no traffic. Used by the builder's strict mode
+//! ([`SimConfigBuilder::verify`]), by the experiment engine's per-point
+//! pre-flight, and by `mddsim --verify`.
+//!
+//! [`SimConfigBuilder::verify`]: crate::SimConfigBuilder::verify
+
+use crate::config::SimConfig;
+use mdd_routing::{SchemeConfigError, SchemeRouting, VcMap};
+use mdd_topology::{Topology, TopologyKind};
+use mdd_verify::{Verdict, VerifyInput};
+
+/// Statically classify `cfg`, or fail with the same feasibility error the
+/// simulator constructor would raise (too few VCs and the like).
+pub fn verify_config(cfg: &SimConfig) -> Result<Verdict, SchemeConfigError> {
+    let escape = if cfg.mesh { 1 } else { 2 };
+    let map = VcMap::build(cfg.scheme, cfg.pattern.protocol(), cfg.vcs, escape)?;
+    Ok(verify_with_map(cfg, map))
+}
+
+/// Statically classify `cfg` even when it is infeasible for the scheme:
+/// an infeasible VC budget falls back to the *degraded* map
+/// ([`VcMap::build_degraded`] — merged partitions, truncated escape
+/// sets), so the verdict explains with a concrete cycle witness what
+/// would go wrong on the hardware the configuration actually describes.
+pub fn verify_config_degraded(cfg: &SimConfig) -> Verdict {
+    let escape = if cfg.mesh { 1 } else { 2 };
+    let map = VcMap::build_degraded(cfg.scheme, cfg.pattern.protocol(), cfg.vcs, escape);
+    verify_with_map(cfg, map)
+}
+
+fn verify_with_map(cfg: &SimConfig, map: VcMap) -> Verdict {
+    let kind = if cfg.mesh {
+        TopologyKind::Mesh
+    } else {
+        TopologyKind::Torus
+    };
+    let topo = Topology::new(kind, &cfg.radix, cfg.bristle);
+    let routing = SchemeRouting::new(map);
+    mdd_verify::verify(&VerifyInput {
+        topo: &topo,
+        scheme: cfg.scheme,
+        routing: &routing,
+        pattern: &cfg.pattern,
+        queue_org: cfg.effective_queue_org(),
+    })
+}

@@ -107,6 +107,7 @@ impl EpisodeRecord {
 }
 
 /// Token + lane + episode state for progressive recovery.
+#[derive(Debug)]
 pub struct PrRecovery {
     ring: RecoveryRing,
     token: CirculatingToken,
@@ -460,7 +461,9 @@ impl PrRecovery {
                             ep.messages_moved += 1;
                             mdd_obs::counter_add(CounterId::MessagesRescued, 1);
                             match nics[holder.index()].try_deposit_output(m, store) {
-                                Ok(()) => continue,
+                                // Deposited: fall through to the next
+                                // dispatch iteration.
+                                Ok(()) => {}
                                 Err(m) => {
                                     let (m_dst, m_len) = {
                                         let mm = store.get(m);

@@ -27,6 +27,25 @@ pub struct Simulator {
     generation: bool,
     cwg_checks: u64,
     cwg_deadlocked_checks: u64,
+    /// Debug-build cross-check state: `Some(true)` once the static
+    /// verifier has certified this configuration `ProvenFree`, computed
+    /// lazily the first time an endpoint detector fires.
+    #[cfg(debug_assertions)]
+    certified_free: Option<bool>,
+    /// Next cycle at which the certified-free cross-check may run again
+    /// (throttles the CWG oracle to once per detection window).
+    #[cfg(debug_assertions)]
+    next_certified_check: u64,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("cfg", &self.cfg)
+            .field("cycle", &self.cycle)
+            .field("live_messages", &self.store.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Simulator {
@@ -51,14 +70,40 @@ impl Simulator {
         cfg: SimConfig,
         traffic: Box<dyn TrafficSource>,
     ) -> Result<Self, SchemeConfigError> {
+        let escape = if cfg.mesh { 1 } else { 2 };
+        let map = VcMap::build(cfg.scheme, cfg.pattern.protocol(), cfg.vcs, escape)?;
+        Ok(Self::assemble(cfg, traffic, map))
+    }
+
+    /// Build a simulator even when the scheme's VC budget is infeasible
+    /// for the protocol, substituting the best-effort *degraded* VC map
+    /// ([`VcMap::build_degraded`] — merged partitions, truncated escape
+    /// sets). The resulting network deliberately lacks the scheme's
+    /// safety guarantee; it is the runtime counterpart of a static
+    /// `Unsafe` classification, and exists so tests can demonstrate that
+    /// configurations the verifier rejects genuinely deadlock.
+    pub fn with_degraded_vcs(cfg: SimConfig) -> Self {
+        let num_nics: u32 = cfg.radix.iter().product::<u32>() * cfg.bristle;
+        let traffic = Box::new(SyntheticTraffic::new(
+            cfg.pattern.clone(),
+            num_nics,
+            cfg.load,
+            cfg.dest,
+            cfg.seed,
+        ));
+        let escape = if cfg.mesh { 1 } else { 2 };
+        let map = VcMap::build_degraded(cfg.scheme, cfg.pattern.protocol(), cfg.vcs, escape);
+        Self::assemble(cfg, traffic, map)
+    }
+
+    /// Wire every component around an already-built VC map.
+    fn assemble(cfg: SimConfig, traffic: Box<dyn TrafficSource>, map: VcMap) -> Self {
         let kind = if cfg.mesh {
             TopologyKind::Mesh
         } else {
             TopologyKind::Torus
         };
         let topo = Topology::new(kind, &cfg.radix, cfg.bristle);
-        let escape = if cfg.mesh { 1 } else { 2 };
-        let map = VcMap::build(cfg.scheme, cfg.pattern.protocol(), cfg.vcs, escape)?;
         let routing = SchemeRouting::new(map);
         let net = Network::new(topo.clone(), cfg.vcs, cfg.flit_buf);
         let org = cfg.effective_queue_org();
@@ -92,7 +137,7 @@ impl Simulator {
             )),
             _ => None,
         };
-        Ok(Simulator {
+        Simulator {
             cfg,
             topo,
             net,
@@ -106,12 +151,22 @@ impl Simulator {
             generation: true,
             cwg_checks: 0,
             cwg_deadlocked_checks: 0,
-        })
+            #[cfg(debug_assertions)]
+            certified_free: None,
+            #[cfg(debug_assertions)]
+            next_certified_check: 0,
+        }
     }
 
     /// The configuration this simulator was built from.
     pub fn config(&self) -> &SimConfig {
         &self.cfg
+    }
+
+    /// CWG oracle statistics so far: `(checks, deadlocked_checks)`.
+    /// Both are zero unless [`SimConfig::cwg_interval`] is set.
+    pub fn cwg_stats(&self) -> (u64, u64) {
+        (self.cwg_checks, self.cwg_deadlocked_checks)
     }
 
     /// Current simulation cycle.
@@ -231,6 +286,46 @@ impl Simulator {
                 }
             }
         }
+        // Debug cross-check (companion to the store-leak assertion in
+        // `is_quiescent`): a configuration the static verifier certified
+        // `ProvenFree` must never reach an oracle-confirmed deadlock.
+        #[cfg(debug_assertions)]
+        self.debug_check_certified_free(c);
+    }
+
+    /// Debug-build agreement check between the static verifier and the
+    /// runtime machinery. The endpoint detector is timeout-based and can
+    /// fire spuriously under plain congestion, so a firing alone proves
+    /// nothing: the verdict is computed lazily on the first firing, and a
+    /// panic is raised only when the CWG oracle *confirms* a knot in a
+    /// configuration `mdd-verify` certified deadlock-free. Throttled to
+    /// one oracle build per detection window.
+    #[cfg(debug_assertions)]
+    fn debug_check_certified_free(&mut self, c: u64) {
+        if self.cycle < self.next_certified_check
+            || !self.nics.iter().any(|n| n.detection_fired(c))
+        {
+            return;
+        }
+        self.next_certified_check = self.cycle + self.cfg.detect_threshold.max(1);
+        if self.certified_free.is_none() {
+            self.certified_free = Some(
+                crate::preflight::verify_config(&self.cfg)
+                    .is_ok_and(|v| v.is_proven_free()),
+            );
+        }
+        if self.certified_free != Some(true) {
+            return;
+        }
+        if crate::validate::build_waitfor_graph(self).has_deadlock() {
+            panic!(
+                "static verifier certified this configuration ProvenFree, but the \
+                 CWG oracle confirms a deadlock at cycle {}:\n{}",
+                self.cycle,
+                crate::validate::deadlock_witness(self)
+                    .unwrap_or_else(|| "(no witness)".into())
+            );
+        }
     }
 
     /// Sample the occupancy gauges into the global observability
@@ -266,15 +361,13 @@ impl Simulator {
         let rec0 = self
             .recovery
             .as_ref()
-            .map(|r| r.router_captures)
-            .unwrap_or(0);
+            .map_or(0, |r| r.router_captures);
         self.run_cycles(self.cfg.measure);
         let net1 = self.net.counters();
         let rec1 = self
             .recovery
             .as_ref()
-            .map(|r| r.router_captures)
-            .unwrap_or(0);
+            .map_or(0, |r| r.router_captures);
         self.set_measuring(false);
 
         let mut agg = NicStats::default();

@@ -7,10 +7,10 @@
 //! input queue and output queue, so message-dependent cycles that close
 //! through the endpoints are visible.
 //!
-//! Vertex layout:
-//! * input VC of router `r`, port `p`, channel `v` → `(r·P + p)·V + v`
-//! * NIC `n` input queue `q`  → `base + n·2Q + q`
-//! * NIC `n` output queue `q` → `base + n·2Q + Q + q`
+//! Vertex ids follow [`mdd_deadlock::ResourceLayout`], the same layout the
+//! static verifier (`mdd-verify`) uses, so a runtime deadlock trace from
+//! [`deadlock_witness`] and a static cycle witness name resources
+//! identically.
 //!
 //! Edge rules (OR-wait semantics — a vertex with no out-edges can make
 //! progress and is an escape):
@@ -24,9 +24,15 @@
 //!   (if packetization started) or on every injection VC its head may use.
 
 use crate::sim::Simulator;
-use mdd_deadlock::WaitForGraph;
+use mdd_deadlock::{Resource, ResourceLayout, WaitForGraph};
 use mdd_router::{RouteCandidate, Routing};
 use mdd_topology::PortId;
+
+/// The shared vertex layout for the simulator's configuration.
+pub(crate) fn resource_layout(sim: &Simulator) -> ResourceLayout {
+    let nq = sim.nics()[0].num_queues();
+    ResourceLayout::new(sim.topo(), sim.network().vcs() as usize, nq)
+}
 
 /// Build the extended CWG for the simulator's current state.
 pub fn build_waitfor_graph(sim: &Simulator) -> WaitForGraph {
@@ -37,18 +43,12 @@ pub fn build_waitfor_graph(sim: &Simulator) -> WaitForGraph {
     let pattern = sim.config().pattern.clone();
     let proto = pattern.protocol();
 
+    let layout = resource_layout(sim);
     let ports = topo.ports_per_router();
     let vcs = net.vcs() as usize;
     let nr = topo.num_routers() as usize;
     let nq = nics[0].num_queues();
-    let base = nr * ports * vcs;
-    let total = base + nics.len() * 2 * nq;
-    let mut g = WaitForGraph::new(total);
-
-    let vc_vertex =
-        |r: usize, p: usize, v: usize| -> u32 { ((r * ports + p) * vcs + v) as u32 };
-    let inq_vertex = |n: usize, q: usize| -> u32 { (base + n * 2 * nq + q) as u32 };
-    let outq_vertex = |n: usize, q: usize| -> u32 { (base + n * 2 * nq + nq + q) as u32 };
+    let mut g = WaitForGraph::new(layout.num_vertices());
     let org = sim.config().effective_queue_org();
 
     // Router VCs.
@@ -60,7 +60,7 @@ pub fn build_waitfor_graph(sim: &Simulator) -> WaitForGraph {
             for v in 0..vcs {
                 let vc = router.vc(PortId(p as u8), v as u8);
                 let Some(front) = vc.front() else { continue };
-                let src_vertex = vc_vertex(r, p, v);
+                let src_vertex = layout.vc_vertex(node, PortId(p as u8), v as u8);
                 let Some(pkt) = net.packets().get(front.msg) else {
                     continue;
                 };
@@ -68,10 +68,7 @@ pub fn build_waitfor_graph(sim: &Simulator) -> WaitForGraph {
                     if let Some((d, dir)) = topo.port_dim_dir(port) {
                         let down = topo.neighbor(node, d, dir).expect("link exists");
                         let dport = topo.port(d, dir.opposite());
-                        g.add_edge(
-                            src_vertex,
-                            vc_vertex(down.index(), dport.index(), ovc as usize),
-                        );
+                        g.add_edge(src_vertex, layout.vc_vertex(down, dport, ovc));
                     } else {
                         // Local port: waits on destination input queue —
                         // only when that queue is actually full (otherwise
@@ -80,7 +77,7 @@ pub fn build_waitfor_graph(sim: &Simulator) -> WaitForGraph {
                         let nic = topo.nic_at(node, local);
                         let qi = org.queue_index(proto, pkt.mtype);
                         if nics[nic.index()].in_queue(qi).is_full() {
-                            g.add_edge(src_vertex, inq_vertex(nic.index(), qi));
+                            g.add_edge(src_vertex, layout.in_queue_vertex(nic, qi));
                         }
                     }
                 };
@@ -107,7 +104,8 @@ pub fn build_waitfor_graph(sim: &Simulator) -> WaitForGraph {
     }
 
     // Endpoint queues.
-    for (n, nic) in nics.iter().enumerate() {
+    for nic in nics {
+        let nid = nic.id();
         for q in 0..nq {
             // Input queue head waits on the subordinate's output queue.
             if let Some(&h) = nic.in_queue(q).front() {
@@ -127,20 +125,23 @@ pub fn build_waitfor_graph(sim: &Simulator) -> WaitForGraph {
                     // Only a full output queue blocks the memory
                     // controller; otherwise the head will be serviced.
                     if nic.out_queue(oq).is_full() {
-                        g.add_edge(inq_vertex(n, q), outq_vertex(n, oq));
+                        g.add_edge(
+                            layout.in_queue_vertex(nid, q),
+                            layout.out_queue_vertex(nid, oq),
+                        );
                     }
                 }
             }
             // Output queue head waits on injection VCs.
             if let Some(&h) = nic.out_queue(q).front() {
                 let head = store.get(h);
-                let my_router = topo.nic_router(nic.id());
-                let local_port = topo.local_port(topo.nic_local_index(nic.id()));
+                let my_router = topo.nic_router(nid);
+                let local_port = topo.local_port(topo.nic_local_index(nid));
                 match nic.active_injection_vc(h) {
                     Some(v) => {
                         g.add_edge(
-                            outq_vertex(n, q),
-                            vc_vertex(my_router.index(), local_port.index(), v as usize),
+                            layout.out_queue_vertex(nid, q),
+                            layout.vc_vertex(my_router, local_port, v),
                         );
                     }
                     None => {
@@ -157,8 +158,8 @@ pub fn build_waitfor_graph(sim: &Simulator) -> WaitForGraph {
                         sim.routing().injection_vcs(&pkt, &mut vcs_buf);
                         for v in vcs_buf {
                             g.add_edge(
-                                outq_vertex(n, q),
-                                vc_vertex(my_router.index(), local_port.index(), v as usize),
+                                layout.out_queue_vertex(nid, q),
+                                layout.vc_vertex(my_router, local_port, v),
                             );
                         }
                     }
@@ -167,4 +168,49 @@ pub fn build_waitfor_graph(sim: &Simulator) -> WaitForGraph {
         }
     }
     g
+}
+
+/// If the simulator is deadlocked *right now* (the CWG holds a knot),
+/// return a human-readable trace of one cycle inside the first knot,
+/// annotated with the message type blocked at each resource. Uses the
+/// same [`ResourceLayout`] naming as `mdd-verify`'s static witnesses.
+pub fn deadlock_witness(sim: &Simulator) -> Option<String> {
+    let g = build_waitfor_graph(sim);
+    let knot = g.knots().into_iter().next()?;
+    let cycle = g.cycle_in_component(&knot);
+    if cycle.is_empty() {
+        return None;
+    }
+    let layout = resource_layout(sim);
+    let store = sim.store();
+    let net = sim.network();
+    let proto = sim.config().pattern.protocol();
+    let notes: Vec<String> = cycle
+        .iter()
+        .map(|&v| {
+            let head = match layout.resource(v) {
+                Resource::ChannelVc { router, port, vc } => net
+                    .router(router)
+                    .vc(port, vc)
+                    .front()
+                    .map(|f| f.msg),
+                Resource::InputQueue { nic, queue } => {
+                    sim.nics()[nic.index()].in_queue(queue).front().copied()
+                }
+                Resource::OutputQueue { nic, queue } => {
+                    sim.nics()[nic.index()].out_queue(queue).front().copied()
+                }
+            };
+            head.and_then(|h| store.try_get(h))
+                .map(|m| {
+                    format!(
+                        "{} to nic {}",
+                        proto.spec(m.mtype).name,
+                        m.dst.index()
+                    )
+                })
+                .unwrap_or_default()
+        })
+        .collect();
+    Some(layout.format_cycle(&cycle, &notes))
 }

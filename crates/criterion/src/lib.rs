@@ -52,6 +52,12 @@ impl Criterion {
     }
 }
 
+impl core::fmt::Debug for BenchmarkGroup<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("BenchmarkGroup").field("name", &self.name).finish()
+    }
+}
+
 /// A named collection of benchmarks sharing a sample count.
 pub struct BenchmarkGroup<'a> {
     _parent: &'a mut Criterion,
@@ -88,6 +94,7 @@ impl BenchmarkGroup<'_> {
 }
 
 /// Passed to each benchmark closure; drives the measured routine.
+#[derive(Debug)]
 pub struct Bencher {
     /// Per-iteration nanosecond estimates, one per sample.
     samples: Vec<f64>,
@@ -181,7 +188,7 @@ mod tests {
             b.iter(|| {
                 x = x.wrapping_add(1);
                 x
-            })
+            });
         });
         g.finish();
     }

@@ -180,4 +180,48 @@ impl WaitForGraph {
     pub fn has_deadlock(&self) -> bool {
         !self.knots().is_empty()
     }
+
+    /// Extract one simple cycle lying entirely inside `comp` (the vertex
+    /// set of a cyclic SCC, as returned by [`WaitForGraph::sccs`] or
+    /// [`WaitForGraph::knots`]). Returns an empty vector if `comp` holds
+    /// no cycle (a trivial SCC without a self-loop).
+    ///
+    /// The walk follows, from each vertex, its first out-arc that stays
+    /// inside the component; because every vertex of a cyclic SCC has such
+    /// an arc, the walk must revisit a vertex, and the portion from the
+    /// first revisit onward is a simple cycle — the witness printed for
+    /// deadlock traces.
+    pub fn cycle_in_component(&self, comp: &[u32]) -> Vec<u32> {
+        if comp.is_empty() {
+            return Vec::new();
+        }
+        if comp.len() == 1 {
+            let v = comp[0];
+            return if self.adj[v as usize].contains(&v) {
+                vec![v]
+            } else {
+                Vec::new()
+            };
+        }
+        let mut inside = vec![false; self.n];
+        for &v in comp {
+            inside[v as usize] = true;
+        }
+        // Walk first-inside-arcs until a vertex repeats.
+        let mut seen_at = vec![usize::MAX; self.n];
+        let mut path: Vec<u32> = Vec::new();
+        let mut v = comp[0];
+        loop {
+            if seen_at[v as usize] != usize::MAX {
+                return path[seen_at[v as usize]..].to_vec();
+            }
+            seen_at[v as usize] = path.len();
+            path.push(v);
+            match self.adj[v as usize].iter().find(|&&w| inside[w as usize]) {
+                Some(&w) => v = w,
+                // Unreachable for a genuine SCC; bail out defensively.
+                None => return Vec::new(),
+            }
+        }
+    }
 }

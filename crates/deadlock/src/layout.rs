@@ -1,0 +1,221 @@
+//! Shared vertex layout and human-readable naming for resource graphs.
+//!
+//! Both the dynamic channel wait-for graph (built from live simulator
+//! state in `mdd-core`) and the static channel dependency graph (built
+//! from configuration alone in `mdd-verify`) index the same resources:
+//! router virtual channels first, then per-NIC endpoint input and output
+//! queues. [`ResourceLayout`] owns that arithmetic in one place so a
+//! runtime deadlock trace and a static cycle witness name resources
+//! identically.
+//!
+//! Vertex layout over `R` routers × `P` ports × `V` virtual channels and
+//! `N` NICs × `Q` queues per direction:
+//!
+//! * input VC of router `r`, port `p`, channel `v` → `(r·P + p)·V + v`
+//! * NIC `n` input queue `q`  → `R·P·V + n·2Q + q`
+//! * NIC `n` output queue `q` → `R·P·V + n·2Q + Q + q`
+
+use mdd_topology::{NicId, NodeId, PortId, Topology};
+
+/// One resource vertex, decoded from its flat id.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Resource {
+    /// An input virtual channel of a router port.
+    ChannelVc {
+        /// Router owning the channel.
+        router: NodeId,
+        /// Input port the channel belongs to.
+        port: PortId,
+        /// Virtual-channel index within the port.
+        vc: u8,
+    },
+    /// An endpoint (NIC) input queue.
+    InputQueue {
+        /// The network interface.
+        nic: NicId,
+        /// Queue index within the NIC (per the configured queue org).
+        queue: usize,
+    },
+    /// An endpoint (NIC) output queue.
+    OutputQueue {
+        /// The network interface.
+        nic: NicId,
+        /// Queue index within the NIC (per the configured queue org).
+        queue: usize,
+    },
+}
+
+/// Vertex-id arithmetic and naming for one network configuration.
+#[derive(Clone, Debug)]
+pub struct ResourceLayout {
+    topo: Topology,
+    vcs: usize,
+    queues: usize,
+}
+
+impl ResourceLayout {
+    /// Layout for `topo` with `vcs` virtual channels per port and
+    /// `queues` endpoint queues per NIC direction.
+    pub fn new(topo: &Topology, vcs: usize, queues: usize) -> Self {
+        ResourceLayout {
+            topo: topo.clone(),
+            vcs,
+            queues,
+        }
+    }
+
+    /// The topology the layout describes.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Virtual channels per router port.
+    pub fn vcs(&self) -> usize {
+        self.vcs
+    }
+
+    /// Endpoint queues per NIC direction.
+    pub fn queues(&self) -> usize {
+        self.queues
+    }
+
+    /// Number of router-VC vertices (the endpoint vertices start here).
+    pub fn vc_base(&self) -> usize {
+        self.topo.num_routers() as usize * self.topo.ports_per_router() * self.vcs
+    }
+
+    /// Total number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vc_base() + self.topo.num_nics() as usize * 2 * self.queues
+    }
+
+    /// Vertex of input VC `v` on port `p` of router `r`.
+    pub fn vc_vertex(&self, r: NodeId, p: PortId, v: u8) -> u32 {
+        let ports = self.topo.ports_per_router();
+        ((r.index() * ports + p.index()) * self.vcs + v as usize) as u32
+    }
+
+    /// Vertex of NIC `n`'s input queue `q`.
+    pub fn in_queue_vertex(&self, n: NicId, q: usize) -> u32 {
+        (self.vc_base() + n.index() * 2 * self.queues + q) as u32
+    }
+
+    /// Vertex of NIC `n`'s output queue `q`.
+    pub fn out_queue_vertex(&self, n: NicId, q: usize) -> u32 {
+        (self.vc_base() + n.index() * 2 * self.queues + self.queues + q) as u32
+    }
+
+    /// Decode a flat vertex id back into the resource it denotes.
+    ///
+    /// Panics if `v` is out of range for this layout.
+    pub fn resource(&self, v: u32) -> Resource {
+        let v = v as usize;
+        let base = self.vc_base();
+        if v < base {
+            let ports = self.topo.ports_per_router();
+            let vc = v % self.vcs;
+            let rp = v / self.vcs;
+            Resource::ChannelVc {
+                router: NodeId((rp / ports) as u32),
+                port: PortId((rp % ports) as u8),
+                vc: vc as u8,
+            }
+        } else {
+            let e = v - base;
+            let nic = NicId((e / (2 * self.queues)) as u32);
+            let q = e % (2 * self.queues);
+            if q < self.queues {
+                Resource::InputQueue { nic, queue: q }
+            } else {
+                Resource::OutputQueue {
+                    nic,
+                    queue: q - self.queues,
+                }
+            }
+        }
+    }
+
+    /// Human-readable name of a port: `+x` / `-y` for network ports,
+    /// `local L` for ports facing NIC `L` of the router.
+    pub fn port_name(&self, port: PortId) -> String {
+        match self.topo.port_dim_dir(port) {
+            Some((d, dir)) => {
+                let sign = match dir {
+                    mdd_topology::Direction::Plus => '+',
+                    mdd_topology::Direction::Minus => '-',
+                };
+                format!("{sign}{}", dim_name(d))
+            }
+            None => match self.topo.port_local_index(port) {
+                Some(l) => format!("local {l}"),
+                None => format!("port {}", port.index()),
+            },
+        }
+    }
+
+    /// Human-readable name of a vertex, e.g. `router 12 (4,1) port +x vc 3`
+    /// or `nic 7 input queue 2`.
+    pub fn describe(&self, v: u32) -> String {
+        match self.resource(v) {
+            Resource::ChannelVc { router, port, vc } => {
+                format!(
+                    "router {} {} port {} vc {}",
+                    router.index(),
+                    self.topo.coord(router),
+                    self.port_name(port),
+                    vc
+                )
+            }
+            Resource::InputQueue { nic, queue } => {
+                format!("nic {} input queue {}", nic.index(), queue)
+            }
+            Resource::OutputQueue { nic, queue } => {
+                format!("nic {} output queue {}", nic.index(), queue)
+            }
+        }
+    }
+
+    /// Render a cycle as an indented multi-line wait chain. Each step may
+    /// carry a note (typically the blocked occupant: message type and
+    /// destination). The final line repeats the first vertex, closing the
+    /// cycle visually:
+    ///
+    /// ```text
+    ///   nic 3 input queue 0 [RQ -> FRQ]
+    ///   -> nic 3 output queue 1 [FRQ]
+    ///   -> router 3 (1,0) port local 0 vc 2 [FRQ to nic 0]
+    ///   -> nic 3 input queue 0  (cycle closes)
+    /// ```
+    pub fn format_cycle(&self, cycle: &[u32], notes: &[String]) -> String {
+        let mut out = String::new();
+        for (i, &v) in cycle.iter().enumerate() {
+            let arrow = if i == 0 { "  " } else { "  -> " };
+            out.push_str(arrow);
+            out.push_str(&self.describe(v));
+            if let Some(note) = notes.get(i) {
+                if !note.is_empty() {
+                    out.push_str(" [");
+                    out.push_str(note);
+                    out.push(']');
+                }
+            }
+            out.push('\n');
+        }
+        if let Some(&first) = cycle.first() {
+            out.push_str("  -> ");
+            out.push_str(&self.describe(first));
+            out.push_str("  (cycle closes)\n");
+        }
+        out
+    }
+}
+
+/// Conventional dimension names: `x`, `y`, `z`, then `d3`, `d4`, …
+fn dim_name(d: usize) -> String {
+    match d {
+        0 => "x".into(),
+        1 => "y".into(),
+        2 => "z".into(),
+        _ => format!("d{d}"),
+    }
+}

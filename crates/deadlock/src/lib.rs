@@ -24,10 +24,12 @@
 
 mod cwg;
 mod lane;
+mod layout;
 mod token;
 
 pub use cwg::WaitForGraph;
 pub use lane::{LaneDelivery, RecoveryLane};
+pub use layout::{Resource, ResourceLayout};
 pub use token::{CirculatingToken, TokenState};
 
 #[cfg(test)]

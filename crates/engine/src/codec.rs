@@ -166,7 +166,7 @@ fn parse_flat_object(line: &str) -> Option<Vec<(String, Value)>> {
         skip_ws(&mut chars);
         match chars.next() {
             None => break,
-            Some(',') => continue,
+            Some(',') => {}
             Some(_) => return None,
         }
     }

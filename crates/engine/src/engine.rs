@@ -7,6 +7,7 @@ use crate::job::Job;
 use mdd_core::{SimConfig, SimResult, Simulator};
 use mdd_obs::CounterId;
 use mdd_stats::BnfCurve;
+use mdd_verify::Verdict;
 use rayon::prelude::*;
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -85,14 +86,31 @@ impl Engine {
     where
         F: Fn(&Job) -> Result<SimResult, mdd_core::SchemeConfigError> + Sync,
     {
+        // Static pre-flight: classify every distinct configuration shape
+        // once (load and seed do not enter the analysis, so a whole load
+        // sweep shares one verdict) and stamp it on each outcome.
+        let mut verdicts: Vec<(String, Option<Verdict>)> = Vec::new();
+        for job in &jobs {
+            let key = verify_key(&job.cfg);
+            if !verdicts.iter().any(|(k, _)| *k == key) {
+                let v = mdd_core::verify_config(&job.cfg).ok();
+                verdicts.push((key, v));
+            }
+        }
         let outcomes: Vec<PointOutcome> = jobs
             .par_iter()
-            .map(|job| self.run_one(job, &runner))
+            .map(|job| {
+                let verdict = verdicts
+                    .iter()
+                    .find(|(k, _)| *k == verify_key(&job.cfg))
+                    .and_then(|(_, v)| v.clone());
+                self.run_one(job, &runner, verdict)
+            })
             .collect();
         SweepReport { outcomes }
     }
 
-    fn run_one<F>(&self, job: &Job, runner: &F) -> PointOutcome
+    fn run_one<F>(&self, job: &Job, runner: &F, verdict: Option<Verdict>) -> PointOutcome
     where
         F: Fn(&Job) -> Result<SimResult, mdd_core::SchemeConfigError> + Sync,
     {
@@ -105,6 +123,7 @@ impl Engine {
                     result: Ok(hit),
                     from_cache: true,
                     wall_micros: 0,
+                    verdict,
                 };
             }
         }
@@ -149,8 +168,27 @@ impl Engine {
             result,
             from_cache: false,
             wall_micros,
+            verdict,
         }
     }
+}
+
+/// The projection of a configuration that the static verifier reads:
+/// everything except load, seed and the simulation windows. Used to
+/// memoize one verdict across the points of a sweep. The pattern is
+/// compared by `Arc` identity — sweep points derived via
+/// [`SimConfig::at_load`] share the allocation.
+fn verify_key(cfg: &SimConfig) -> String {
+    format!(
+        "{:p}|{:?}|{}|{}|{}|{:?}|{:?}",
+        std::sync::Arc::as_ptr(&cfg.pattern),
+        cfg.radix,
+        cfg.mesh,
+        cfg.bristle,
+        cfg.vcs,
+        cfg.scheme,
+        cfg.effective_queue_org(),
+    )
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -175,6 +213,10 @@ pub struct PointOutcome {
     /// Wall-clock microseconds this point's simulation took (0 for cache
     /// hits).
     pub wall_micros: u64,
+    /// The static pre-flight verdict for this point's configuration
+    /// (`None` only when the configuration is infeasible for its scheme —
+    /// such points fail at construction anyway).
+    pub verdict: Option<Verdict>,
 }
 
 /// Everything a batch produced, in job order.
@@ -224,6 +266,11 @@ impl SweepReport {
             .into_iter()
             .filter_map(|o| o.result.ok())
             .collect()
+    }
+
+    /// The static pre-flight verdicts, in job order.
+    pub fn verdicts(&self) -> Vec<Option<&Verdict>> {
+        self.outcomes.iter().map(|o| o.verdict.as_ref()).collect()
     }
 
     /// The failures, in job order.

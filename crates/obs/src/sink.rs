@@ -107,25 +107,25 @@ pub fn write_trace_csv<W: Write>(w: &mut W, events: &[Event]) -> io::Result<()> 
     for ev in events {
         match *ev {
             Event::Inject { cycle, nic, msg, mtype } => {
-                writeln!(w, "{cycle},inject,{nic},,,{msg},{mtype},,,,")?
+                writeln!(w, "{cycle},inject,{nic},,,{msg},{mtype},,,,")?;
             }
             Event::Consume { cycle, nic, msg, mtype } => {
-                writeln!(w, "{cycle},consume,{nic},,,{msg},{mtype},,,,")?
+                writeln!(w, "{cycle},consume,{nic},,,{msg},{mtype},,,,")?;
             }
             Event::TokenPass { cycle, at, at_nic } => {
-                writeln!(w, "{cycle},token_pass,,{at},{at_nic},,,,,,")?
+                writeln!(w, "{cycle},token_pass,,{at},{at_nic},,,,,,")?;
             }
             Event::DeadlockDetected { cycle, nic, msg } => {
-                writeln!(w, "{cycle},deadlock_detected,{nic},,,{msg},,,,,")?
+                writeln!(w, "{cycle},deadlock_detected,{nic},,,{msg},,,,,")?;
             }
             Event::RecoveryStart { cycle, episode, msg, at, at_nic } => {
-                writeln!(w, "{cycle},recovery_start,,{at},{at_nic},{msg},,{episode},,,")?
+                writeln!(w, "{cycle},recovery_start,,{at},{at_nic},{msg},,{episode},,,")?;
             }
             Event::RecoveryEnd { cycle, episode, msg, moved, depth } => {
-                writeln!(w, "{cycle},recovery_end,,,,{msg},,{episode},{moved},{depth},")?
+                writeln!(w, "{cycle},recovery_end,,,,{msg},,{episode},{moved},{depth},")?;
             }
             Event::BackoffReply { cycle, nic, msg, deflected } => {
-                writeln!(w, "{cycle},backoff_reply,{nic},,,{msg},,,,,{deflected}")?
+                writeln!(w, "{cycle},backoff_reply,{nic},,,{msg},,,,,{deflected}")?;
             }
         }
     }

@@ -247,6 +247,12 @@ pub struct OneOf<T> {
     options: Vec<Box<dyn Strategy<Value = T>>>,
 }
 
+impl<T> core::fmt::Debug for OneOf<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("OneOf").field("options", &self.options.len()).finish()
+    }
+}
+
 impl<T> Strategy for OneOf<T> {
     type Value = T;
     fn sample(&self, rng: &mut TestRng) -> T {
@@ -274,6 +280,7 @@ pub mod collection {
     }
 
     /// The result of [`vec()`].
+    #[derive(Debug)]
     pub struct VecStrategy<S> {
         element: S,
         len: core::ops::Range<usize>,

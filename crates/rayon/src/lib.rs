@@ -55,6 +55,12 @@ pub struct ParIter<'a, T> {
     items: &'a [T],
 }
 
+impl<T> core::fmt::Debug for ParIter<'_, T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ParIter").field("len", &self.items.len()).finish()
+    }
+}
+
 impl<'a, T: Sync> ParIter<'a, T> {
     /// Map each element through `f`, in parallel.
     pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
@@ -73,6 +79,12 @@ impl<'a, T: Sync> ParIter<'a, T> {
 pub struct ParMap<'a, T, F> {
     items: &'a [T],
     f: F,
+}
+
+impl<T, F> core::fmt::Debug for ParMap<'_, T, F> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ParMap").field("len", &self.items.len()).finish()
+    }
 }
 
 impl<'a, T: Sync, F> ParMap<'a, T, F> {
@@ -154,8 +166,7 @@ fn workers(n_items: usize) -> usize {
     configured
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
+                .map_or(1, std::num::NonZeroUsize::get)
         })
         .min(n_items.max(1))
 }

@@ -63,6 +63,7 @@ pub struct ExtractedPacket {
     pub injected_at: u64,
 }
 
+#[derive(Debug)]
 struct Move {
     router: u32,
     in_port: u8,
@@ -73,7 +74,7 @@ struct Move {
 
 /// One input VC's standing switch request (gathered once per router per
 /// cycle, then granted per output port in round-robin order).
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, Debug)]
 struct SwitchReq {
     /// Flat input-VC index (`port * vcs + vc`).
     idx: u16,
@@ -82,6 +83,7 @@ struct SwitchReq {
 }
 
 /// The full network of wormhole routers.
+#[derive(Debug)]
 pub struct Network {
     topo: Topology,
     vcs: u8,

@@ -122,6 +122,87 @@ impl VcMap {
         })
     }
 
+    /// Build the map the scheme would be forced into with fewer virtual
+    /// channels than [`VcMap::build`] accepts: partitions are merged when
+    /// there are fewer VCs than partitions (types mapped modulo the
+    /// partition count) and a partition smaller than `escape_size` keeps a
+    /// *truncated* escape set (losing dateline classes).
+    ///
+    /// The result deliberately violates the scheme's deadlock-freedom
+    /// prerequisites — types share resource partitions across `≺` levels
+    /// and/or a torus escape ring loses its dateline break. It exists so
+    /// the static verifier (`mdd-verify`) can exhibit *why* such a
+    /// configuration is rejected, with a concrete cycle witness, and so
+    /// tests can demonstrate the corresponding dynamic deadlock. Never
+    /// used by a validated simulation.
+    ///
+    /// Panics if `num_vcs` is zero.
+    pub fn build_degraded(
+        scheme: Scheme,
+        protocol: &ProtocolSpec,
+        num_vcs: u8,
+        escape_size: usize,
+    ) -> VcMap {
+        assert!(num_vcs > 0, "a network needs at least one virtual channel");
+        if let Ok(map) = Self::build(scheme, protocol, num_vcs, escape_size) {
+            return map;
+        }
+        let c = num_vcs as usize;
+        let wanted = match scheme {
+            Scheme::ProgressiveRecovery => 1,
+            Scheme::StrictAvoidance { .. } => protocol.num_partition_types(),
+            Scheme::DeflectiveRecovery => 2,
+        };
+        let parts = wanted.min(c).max(1);
+        let per_type = match scheme {
+            // PR is feasible at any c >= 1; `build` above already handled it.
+            Scheme::ProgressiveRecovery => unreachable!("PR accepts any vc count"),
+            Scheme::StrictAvoidance { .. } => {
+                Self::degraded_partitioned(protocol, parts, c, escape_size, |t| {
+                    protocol.sa_partition(t) % parts
+                })
+            }
+            Scheme::DeflectiveRecovery => {
+                Self::degraded_partitioned(protocol, parts, c, escape_size, |t| {
+                    protocol.dr_network(t) % parts
+                })
+            }
+        };
+        VcMap {
+            per_type,
+            num_vcs,
+            escape_size,
+        }
+    }
+
+    /// Like [`VcMap::partitioned`], but tolerates partitions smaller than
+    /// `escape_size` by truncating their escape sets.
+    fn degraded_partitioned(
+        protocol: &ProtocolSpec,
+        parts: usize,
+        c: usize,
+        escape_size: usize,
+        part_of: impl Fn(MsgType) -> usize,
+    ) -> Vec<TypeVcs> {
+        let base = c / parts;
+        let extra = c % parts;
+        let size = |p: usize| base + usize::from(p < extra);
+        let start = |p: usize| (0..p).map(size).sum::<usize>();
+        protocol
+            .msg_types()
+            .map(|t| {
+                let p = part_of(t);
+                let s = start(p);
+                let n = size(p);
+                let e = escape_size.min(n);
+                TypeVcs {
+                    escape: (s..s + e).map(|v| v as u8).collect(),
+                    adaptive: (s + e..s + n).map(|v| v as u8).collect(),
+                }
+            })
+            .collect()
+    }
+
     /// Divide `c` VCs into `parts` contiguous partitions (distributing any
     /// remainder to the lowest partitions), each with `escape_size` escape
     /// channels first and adaptive channels after.

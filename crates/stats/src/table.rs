@@ -100,7 +100,7 @@ fn csv_line(out: &mut String, cells: &[String]) {
 pub fn render_csv(header: &[&str], rows: &[Vec<f64>], precision: usize) -> String {
     let mut t = Table::new(header.to_vec());
     for r in rows {
-        t.row(r.iter().map(|v| format!("{:.*}", precision, v)).collect());
+        t.row(r.iter().map(|v| format!("{v:.precision$}")).collect());
     }
     t.to_csv()
 }

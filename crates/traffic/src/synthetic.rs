@@ -46,6 +46,7 @@ pub enum DestPattern {
 /// for c in 0..100 { tr.tick(c, &mut ids, &mut store); }
 /// assert!(tr.generated() > 0);
 /// ```
+#[derive(Debug)]
 pub struct SyntheticTraffic {
     pattern: Arc<PatternSpec>,
     txn_rate: f64,
@@ -182,7 +183,7 @@ impl SyntheticTraffic {
 
 impl TrafficSource for SyntheticTraffic {
     fn tick(&mut self, cycle: u64, ids: &mut IdAlloc, store: &mut MessageStore) {
-        SyntheticTraffic::tick(self, cycle, ids, store)
+        SyntheticTraffic::tick(self, cycle, ids, store);
     }
 
     fn pending_head(&self, nic: NicId) -> Option<MsgHandle> {

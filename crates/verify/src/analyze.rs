@@ -1,0 +1,139 @@
+//! Escape peeling and witness extraction over the static CDG.
+//!
+//! The peel is a least-fixpoint computation of Duato's sufficient
+//! condition generalized to occupant classes: a class is *safe* when it
+//! sinks unconditionally or any of its OR-wait candidate vertices is
+//! safe; a vertex is safe when every class that can occupy it is safe
+//! (vacuously, when nothing can occupy it). Safety only ever grows, so a
+//! worklist over per-vertex unsafe-class counts reaches the fixpoint in
+//! time linear in the graph. If every vertex ends safe, no reachable
+//! placement of occupants can sustain a cyclic wait — the configuration
+//! is proven deadlock-free. Anything left over necessarily contains a
+//! dependency cycle, which [`witness`] extracts via the Tarjan SCC
+//! machinery shared with the runtime detector.
+
+use crate::cdg::StaticCdg;
+use crate::CycleWitness;
+use mdd_deadlock::WaitForGraph;
+
+/// Fixpoint result of one peel pass.
+pub(crate) struct PeelOutcome {
+    /// Per-vertex safety (drains under every reachable occupancy).
+    pub vertex_safe: Vec<bool>,
+    /// Per-class safety.
+    pub class_safe: Vec<bool>,
+    /// True when every vertex peeled: deadlock freedom is proven.
+    pub all_safe: bool,
+}
+
+/// Run the escape-peel fixpoint over `cdg`.
+pub(crate) fn peel(cdg: &StaticCdg<'_>) -> PeelOutcome {
+    let nv = cdg.vertex_classes.len();
+    let nc = cdg.kind.len();
+
+    // Reverse index: candidate vertex -> classes OR-waiting on it.
+    let mut rev: Vec<Vec<u32>> = vec![Vec::new(); nv];
+    for (c, cs) in cdg.cands.iter().enumerate() {
+        for &v in cs {
+            rev[v as usize].push(c as u32);
+        }
+    }
+
+    let mut class_safe = cdg.sink.clone();
+    let mut remaining: Vec<u32> = cdg
+        .vertex_classes
+        .iter()
+        .map(|cs| cs.len() as u32)
+        .collect();
+    let mut vertex_safe = vec![false; nv];
+
+    // Seed the worklists: sink classes, and vertices nothing can occupy.
+    let mut cwork: Vec<u32> = (0..nc as u32).filter(|&c| class_safe[c as usize]).collect();
+    let mut vwork: Vec<u32> = Vec::new();
+    for v in 0..nv {
+        if remaining[v] == 0 {
+            vertex_safe[v] = true;
+            vwork.push(v as u32);
+        }
+    }
+
+    loop {
+        while let Some(c) = cwork.pop() {
+            for &m in &cdg.members[c as usize] {
+                let m = m as usize;
+                remaining[m] -= 1;
+                if remaining[m] == 0 {
+                    vertex_safe[m] = true;
+                    vwork.push(m as u32);
+                }
+            }
+        }
+        match vwork.pop() {
+            None => break,
+            Some(v) => {
+                for &c in &rev[v as usize] {
+                    if !class_safe[c as usize] {
+                        class_safe[c as usize] = true;
+                        cwork.push(c);
+                    }
+                }
+            }
+        }
+    }
+
+    let all_safe = vertex_safe.iter().all(|&s| s);
+    PeelOutcome {
+        vertex_safe,
+        class_safe,
+        all_safe,
+    }
+}
+
+/// Extract a minimal cycle witness from the unsafe residue of `outcome`.
+///
+/// The residual graph keeps only unsafe vertices; each unsafe class
+/// contributes arcs from every vertex it can occupy to each of its (still
+/// unsafe) candidates. The first cyclic SCC yields a simple cycle, which
+/// is rendered through the shared [`ResourceLayout`] trace format with
+/// one occupant note per resource.
+pub(crate) fn witness(cdg: &StaticCdg<'_>, outcome: &PeelOutcome) -> Option<CycleWitness> {
+    let nv = cdg.vertex_classes.len();
+    let mut g = WaitForGraph::new(nv);
+    for v in 0..nv {
+        if outcome.vertex_safe[v] {
+            continue;
+        }
+        for &c in &cdg.vertex_classes[v] {
+            if outcome.class_safe[c as usize] {
+                continue;
+            }
+            for &w in &cdg.cands[c as usize] {
+                if !outcome.vertex_safe[w as usize] {
+                    g.add_edge(v as u32, w);
+                }
+            }
+        }
+    }
+
+    for comp in g.sccs() {
+        let cycle = g.cycle_in_component(&comp);
+        if cycle.is_empty() {
+            continue;
+        }
+        let notes: Vec<String> = cycle
+            .iter()
+            .map(|&v| {
+                cdg.vertex_classes[v as usize]
+                    .iter()
+                    .find(|&&c| !outcome.class_safe[c as usize])
+                    .map_or_else(String::new, |&c| cdg.note(c))
+            })
+            .collect();
+        let rendered = cdg.layout.format_cycle(&cycle, &notes);
+        return Some(CycleWitness {
+            vertices: cycle,
+            rendered,
+        });
+    }
+    None
+}

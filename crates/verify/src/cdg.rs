@@ -1,0 +1,522 @@
+//! Static channel-dependency-graph construction.
+//!
+//! The graph is expressed as *occupant classes* over the shared
+//! [`ResourceLayout`] vertex set. A class describes one way a resource can
+//! be held — a packet of some (type, destination, dateline-mask) in a
+//! router VC, a transaction-chain head in an endpoint input queue, a
+//! generated message awaiting injection in an output queue — together
+//! with the OR-wait candidate set the holder needs progress on. Distinct
+//! classes occupying the same vertex are AND-composed: the vertex is only
+//! guaranteed to drain when *every* class that can occupy it drains.
+//!
+//! Router-VC classes are enumerated by a breadth-first sweep per (message
+//! type, destination NIC) over `(router, dateline mask)` states that
+//! invokes the scheme's real [`Routing`] implementation, so the static
+//! graph contains exactly the dependencies the configured routing function
+//! can produce at run time — including the dateline-class escape
+//! structure that makes Duato-style peeling succeed.
+//!
+//! Deflective-recovery preallocation is modelled faithfully: message
+//! types whose every chain occurrence is covered by an input-queue
+//! earmark (terminating replies at their requester, return replies at
+//! the servicing node) are *guaranteed ejection* — their delivery edge is
+//! a sink rather than a wait on the destination queue. This is what makes
+//! DR's reply network statically safe, mirroring `mdd-nic`'s
+//! `can_accept`.
+
+use crate::VerifyInput;
+use mdd_deadlock::ResourceLayout;
+use mdd_protocol::{
+    HopTarget, IdAlloc, Message, MessageStore, MsgKind, MsgType, ShapeId, TransactionId,
+};
+use mdd_router::{PacketState, RouteCandidate, Routing};
+use mdd_routing::Scheme;
+use mdd_topology::{NicId, NodeId};
+
+/// How much of the scheme's recovery mechanism the dependency graph may
+/// take credit for.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum MechanismCredit {
+    /// Pure avoidance semantics: service, routing and preallocation only.
+    /// A complete peel under this graph is a deadlock-freedom proof.
+    None,
+    /// Additionally credit deflective recovery: a blocked head whose
+    /// subordinate is a request may alternatively be converted into a
+    /// backoff reply (waits on the backoff type's output queue). A
+    /// complete peel under this graph means every base-graph cycle is
+    /// deflectable.
+    Deflection,
+}
+
+/// One way a resource vertex can be occupied, for witness rendering.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum ClassKind {
+    /// A packet in a router input VC (or being injected on a local port).
+    Packet {
+        /// Message type of the packet.
+        mtype: MsgType,
+        /// Destination NIC.
+        dst: NicId,
+        /// Dateline-crossing mask accumulated so far (bit per dimension).
+        mask: u8,
+    },
+    /// A chain head at an endpoint input queue awaiting MC service.
+    InHead {
+        /// Transaction shape the head belongs to.
+        shape: ShapeId,
+        /// Chain position of the head.
+        pos: usize,
+    },
+    /// An MC service additionally awaiting the return-reply earmark slot
+    /// (deflective recovery's second preallocation).
+    EarmarkWait {
+        /// Transaction shape being serviced.
+        shape: ShapeId,
+        /// Chain position being serviced.
+        pos: usize,
+    },
+    /// A generated message at an endpoint output queue awaiting one
+    /// specific injection VC.
+    OutHead {
+        /// Message type awaiting injection.
+        mtype: MsgType,
+        /// The injection VC this class waits on.
+        vc: u8,
+    },
+}
+
+/// The static CDG: occupant classes over the shared resource vertex set.
+pub(crate) struct StaticCdg<'a> {
+    pub layout: ResourceLayout,
+    pub input: VerifyInput<'a>,
+    /// Class descriptors (for witness notes).
+    pub kind: Vec<ClassKind>,
+    /// True when the class has an unconditional escape (guaranteed
+    /// consumption / terminating sink): it is safe by itself.
+    pub sink: Vec<bool>,
+    /// OR-wait candidate vertices per class (deduplicated).
+    pub cands: Vec<Vec<u32>>,
+    /// Vertices each class can occupy (deduplicated).
+    pub members: Vec<Vec<u32>>,
+    /// Classes that can occupy each vertex (deduplicated).
+    pub vertex_classes: Vec<Vec<u32>>,
+}
+
+impl StaticCdg<'_> {
+    /// Witness note for one class: the blocked occupant, in the mnemonic
+    /// vocabulary of the protocol spec.
+    pub fn note(&self, class: u32) -> String {
+        let proto = self.input.pattern.protocol();
+        match self.kind[class as usize] {
+            ClassKind::Packet { mtype, dst, mask } => {
+                let name = proto.spec(mtype).name;
+                if mask == 0 {
+                    format!("{name} to nic {}", dst.index())
+                } else {
+                    format!("{name} to nic {} (crossed dateline)", dst.index())
+                }
+            }
+            ClassKind::InHead { shape, pos } => {
+                let s = self.input.pattern.shape(shape);
+                let head = proto.spec(s.mtype(pos)).name;
+                let sub = proto.spec(s.mtype(pos + 1)).name;
+                format!("head {head} -> {sub}")
+            }
+            ClassKind::EarmarkWait { shape, pos } => {
+                let s = self.input.pattern.shape(shape);
+                let head = proto.spec(s.mtype(pos)).name;
+                let ret = proto.spec(s.mtype(pos + 2)).name;
+                format!("{head} service awaiting {ret} earmark")
+            }
+            ClassKind::OutHead { mtype, vc } => {
+                format!("{} awaiting injection vc {vc}", proto.spec(mtype).name)
+            }
+        }
+    }
+}
+
+/// Message types under deflective recovery whose delivery is guaranteed
+/// by input-queue earmarks (see `mdd-nic::Nic::can_accept`): the backoff
+/// type sinks unconditionally; a terminating reply claims the slot
+/// preallocated at request issue provided every chain occurrence is
+/// delivered to the requester; a non-terminating reply claims the slot
+/// preallocated at its grandparent's service provided it returns to the
+/// servicing node.
+fn guaranteed_ejection(input: &VerifyInput<'_>) -> Vec<bool> {
+    let proto = input.pattern.protocol();
+    let n = proto.num_types();
+    let mut out = vec![false; n];
+    if !matches!(input.scheme, Scheme::DeflectiveRecovery) {
+        return out;
+    }
+    for t in proto.msg_types() {
+        if Some(t) == proto.backoff_type() {
+            out[t.index()] = true;
+            continue;
+        }
+        let mut occurs = false;
+        let mut covered = true;
+        for sid in active_shapes(input) {
+            let shape = input.pattern.shape(sid);
+            for pos in 0..shape.len() {
+                if shape.mtype(pos) != t {
+                    continue;
+                }
+                occurs = true;
+                let ok = if proto.is_terminating(t) {
+                    shape.target(pos) == HopTarget::Requester
+                } else {
+                    proto.kind(t) == MsgKind::Reply
+                        && pos >= 2
+                        && shape.target(pos) == shape.target(pos - 2)
+                };
+                covered &= ok;
+            }
+        }
+        out[t.index()] = occurs && covered;
+    }
+    out
+}
+
+/// Shape ids with positive workload weight.
+fn active_shapes<'i>(input: &VerifyInput<'i>) -> impl Iterator<Item = ShapeId> + 'i {
+    let pattern = input.pattern;
+    (0..pattern.num_shapes())
+        .map(|i| ShapeId(i as u16))
+        .filter(move |&sid| pattern.weight(sid) > 0.0)
+}
+
+/// Build the static CDG for `input` under `credit`.
+pub(crate) fn build<'a>(input: &VerifyInput<'a>, credit: MechanismCredit) -> StaticCdg<'a> {
+    let topo = input.topo;
+    let proto = input.pattern.protocol();
+    let org = input.queue_org;
+    let routing = input.routing;
+    let layout = crate::layout_for(input);
+    let nv = layout.num_vertices();
+    assert!(topo.dims() <= 8, "dateline masks are one bit per dimension");
+
+    let dr = matches!(input.scheme, Scheme::DeflectiveRecovery);
+    let bkf = proto.backoff_type();
+
+    // Message types that can appear in the network: every type of an
+    // active chain, plus — under deflective recovery only — the backoff
+    // type (it is generated exclusively by deflection, so including it
+    // under SA/PR would fabricate dependencies that cannot occur).
+    let mut chain_types: Vec<MsgType> = Vec::new();
+    for sid in active_shapes(input) {
+        let shape = input.pattern.shape(sid);
+        for pos in 0..shape.len() {
+            let t = shape.mtype(pos);
+            if !chain_types.contains(&t) {
+                chain_types.push(t);
+            }
+        }
+    }
+    let mut net_types = chain_types.clone();
+    if dr {
+        if let Some(b) = bkf {
+            if !net_types.contains(&b) {
+                net_types.push(b);
+            }
+        }
+    }
+
+    let guaranteed = guaranteed_ejection(input);
+
+    let mut kind: Vec<ClassKind> = Vec::new();
+    let mut sink: Vec<bool> = Vec::new();
+    let mut cands: Vec<Vec<u32>> = Vec::new();
+    let mut membership: Vec<(u32, u32)> = Vec::new(); // (class, vertex)
+
+    // A scratch message so the routing trait can be driven without a
+    // simulator: only the packet-state fields matter.
+    let mut scratch_store = MessageStore::new();
+    let mut ids = IdAlloc::new();
+    let scratch = scratch_store.insert(Message {
+        id: ids.next_msg(),
+        txn: TransactionId(0),
+        mtype: MsgType(0),
+        shape: ShapeId(0),
+        chain_pos: 0,
+        src: NicId(0),
+        dst: NicId(0),
+        requester: NicId(0),
+        home: NicId(0),
+        owner: NicId(0),
+        length_flits: 1,
+        created: 0,
+        is_backoff: false,
+        rescued: false,
+        sharers: 0,
+    });
+
+    // --- Router-VC classes: BFS per (type, destination) over
+    // --- (router, dateline mask) states driving the real routing function.
+    let nr = topo.num_routers() as usize;
+    let masks = 1usize << topo.dims();
+    let mut state_class: Vec<u32> = vec![u32::MAX; nr * masks];
+    let mut stack: Vec<(NodeId, u8)> = Vec::new();
+    let mut rc_buf: Vec<RouteCandidate> = Vec::new();
+    let mut inj_buf: Vec<u8> = Vec::new();
+
+    for &t in &net_types {
+        let qi = org.queue_index(proto, t);
+        let mut pkt = PacketState {
+            msg: scratch,
+            mtype: t,
+            src: NicId(0),
+            dst: NicId(0),
+            dst_router: NodeId(0),
+            crossed_dateline: 0,
+            injected_at: 0,
+        };
+        inj_buf.clear();
+        routing.injection_vcs(&pkt, &mut inj_buf);
+
+        for dst in topo.nics() {
+            let dst_router = topo.nic_router(dst);
+            pkt.dst = dst;
+            pkt.dst_router = dst_router;
+            state_class.fill(u32::MAX);
+            stack.clear();
+
+            // Seed: injections from every other endpoint, occupying the
+            // local-port VCs the routing function admits at injection.
+            for src in topo.nics() {
+                if src == dst {
+                    continue;
+                }
+                let r = topo.nic_router(src);
+                let c = intern_state(
+                    &mut state_class,
+                    &mut stack,
+                    &mut kind,
+                    &mut sink,
+                    &mut cands,
+                    masks,
+                    r,
+                    0,
+                    t,
+                    dst,
+                );
+                let lp = topo.local_port(topo.nic_local_index(src));
+                for &v in &inj_buf {
+                    membership.push((c, layout.vc_vertex(r, lp, v)));
+                }
+            }
+
+            while let Some((node, mask)) = stack.pop() {
+                let c = state_class[node.index() * masks + mask as usize];
+                pkt.crossed_dateline = mask;
+                rc_buf.clear();
+                routing.candidates(topo, node, &pkt, 0, &mut rc_buf);
+                for rc in &rc_buf {
+                    match topo.port_dim_dir(rc.port) {
+                        Some((d, dir)) => {
+                            let down = topo.neighbor(node, d, dir).expect("link exists");
+                            let dport = topo.port(d, dir.opposite());
+                            let mask2 = if topo.crosses_dateline(node, d, dir) {
+                                mask | (1 << d)
+                            } else {
+                                mask
+                            };
+                            let vtx = layout.vc_vertex(down, dport, rc.vc);
+                            cands[c as usize].push(vtx);
+                            let c2 = intern_state(
+                                &mut state_class,
+                                &mut stack,
+                                &mut kind,
+                                &mut sink,
+                                &mut cands,
+                                masks,
+                                down,
+                                mask2,
+                                t,
+                                dst,
+                            );
+                            membership.push((c2, vtx));
+                        }
+                        None => {
+                            // Ejection at the destination router: either
+                            // consumption is guaranteed by an earmark
+                            // (sink) or the packet waits on the
+                            // destination input queue.
+                            if guaranteed[t.index()] {
+                                sink[c as usize] = true;
+                            } else {
+                                cands[c as usize].push(layout.in_queue_vertex(dst, qi));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Endpoint input-queue classes: the paper's `≺` edges. A
+    // --- non-terminating, non-final head waits on its subordinate's
+    // --- output queue; terminating heads sink (no class needed).
+    for sid in active_shapes(input) {
+        let shape = input.pattern.shape(sid);
+        for pos in 0..shape.len() {
+            let t = shape.mtype(pos);
+            if proto.is_terminating(t) || shape.is_last(pos) {
+                continue;
+            }
+            let sub = shape.mtype(pos + 1);
+            let qi = org.queue_index(proto, t);
+            let sub_q = org.queue_index(proto, sub);
+            let deflectable = credit == MechanismCredit::Deflection
+                && dr
+                && proto.kind(sub) == MsgKind::Request;
+            for nic in topo.nics() {
+                let vtx = layout.in_queue_vertex(nic, qi);
+                let mut cs = vec![layout.out_queue_vertex(nic, sub_q)];
+                if deflectable {
+                    if let Some(b) = bkf {
+                        cs.push(layout.out_queue_vertex(nic, org.queue_index(proto, b)));
+                    }
+                }
+                let c = push_class(
+                    &mut kind,
+                    &mut sink,
+                    &mut cands,
+                    ClassKind::InHead { shape: sid, pos },
+                    false,
+                    cs,
+                );
+                membership.push((c, vtx));
+                // Deflective recovery's return-reply earmark: servicing
+                // additionally needs a preallocatable slot in the return
+                // reply's own input queue (an AND-wait, hence a second
+                // class on the same vertex).
+                if dr && pos + 2 < shape.len() {
+                    let ret_q = org.queue_index(proto, shape.mtype(pos + 2));
+                    let c2 = push_class(
+                        &mut kind,
+                        &mut sink,
+                        &mut cands,
+                        ClassKind::EarmarkWait { shape: sid, pos },
+                        false,
+                        vec![layout.in_queue_vertex(nic, ret_q)],
+                    );
+                    membership.push((c2, vtx));
+                }
+            }
+        }
+    }
+
+    // --- Endpoint output-queue classes: a generated message awaits
+    // --- injection. One class per admissible injection VC (AND-composed:
+    // --- packetization may bind any one of them, so the queue is only
+    // --- guaranteed to drain when each admissible channel drains).
+    let mut out_types = chain_types;
+    if dr {
+        if let Some(b) = bkf {
+            if !out_types.contains(&b) {
+                out_types.push(b);
+            }
+        }
+    }
+    for &t in &out_types {
+        let pkt = PacketState {
+            msg: scratch,
+            mtype: t,
+            src: NicId(0),
+            dst: NicId(0),
+            dst_router: NodeId(0),
+            crossed_dateline: 0,
+            injected_at: 0,
+        };
+        inj_buf.clear();
+        routing.injection_vcs(&pkt, &mut inj_buf);
+        let oq = org.queue_index(proto, t);
+        for nic in topo.nics() {
+            let r = topo.nic_router(nic);
+            let lp = topo.local_port(topo.nic_local_index(nic));
+            let vtx = layout.out_queue_vertex(nic, oq);
+            for &v in &inj_buf {
+                let c = push_class(
+                    &mut kind,
+                    &mut sink,
+                    &mut cands,
+                    ClassKind::OutHead { mtype: t, vc: v },
+                    false,
+                    vec![layout.vc_vertex(r, lp, v)],
+                );
+                membership.push((c, vtx));
+            }
+        }
+    }
+
+    // --- Finalize: dedupe candidate sets and memberships.
+    for cs in &mut cands {
+        cs.sort_unstable();
+        cs.dedup();
+    }
+    membership.sort_unstable();
+    membership.dedup();
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); kind.len()];
+    let mut vertex_classes: Vec<Vec<u32>> = vec![Vec::new(); nv];
+    for (c, v) in membership {
+        members[c as usize].push(v);
+        vertex_classes[v as usize].push(c);
+    }
+
+    StaticCdg {
+        layout,
+        input: *input,
+        kind,
+        sink,
+        cands,
+        members,
+        vertex_classes,
+    }
+}
+
+fn push_class(
+    kind: &mut Vec<ClassKind>,
+    sink: &mut Vec<bool>,
+    cands: &mut Vec<Vec<u32>>,
+    k: ClassKind,
+    snk: bool,
+    cs: Vec<u32>,
+) -> u32 {
+    let id = kind.len() as u32;
+    kind.push(k);
+    sink.push(snk);
+    cands.push(cs);
+    id
+}
+
+/// Get-or-create the packet class for BFS state `(node, mask)`; newly
+/// created states are pushed on the BFS stack.
+#[allow(clippy::too_many_arguments)]
+fn intern_state(
+    state_class: &mut [u32],
+    stack: &mut Vec<(NodeId, u8)>,
+    kind: &mut Vec<ClassKind>,
+    sink: &mut Vec<bool>,
+    cands: &mut Vec<Vec<u32>>,
+    masks: usize,
+    node: NodeId,
+    mask: u8,
+    mtype: MsgType,
+    dst: NicId,
+) -> u32 {
+    let slot = node.index() * masks + mask as usize;
+    if state_class[slot] == u32::MAX {
+        let c = push_class(
+            kind,
+            sink,
+            cands,
+            ClassKind::Packet { mtype, dst, mask },
+            false,
+            Vec::new(),
+        );
+        state_class[slot] = c;
+        stack.push((node, mask));
+    }
+    state_class[slot]
+}

@@ -1,0 +1,142 @@
+use crate::{verify, VerifyInput};
+use mdd_protocol::PatternSpec;
+use mdd_routing::{Scheme, SchemeRouting, VcMap};
+use mdd_topology::{Topology, TopologyKind};
+
+const SA: Scheme = Scheme::StrictAvoidance {
+    shared_adaptive: false,
+};
+
+struct Fixture {
+    topo: Topology,
+    routing: SchemeRouting,
+    pattern: PatternSpec,
+    scheme: Scheme,
+}
+
+impl Fixture {
+    fn torus(radix: &[u32], scheme: Scheme, pattern: PatternSpec, vcs: u8) -> Self {
+        let topo = Topology::new(TopologyKind::Torus, radix, 1);
+        let map = VcMap::build_degraded(scheme, pattern.protocol(), vcs, 2);
+        Fixture {
+            topo,
+            routing: SchemeRouting::new(map),
+            pattern,
+            scheme,
+        }
+    }
+
+    fn input(&self) -> VerifyInput<'_> {
+        VerifyInput {
+            topo: &self.topo,
+            scheme: self.scheme,
+            routing: &self.routing,
+            pattern: &self.pattern,
+            queue_org: self.scheme.default_queue_org(),
+        }
+    }
+}
+
+#[test]
+fn sa_with_full_partitions_is_proven_free() {
+    let fx = Fixture::torus(&[4, 4], SA, PatternSpec::pat271(), 8);
+    let v = verify(&fx.input());
+    assert!(v.is_proven_free(), "got {v}");
+    assert!(v.witness().is_none());
+}
+
+#[test]
+fn sa_two_type_protocol_is_proven_free() {
+    let fx = Fixture::torus(&[4, 4], SA, PatternSpec::pat100(), 4);
+    assert!(verify(&fx.input()).is_proven_free());
+}
+
+#[test]
+fn sa_paper_torus_is_proven_free() {
+    // The paper's 8x8 configuration; also the speed target (< 100 ms).
+    let fx = Fixture::torus(&[8, 8], SA, PatternSpec::pat271(), 8);
+    let t0 = std::time::Instant::now();
+    let v = verify(&fx.input());
+    assert!(v.is_proven_free(), "got {v}");
+    assert!(
+        t0.elapsed() < std::time::Duration::from_millis(100),
+        "verification took {:?}",
+        t0.elapsed()
+    );
+}
+
+#[test]
+fn sa_with_one_vc_short_is_unsafe_with_witness() {
+    // 7 VCs cannot hold 4 partitions x 2 dateline classes: the degraded
+    // map truncates one escape set, losing the torus dateline break.
+    let fx = Fixture::torus(&[4, 4], SA, PatternSpec::pat271(), 7);
+    let v = verify(&fx.input());
+    assert!(v.is_unsafe(), "got {v}");
+    let w = v.witness().expect("unsafe carries a witness");
+    assert!(!w.vertices.is_empty());
+    assert!(
+        w.rendered.contains("router") && w.rendered.contains("vc"),
+        "unexpected witness rendering:\n{}",
+        w.rendered
+    );
+}
+
+#[test]
+fn sa_with_merged_partitions_is_unsafe() {
+    // 4 VCs force the degraded map to merge `≺`-ordered types into
+    // shared partitions: a message-dependent cycle, not just a routing one.
+    let fx = Fixture::torus(&[4, 4], SA, PatternSpec::pat271(), 4);
+    assert!(verify(&fx.input()).is_unsafe());
+}
+
+#[test]
+fn dr_forwarding_protocol_has_recoverable_cycles() {
+    // Request-network cycles through forwarded requests remain, but every
+    // blocked request head is convertible into a backoff reply.
+    let fx = Fixture::torus(&[4, 4], Scheme::DeflectiveRecovery, PatternSpec::pat271(), 4);
+    let v = verify(&fx.input());
+    assert_eq!(v.name(), "RecoverableCycles", "got {v}");
+    assert!(v.witness().is_some());
+}
+
+#[test]
+fn dr_preallocated_two_type_protocol_is_proven_free() {
+    // With reply preallocation and no forwarding, the 1-0-0 protocol's
+    // extended CDG has no cycle at all under DR's two-network split.
+    let fx = Fixture::torus(&[4, 4], Scheme::DeflectiveRecovery, PatternSpec::pat100(), 4);
+    assert!(verify(&fx.input()).is_proven_free());
+}
+
+#[test]
+fn pr_relies_on_token_recovery() {
+    // True fully adaptive routing cycles on a torus by design; the
+    // recovery ring tours every router and NIC, so cycles are drainable.
+    let fx = Fixture::torus(&[4, 4], Scheme::ProgressiveRecovery, PatternSpec::pat271(), 4);
+    let v = verify(&fx.input());
+    assert_eq!(v.name(), "RecoverableCycles", "got {v}");
+}
+
+#[test]
+fn witness_renders_the_shared_trace_format() {
+    let fx = Fixture::torus(&[4, 4], SA, PatternSpec::pat271(), 4);
+    let v = verify(&fx.input());
+    let w = v.witness().expect("unsafe carries a witness");
+    assert!(w.rendered.contains("(cycle closes)"));
+    assert_eq!(w.rendered, w.to_string());
+    for line in w.rendered.lines().skip(1).take(w.vertices.len() - 1) {
+        assert!(line.trim_start().starts_with("->"), "bad line: {line}");
+    }
+}
+
+#[test]
+fn verdict_accessors_are_consistent() {
+    let fx = Fixture::torus(&[4, 4], SA, PatternSpec::pat100(), 4);
+    let free = verify(&fx.input());
+    assert_eq!(free.name(), "ProvenFree");
+    assert!(!free.is_unsafe());
+
+    let fx = Fixture::torus(&[4, 4], SA, PatternSpec::pat271(), 4);
+    let bad = verify(&fx.input());
+    assert_eq!(bad.name(), "Unsafe");
+    assert!(!bad.is_proven_free());
+}

@@ -52,7 +52,9 @@ fn main() {
         last = snap;
     }
 
-    // Ground truth: inspect the wait-for graph right now.
+    // Ground truth: inspect the wait-for graph right now. When a knot is
+    // present, print the same formatted cycle trace the static verifier
+    // (`mddsim --verify`) produces for unsafe configurations.
     let g = build_waitfor_graph(&sim);
     println!(
         "\nwait-for graph: {} vertices, {} edges, knots present: {}",
@@ -60,6 +62,9 @@ fn main() {
         g.num_edges(),
         g.has_deadlock()
     );
+    if let Some(witness) = deadlock_witness(&sim) {
+        println!("deadlocked cycle:\n{witness}");
+    }
 
     // Show the most recent rescue episodes in detail.
     let log = sim.recovery().unwrap().episode_log();

@@ -32,7 +32,10 @@
 //!   harness;
 //! * [`engine`] — the batch experiment engine: parallel job scheduling
 //!   with per-point panic isolation, a content-addressed persistent
-//!   result cache, and progress counters.
+//!   result cache, and progress counters;
+//! * [`verify`] — the static deadlock-safety verifier: classifies any
+//!   configuration as `ProvenFree`, `RecoverableCycles` or `Unsafe` from
+//!   its dependency graph alone, with human-readable cycle witnesses.
 //!
 //! ## Quickstart
 //!
@@ -67,14 +70,16 @@ pub use mdd_routing as routing;
 pub use mdd_stats as stats;
 pub use mdd_topology as topology;
 pub use mdd_traffic as traffic;
+pub use mdd_verify as verify;
 
 /// The most commonly needed types in one import.
 pub mod prelude {
     pub use mdd_coherence::{CoherenceEngine, CoherentTraffic, TxnClass};
     pub use mdd_core::{
-        build_waitfor_graph, default_loads, run_curve_checked, run_point, BnfCurve, BnfPoint,
-        ConfigError, PatternSpec, ProtocolSpec, QueueOrg, Scheme, SchemeConfigError, SimConfig,
-        SimConfigBuilder, SimResult, Simulator,
+        build_waitfor_graph, deadlock_witness, default_loads, run_curve_checked, run_point,
+        verify_config, verify_config_degraded, BnfCurve, BnfPoint,
+        ConfigError, CycleWitness, PatternSpec, ProtocolSpec, QueueOrg, Scheme,
+        SchemeConfigError, SimConfig, SimConfigBuilder, SimResult, Simulator, Verdict,
     };
     pub use mdd_engine::{Engine, Job, PointError, PointFailure, SweepReport};
     pub use mdd_obs::{CounterId, Event as ObsEvent, ObsReport};
