@@ -52,14 +52,32 @@ set -e
 echo "$unsafe_out" | grep -q "verdict: Unsafe" || {
     echo "verify smoke: crippled SA should be Unsafe, got:"; echo "$unsafe_out"; exit 1; }
 
-echo "==> hot-path bench smoke (writes BENCH_hotpath.json)"
-HOTPATH_QUICK=1 HOTPATH_OUT=BENCH_hotpath.json \
+echo "==> hot-path bench smoke (load ladder + activity-scheduler counters)"
+# Written to target/ so the committed BENCH_hotpath.json (full-length
+# numbers) is never clobbered by quick-mode smoke results.
+smoke_json="$PWD/target/hotpath_smoke.json"
+rm -f "$smoke_json"
+HOTPATH_QUICK=1 HOTPATH_OUT="$smoke_json" \
     cargo bench -q -p mdd-bench --bench hotpath
-[ -s BENCH_hotpath.json ] || {
-    echo "hotpath smoke: BENCH_hotpath.json was not written"; exit 1; }
-grep -q '"pr"' BENCH_hotpath.json || {
-    echo "hotpath smoke: BENCH_hotpath.json is missing the pr scheme:"
-    cat BENCH_hotpath.json; exit 1; }
+[ -s "$smoke_json" ] || {
+    echo "hotpath smoke: $smoke_json was not written"; exit 1; }
+grep -q '"pr"' "$smoke_json" || {
+    echo "hotpath smoke: output is missing the pr scheme:"
+    cat "$smoke_json"; exit 1; }
+for load in 0.05 0.30 0.55; do
+    grep -q "\"load\": $load" "$smoke_json" || {
+        echo "hotpath smoke: output is missing ladder rung $load:"
+        cat "$smoke_json"; exit 1; }
+done
+# At low load the activity scheduler must actually be skipping work.
+if grep "\"load\": 0.05" "$smoke_json" | grep -Eq '"router_ticks_skipped": 0[,}]'; then
+    echo "hotpath smoke: a low-load run skipped no router ticks:"
+    cat "$smoke_json"; exit 1
+fi
+if grep "\"load\": 0.05" "$smoke_json" | grep -Eq '"nic_ticks_skipped": 0[,}]'; then
+    echo "hotpath smoke: a low-load run skipped no NIC ticks:"
+    cat "$smoke_json"; exit 1
+fi
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets"

@@ -1,9 +1,13 @@
 //! Hot-path benchmark: end-to-end simulator throughput (cycles/sec) per
-//! scheme on a saturated 8×8 torus — the number that bounds how many load
-//! points per hour every figure harness can produce.
+//! scheme on an 8×8 torus across a load ladder — the numbers that bound
+//! how many load points per hour every figure harness can produce.
 //!
-//! Besides the criterion timing lines, the binary measures cycles/sec
-//! directly and writes them as JSON for the perf trajectory:
+//! Three rungs per scheme: 0.05 (nearly idle — the activity-driven
+//! scheduler's home turf), 0.30 (the historical hotpath point) and 0.55
+//! (approaching saturation — the dense-scan worst case). Besides the
+//! criterion timing lines, the binary measures cycles/sec directly and
+//! writes every rung, its wall time, and the activity-skip counters as
+//! JSON for the perf trajectory:
 //!
 //! * `HOTPATH_OUT=<path>` — where to write the JSON (default
 //!   `BENCH_hotpath.json` in the current directory);
@@ -11,19 +15,23 @@
 
 use criterion::{black_box, Criterion};
 use mdd_core::{PatternSpec, Scheme, SimConfig, Simulator};
+use mdd_obs::CounterId;
 use std::time::Instant;
 
 const SA: Scheme = Scheme::StrictAvoidance {
     shared_adaptive: false,
 };
 
+/// The benchmarked load ladder (flits/node/cycle).
+const LOADS: [f64; 3] = [0.05, 0.30, 0.55];
+
 fn quick() -> bool {
     std::env::var("HOTPATH_QUICK").is_ok_and(|v| v != "0")
 }
 
-/// A simulator warmed into saturation steady state (no measurement
+/// A simulator warmed into steady state at `load` (no measurement
 /// window: the benchmark drives cycles itself).
-fn saturated(scheme: Scheme, pattern: PatternSpec, vcs: u8, load: f64) -> Simulator {
+fn warmed(scheme: Scheme, pattern: PatternSpec, vcs: u8, load: f64) -> Simulator {
     let mut cfg = SimConfig::paper_default(scheme, pattern, vcs, load);
     cfg.warmup = 0;
     cfg.measure = 0;
@@ -32,18 +40,19 @@ fn saturated(scheme: Scheme, pattern: PatternSpec, vcs: u8, load: f64) -> Simula
     sim
 }
 
-/// The benchmarked scheme points. SA runs PAT100 (its 4-VC-feasible
-/// pattern); DR and PR run PAT271 like the paper's saturation studies.
-fn points() -> Vec<(&'static str, Simulator)> {
+/// The benchmarked scheme points at one load. SA runs PAT100 (its
+/// 4-VC-feasible pattern); DR and PR run PAT271 like the paper's
+/// saturation studies.
+fn points(load: f64) -> Vec<(&'static str, Simulator)> {
     vec![
-        ("sa", saturated(SA, PatternSpec::pat100(), 4, 0.30)),
+        ("sa", warmed(SA, PatternSpec::pat100(), 4, load)),
         (
             "dr",
-            saturated(Scheme::DeflectiveRecovery, PatternSpec::pat271(), 4, 0.30),
+            warmed(Scheme::DeflectiveRecovery, PatternSpec::pat271(), 4, load),
         ),
         (
             "pr",
-            saturated(Scheme::ProgressiveRecovery, PatternSpec::pat271(), 4, 0.30),
+            warmed(Scheme::ProgressiveRecovery, PatternSpec::pat271(), 4, load),
         ),
     ]
 }
@@ -53,43 +62,63 @@ fn bench_hotpath(c: &mut Criterion) {
     if quick() {
         g.sample_size(5);
     }
-    for (name, mut sim) in points() {
-        g.bench_function(format!("{name}_8x8_vc4_loaded_100cycles"), |b| {
-            b.iter(|| {
-                sim.run_cycles(100);
-                black_box(sim.cycle())
+    for load in LOADS {
+        for (name, mut sim) in points(load) {
+            g.bench_function(format!("{name}_8x8_vc4_load{load:.2}_100cycles"), |b| {
+                b.iter(|| {
+                    sim.run_cycles(100);
+                    black_box(sim.cycle())
+                });
             });
-        });
+        }
     }
     g.finish();
 }
 
 /// Direct cycles/sec measurement (steady state, best of `reps` runs) —
-/// what the JSON trajectory records.
-fn cycles_per_sec(sim: &mut Simulator, cycles: u64, reps: u32) -> f64 {
+/// what the JSON trajectory records. Returns `(cycles_per_sec,
+/// best_wall_secs)`.
+fn cycles_per_sec(sim: &mut Simulator, cycles: u64, reps: u32) -> (f64, f64) {
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let t = Instant::now();
         sim.run_cycles(cycles);
         best = best.min(t.elapsed().as_secs_f64());
     }
-    cycles as f64 / best
+    (cycles as f64 / best, best)
 }
 
 fn write_json() {
     let (cycles, reps) = if quick() { (2_000, 3) } else { (10_000, 5) };
+    // Install the observability layer so the skip counters prove (or
+    // disprove) that the activity-driven path actually engaged per rung.
+    mdd_obs::install(16);
     let mut entries = Vec::new();
-    for (name, mut sim) in points() {
-        let cps = cycles_per_sec(&mut sim, cycles, reps);
-        println!("hotpath/{name}: {cps:.0} cycles/sec");
-        entries.push(format!(
-            "  {{\"scheme\": \"{name}\", \"cycles_per_sec\": {cps:.1}, \"cycles\": {cycles}}}"
-        ));
+    for load in LOADS {
+        for (name, mut sim) in points(load) {
+            let skipped0 = (
+                mdd_obs::counters_snapshot().get(CounterId::RouterTicksSkipped),
+                mdd_obs::counters_snapshot().get(CounterId::NicTicksSkipped),
+            );
+            let (cps, wall) = cycles_per_sec(&mut sim, cycles, reps);
+            let snap = mdd_obs::counters_snapshot();
+            let router_skips = snap.get(CounterId::RouterTicksSkipped) - skipped0.0;
+            let nic_skips = snap.get(CounterId::NicTicksSkipped) - skipped0.1;
+            println!("hotpath/{name}@{load:.2}: {cps:.0} cycles/sec");
+            entries.push(format!(
+                "  {{\"scheme\": \"{name}\", \"load\": {load:.2}, \
+                 \"cycles_per_sec\": {cps:.1}, \"cycles\": {cycles}, \
+                 \"wall_secs\": {wall:.4}, \
+                 \"router_ticks_skipped\": {router_skips}, \
+                 \"nic_ticks_skipped\": {nic_skips}}}"
+            ));
+        }
     }
+    mdd_obs::uninstall();
     let out = std::env::var("HOTPATH_OUT").unwrap_or_else(|_| "BENCH_hotpath.json".into());
     let json = format!(
         "{{\"bench\": \"hotpath\", \"topology\": \"8x8 torus\", \"vcs\": 4, \
-         \"load\": 0.30, \"results\": [\n{}\n]}}\n",
+         \"loads\": [0.05, 0.30, 0.55], \"results\": [\n{}\n]}}\n",
         entries.join(",\n")
     );
     std::fs::write(&out, json).expect("write BENCH_hotpath.json");

@@ -7,10 +7,15 @@ use mdd_router::EjectControl;
 use mdd_topology::NicId;
 
 /// Borrow of the NIC array plus the message store the ejection callbacks
-/// resolve handles against.
+/// resolve handles against, plus the idle-skip schedule so deliveries
+/// wake sleeping NICs.
 pub(crate) struct NicArray<'a> {
     pub store: &'a MessageStore,
     pub nics: &'a mut [Nic],
+    /// Per-NIC next-due-tick cycles (the simulator's idle-skip schedule);
+    /// a completed packet delivery zeroes the entry so the NIC ticks
+    /// again from the next cycle on.
+    pub nic_next: &'a mut [u64],
 }
 
 impl EjectControl for NicArray<'_> {
@@ -24,5 +29,7 @@ impl EjectControl for NicArray<'_> {
 
     fn deliver_packet(&mut self, nic: NicId, msg: MsgHandle, _injected_at: u64, _cycle: u64) {
         self.nics[nic.index()].on_packet(msg, self.store.get(msg));
+        // A new message is queued at this endpoint: cancel its idle-skip.
+        self.nic_next[nic.index()] = 0;
     }
 }

@@ -25,6 +25,12 @@ pub struct Simulator {
     ids: IdAlloc,
     cycle: u64,
     generation: bool,
+    /// Idle-skip schedule: per NIC, the next cycle its endpoint/injection
+    /// ticks must execute. `u64::MAX` marks a fully inert NIC; request
+    /// issue, packet delivery and recovery activity rewind the entry so
+    /// the NIC resumes ticking. While `nic_next[i] > cycle`, both of NIC
+    /// `i`'s ticks are provably no-ops, so skipping them is bit-exact.
+    nic_next: Vec<u64>,
     cwg_checks: u64,
     cwg_deadlocked_checks: u64,
     /// Debug-build cross-check state: `Some(true)` once the static
@@ -137,6 +143,7 @@ impl Simulator {
             )),
             _ => None,
         };
+        let num_nics = nics.len();
         Simulator {
             cfg,
             topo,
@@ -149,6 +156,7 @@ impl Simulator {
             ids: IdAlloc::new(),
             cycle: 0,
             generation: true,
+            nic_next: vec![0; num_nics],
             cwg_checks: 0,
             cwg_deadlocked_checks: 0,
             #[cfg(debug_assertions)]
@@ -229,22 +237,36 @@ impl Simulator {
         if self.generation {
             self.traffic.tick(c, &mut self.ids, &mut self.store);
         }
-        // 2. Request issue from source queues.
+        // 2. Request issue from source queues. A successful issue hands a
+        // sleeping NIC new work, so it must tick from this cycle on.
         for i in 0..self.nics.len() {
             let nic_id = NicId(i as u32);
             while let Some(head) = self.traffic.pending_head(nic_id) {
                 if self.nics[i].can_issue_request(self.store.get(head).mtype) {
                     let h = self.traffic.pop_pending(nic_id).expect("head exists");
                     self.nics[i].issue_request(h, &self.store);
+                    self.nic_next[i] = c;
                 } else {
                     break;
                 }
             }
         }
-        // 3. Endpoint work.
-        for nic in &mut self.nics {
-            nic.tick(c, &mut self.ids, &mut self.store);
+        // A PR rescue episode drives NIC state from the orchestrator
+        // (deposits, MC preemptions), so idle-skip is suspended for its
+        // duration: episodes are rare and short, the dense ticks there
+        // are exactly what the pre-activity-scheduling code did.
+        let episode_before = self.recovery.as_ref().is_some_and(PrRecovery::episode_active);
+        // 3. Endpoint work. Skipped NICs have no queued messages and no
+        // due memory-controller completion, making `tick` a no-op.
+        let mut skipped = 0u64;
+        for i in 0..self.nics.len() {
+            if episode_before || self.nic_next[i] <= c {
+                self.nics[i].tick(c, &mut self.ids, &mut self.store);
+            } else {
+                skipped += 1;
+            }
         }
+        mdd_obs::counter_add(mdd_obs::CounterId::NicTicksSkipped, skipped);
         // 4. Scheme actions.
         match self.cfg.scheme {
             Scheme::DeflectiveRecovery => {
@@ -260,14 +282,25 @@ impl Simulator {
             }
             Scheme::StrictAvoidance { .. } => {}
         }
-        // 5. Injection.
-        for nic in &mut self.nics {
-            nic.injection_tick(&mut self.net, &self.routing, c, &self.store);
+        // An episode that was (or just became) active may have mutated
+        // any NIC: wake the whole array for injection this cycle and a
+        // dense tick next cycle; the per-NIC schedules rebuild below.
+        if episode_before || self.recovery.as_ref().is_some_and(PrRecovery::episode_active) {
+            self.nic_next.iter_mut().for_each(|n| *n = c);
+        }
+        // 5. Injection, then rebuild each executed NIC's schedule from
+        // its post-cycle state.
+        for i in 0..self.nics.len() {
+            if self.nic_next[i] <= c {
+                self.nics[i].injection_tick(&mut self.net, &self.routing, c, &self.store);
+                self.nic_next[i] = self.nics[i].next_tick_cycle(c + 1);
+            }
         }
         // 6. Network cycle.
         let mut ej = NicArray {
             store: &self.store,
             nics: &mut self.nics,
+            nic_next: &mut self.nic_next,
         };
         self.net.step(c, &self.routing, &mut ej);
         self.cycle += 1;
@@ -334,6 +367,7 @@ impl Simulator {
     pub fn sample_obs_gauges(&self) {
         use mdd_obs::CounterId;
         mdd_obs::gauge_set(CounterId::NetFlitsInFlight, self.net.flits_in_network());
+        mdd_obs::gauge_set(CounterId::ActiveRouters, self.net.active_routers() as u64);
         let dmb: u64 = self.nics.iter().map(|n| n.dmb_occupancy() as u64).sum();
         mdd_obs::gauge_set(CounterId::DmbOccupancy, dmb);
         let queued: u64 = self.nics.iter().map(|n| n.buffered_messages() as u64).sum();
@@ -343,11 +377,69 @@ impl Simulator {
         }
     }
 
-    /// Run `n` cycles.
+    /// Run `n` cycles, fast-forwarding the clock over fully quiescent
+    /// stretches (no router work, no NIC due, no traffic arrival, no
+    /// recovery event): the executed steps and every piece of observable
+    /// state are bit-identical to stepping through the skipped cycles one
+    /// by one.
     pub fn run_cycles(&mut self, n: u64) {
-        for _ in 0..n {
+        let end = self.cycle.saturating_add(n);
+        while self.cycle < end {
+            if let Some(target) = self.fast_forward_target(end) {
+                let jumped = target - self.cycle;
+                // On a quiescent system the periodic gauge samples are
+                // identical at every skipped sampling point; take at most
+                // one to keep the last-sampled values what the dense
+                // schedule would have left.
+                let sample = mdd_obs::enabled() && {
+                    let p = self.cfg.obs_sample_every.max(1);
+                    target / p > self.cycle / p
+                };
+                self.cycle = target;
+                mdd_obs::counter_add(mdd_obs::CounterId::CyclesFastForwarded, jumped);
+                if sample {
+                    self.sample_obs_gauges();
+                }
+                continue;
+            }
             self.step();
         }
+    }
+
+    /// The cycle the clock may jump to right now (exclusive of any work),
+    /// capped at `end`, or `None` if some component needs the very next
+    /// cycle. Jumping is legal only when every per-cycle phase is a
+    /// provable no-op for each skipped cycle: the network wake-list is
+    /// empty, source queues are empty with no arrival due (a rate-zero or
+    /// disabled source), every NIC sleeps past the target, and the
+    /// recovery token's next hop is not skipped over. The CWG oracle
+    /// cadence additionally caps the jump so scheduled oracle checks
+    /// still execute on schedule.
+    fn fast_forward_target(&self, end: u64) -> Option<u64> {
+        let c = self.cycle;
+        if !self.net.is_idle() || self.traffic.backlog() != 0 {
+            return None;
+        }
+        let mut target = end;
+        if self.generation {
+            target = target.min(self.traffic.next_arrival_cycle(c));
+        }
+        for &n in &self.nic_next {
+            target = target.min(n);
+        }
+        if let Some(rec) = &self.recovery {
+            // An active episode needs every cycle; otherwise the token's
+            // next hop (or watchdog firing) bounds the jump.
+            target = target.min(rec.next_event_cycle()?);
+        }
+        if let Some(k) = self.cfg.cwg_interval {
+            // The oracle runs when the clock *reaches* a multiple of k;
+            // jump at most to the cycle before the next one so that step
+            // still executes.
+            let k = k.max(1);
+            target = target.min((c / k + 1) * k - 1);
+        }
+        (target > c).then_some(target)
     }
 
     /// Run the configured warm-up then measurement window and collect the
@@ -370,10 +462,7 @@ impl Simulator {
             .map_or(0, |r| r.router_captures);
         self.set_measuring(false);
 
-        let mut agg = NicStats::default();
-        for nic in &self.nics {
-            agg.merge(&nic.stats);
-        }
+        let agg = self.aggregate_stats();
         let util = self.net.vc_utilization(self.cycle.max(1));
         let nodes = self.topo.num_nics() as f64;
         let window = self.cfg.measure as f64;

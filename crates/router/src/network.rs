@@ -103,6 +103,21 @@ pub struct Network {
     /// local (NIC) ports — a lookup for the hot loops, identical for
     /// every router.
     net_port: Vec<bool>,
+    /// Activity wake-set: one bit per router due for processing at the
+    /// next [`Network::step`]. A router is woken by flit arrival, credit
+    /// return, local injection, or a recovery-lane extraction, and
+    /// re-arms itself while it holds flits; everything else is skipped by
+    /// all four pipeline phases. Bits deduplicate for free, and draining
+    /// the words in order yields routers ascending — the dense 0..N
+    /// sweep order — without a sort.
+    active_bits: Vec<u64>,
+    /// This step's worklist (previous cycle's wake-set, ascending so the
+    /// scan order matches the dense 0..N sweep bit-exactly).
+    worklist: Vec<u32>,
+    /// Buffered flits per router — O(1) occupancy queries for the
+    /// quiescence check and the blocked-head sweep's empty-router
+    /// early-out.
+    router_flits: Vec<u32>,
 }
 
 impl Network {
@@ -120,6 +135,7 @@ impl Network {
         let net_port = (0..ports)
             .map(|p| topo.port_dim_dir(PortId(p as u8)).is_some())
             .collect();
+        let n = topo.num_routers() as usize;
         Network {
             topo,
             vcs,
@@ -132,7 +148,40 @@ impl Network {
             move_buf: Vec::with_capacity(256),
             req_buf: Vec::with_capacity(64),
             net_port,
+            active_bits: vec![0; n.div_ceil(64)],
+            worklist: Vec::with_capacity(n),
+            router_flits: vec![0; n],
         }
+    }
+
+    /// Put router `r` on the wake-set for the next step.
+    #[inline]
+    fn wake(&mut self, r: usize) {
+        self.active_bits[r >> 6] |= 1 << (r & 63);
+    }
+
+    /// True while router `r` must stay on the wake-list: it buffers
+    /// flits. Nothing else keeps a router awake — a flit-less router is a
+    /// no-op for every phase even mid-packet (owned or under-credited
+    /// output VCs included), and each event that changes that (flit
+    /// arrival, credit return, injection, rescue) wakes it explicitly.
+    #[inline]
+    fn router_busy(&self, r: usize) -> bool {
+        self.router_flits[r] > 0
+    }
+
+    /// Routers currently on the wake-set (the ones the next step will
+    /// process) — the `active_routers` observability gauge.
+    #[inline]
+    pub fn active_routers(&self) -> usize {
+        self.active_bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no router has any scheduled work: the wake-set is empty.
+    /// Implies zero buffered flits.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.active_bits.iter().all(|&w| w == 0)
     }
 
     /// The topology.
@@ -171,12 +220,10 @@ impl Network {
         &self.packets
     }
 
-    /// Total flits currently buffered in the network.
+    /// Total flits currently buffered in the network. O(routers): sums the
+    /// per-router occupancy counters instead of walking every VC buffer.
     pub fn flits_in_network(&self) -> u64 {
-        self.routers
-            .iter()
-            .map(|r| r.buffered_flits() as u64)
-            .sum()
+        self.router_flits.iter().map(|&c| c as u64).sum()
     }
 
     /// Register a packet about to be injected by `msg.src`'s NIC. The
@@ -217,27 +264,103 @@ impl Network {
     }
 
     /// Push one flit from `nic` into injection VC `vc`. Returns false
-    /// (without effect) when the buffer is full.
+    /// (without effect) when the buffer is full. Wakes the router: local
+    /// injection precedes [`Network::step`] within a cycle, so the flit is
+    /// routable this very cycle, exactly as under the dense scan.
     pub fn inject_flit(&mut self, nic: NicId, vc: u8, flit: Flit) -> bool {
         let router = self.topo.nic_router(nic);
         let port = self.topo.local_port(self.topo.nic_local_index(nic));
-        let r = &mut self.routers[router.index()];
-        let slot = r.slot(port.index(), vc as usize);
-        let vcb = &mut r.in_vcs[slot];
-        if vcb.free_slots() == 0 {
-            return false;
+        let ri = router.index();
+        {
+            let r = &mut self.routers[ri];
+            let slot = r.slot(port.index(), vc as usize);
+            let vcb = &mut r.in_vcs[slot];
+            if vcb.free_slots() == 0 {
+                return false;
+            }
+            vcb.push(flit);
+            r.occ_mark(slot);
         }
-        vcb.push(flit);
+        self.router_flits[ri] += 1;
         self.counters.flits_injected += 1;
+        self.wake(ri);
         true
     }
 
     /// Advance the network one cycle.
+    ///
+    /// Only routers on the wake-list are processed; the rest are provably
+    /// inert (no flits, no owned or under-credited output VCs — checked by
+    /// a dense shadow sweep in debug builds) and every phase is a no-op on
+    /// them, so skipping changes nothing observable. The worklist is
+    /// sorted ascending so grant and move ordering match the dense 0..N
+    /// scan bit-exactly.
     pub fn step(&mut self, cycle: u64, routing: &dyn Routing, ej: &mut dyn EjectControl) {
+        self.worklist.clear();
+        for wi in 0..self.active_bits.len() {
+            let mut w = std::mem::take(&mut self.active_bits[wi]);
+            let base = (wi * 64) as u32;
+            while w != 0 {
+                self.worklist.push(base + w.trailing_zeros());
+                w &= w - 1;
+            }
+        }
+        mdd_obs::counter_add(
+            CounterId::RouterTicksSkipped,
+            (self.routers.len() - self.worklist.len()) as u64,
+        );
+        #[cfg(debug_assertions)]
+        self.dense_shadow_check(cycle);
         self.alloc_phase(cycle, routing, ej);
         self.switch_phase();
         self.apply_moves(cycle, ej);
         self.blocked_sweep(cycle);
+        // Re-arm: a router still holding work schedules itself for the
+        // next cycle even if nothing new arrives.
+        for wi in 0..self.worklist.len() {
+            let r = self.worklist[wi] as usize;
+            if self.router_busy(r) {
+                self.wake(r);
+            }
+        }
+    }
+
+    /// Debug-only dense shadow check: every router the activity scheduler
+    /// is about to skip must be in the exact state on which all four
+    /// phases are no-ops, and the per-router flit counters must agree with
+    /// the actual buffers.
+    #[cfg(debug_assertions)]
+    fn dense_shadow_check(&self, cycle: u64) {
+        for (r, router) in self.routers.iter().enumerate() {
+            debug_assert_eq!(
+                self.router_flits[r],
+                router.buffered_flits(),
+                "router {r}: flit counter out of sync at cycle {cycle}"
+            );
+            for (s, vc) in router.in_vcs.iter().enumerate() {
+                debug_assert_eq!(
+                    router.in_occ >> s & 1 == 1,
+                    !vc.buf.is_empty(),
+                    "router {r}: occupancy bit {s} out of sync at cycle {cycle}"
+                );
+            }
+            if self.worklist.binary_search(&(r as u32)).is_ok() {
+                continue;
+            }
+            for (i, vc) in router.in_vcs.iter().enumerate() {
+                // An empty VC may keep its route mid-packet (the flits
+                // seen so far moved on, the rest are still upstream or at
+                // the source NIC); no phase acts on it until the next
+                // flit arrival re-wakes the router.
+                debug_assert!(
+                    vc.buf.is_empty() && vc.blocked_since.is_none(),
+                    "router {r} skipped with a live input VC {i} at cycle {cycle}: \
+                     buf={}, blocked_since={:?}",
+                    vc.buf.len(),
+                    vc.blocked_since
+                );
+            }
+        }
     }
 
     /// Phase 1: route computation and output-VC allocation for waiting
@@ -248,13 +371,33 @@ impl Network {
         let mut obs_allocs = 0u64;
         let mut obs_stalls = 0u64;
         let nvcs = self.vcs as usize;
-        for r in 0..self.routers.len() {
+        for wi in 0..self.worklist.len() {
+            let r = self.worklist[wi] as usize;
             let node = NodeId(r as u32);
             let nports = self.routers[r].ports();
             let total = nports * nvcs;
+            self.routers[r].sync_rr_alloc(cycle);
             let start = self.routers[r].rr_alloc as usize % total;
-            for i in 0..total {
-                let idx = (start + i) % total;
+            // Visit occupied slots in the dense scan's rotated order
+            // (`start..total` then `0..start`, ascending within each
+            // half). Slots the dense scan would have acted on all hold a
+            // flit, so restricting to the occupancy mask is exact.
+            let occ = self.routers[r].in_occ;
+            let low = occ & ((1u128 << start) - 1);
+            let mut high = occ ^ low;
+            let mut pending = low;
+            loop {
+                let idx = if high != 0 {
+                    let i = high.trailing_zeros() as usize;
+                    high &= high - 1;
+                    i
+                } else if pending != 0 {
+                    let i = pending.trailing_zeros() as usize;
+                    pending &= pending - 1;
+                    i
+                } else {
+                    break;
+                };
                 let Some(h) = ({
                     let vc = &self.routers[r].in_vcs[idx];
                     if vc.awaiting_route() {
@@ -311,6 +454,7 @@ impl Network {
                 }
             }
             self.routers[r].rr_alloc = self.routers[r].rr_alloc.wrapping_add(1);
+            self.routers[r].rr_cycle = cycle + 1;
         }
         mdd_obs::counter_add(CounterId::VcAllocs, obs_allocs);
         mdd_obs::counter_add(CounterId::VcStalls, obs_stalls);
@@ -325,27 +469,38 @@ impl Network {
     fn switch_phase(&mut self) {
         self.move_buf.clear();
         let nvcs = self.vcs as usize;
-        for (r, router) in self.routers.iter_mut().enumerate() {
+        for wi in 0..self.worklist.len() {
+            let r = self.worklist[wi] as usize;
+            let router = &mut self.routers[r];
             let nports = router.ports();
             let total = nports * nvcs;
             debug_assert!(nports <= 64);
             self.req_buf.clear();
-            for (idx, vc) in router.in_vcs.iter().enumerate() {
-                if let Some((op, ov)) = vc.route {
-                    if !vc.buf.is_empty() {
-                        self.req_buf.push(SwitchReq {
-                            idx: idx as u16,
-                            out_port: op.0,
-                            out_vc: ov,
-                        });
-                    }
+            // Only occupied slots can request (route set + flit buffered);
+            // ascending bit order matches the dense enumerate.
+            let mut port_mask = 0u64;
+            let mut occ = router.in_occ;
+            while occ != 0 {
+                let idx = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                if let Some((op, ov)) = router.in_vcs[idx].route {
+                    port_mask |= 1 << op.0;
+                    self.req_buf.push(SwitchReq {
+                        idx: idx as u16,
+                        out_port: op.0,
+                        out_vc: ov,
+                    });
                 }
             }
             if self.req_buf.is_empty() {
                 continue;
             }
             let mut in_used = [false; 64];
-            for q in 0..nports {
+            // Output ports without a requester grant nothing; visiting
+            // only requested ports (ascending) matches the dense loop.
+            while port_mask != 0 {
+                let q = port_mask.trailing_zeros() as usize;
+                port_mask &= port_mask - 1;
                 let rr = router.rr_out[q] as usize % total;
                 let mut best: Option<(usize, SwitchReq)> = None;
                 for req in &self.req_buf {
@@ -393,9 +548,9 @@ impl Network {
                 out_vc,
             } = self.move_buf[mi];
             let node = NodeId(r);
+            let in_slot = in_port as usize * nvcs + in_vc as usize;
             let flit = {
-                let vc = &mut self.routers[r as usize].in_vcs
-                    [in_port as usize * nvcs + in_vc as usize];
+                let vc = &mut self.routers[r as usize].in_vcs[in_slot];
                 let flit = vc.pop().expect("granted move lost its flit");
                 vc.blocked_since = None;
                 if flit.is_tail {
@@ -403,8 +558,11 @@ impl Network {
                 }
                 flit
             };
+            self.routers[r as usize].occ_sync(in_slot);
+            self.router_flits[r as usize] -= 1;
             // Return a credit upstream (network inputs only; NICs poll
-            // injection space directly).
+            // injection space directly). The credit is an event for the
+            // upstream router: wake it so it can use the freed slot.
             if let Some((d, dir)) = self.topo.port_dim_dir(PortId(in_port)) {
                 let up = self
                     .topo
@@ -415,6 +573,7 @@ impl Network {
                     [upport.index() * nvcs + in_vc as usize];
                 ovc.credits += 1;
                 debug_assert!(ovc.credits <= self.buf_depth);
+                self.wake(up.index());
             }
             let out = PortId(out_port);
             if let Some((d2, dir2)) = self.topo.port_dim_dir(out) {
@@ -439,8 +598,11 @@ impl Network {
                     .neighbor(node, d2, dir2)
                     .expect("allocated output implies the link exists");
                 let dport = self.topo.port(d2, dir2.opposite());
-                self.routers[down.index()].in_vcs[dport.index() * nvcs + out_vc as usize]
-                    .push(flit);
+                let down_slot = dport.index() * nvcs + out_vc as usize;
+                self.routers[down.index()].in_vcs[down_slot].push(flit);
+                self.routers[down.index()].occ_mark(down_slot);
+                self.router_flits[down.index()] += 1;
+                self.wake(down.index());
             } else {
                 let local = self
                     .topo
@@ -468,11 +630,20 @@ impl Network {
     /// granted (including unrouted heads) starts or continues accumulating
     /// blocked time; VCs that moved were reset during apply.
     fn blocked_sweep(&mut self, cycle: u64) {
-        for router in &mut self.routers {
-            for vc in &mut router.in_vcs {
-                if vc.buf.is_empty() {
-                    vc.blocked_since = None;
-                } else if vc.blocked_since.is_none() {
+        // Skipped routers hold no flits and their `blocked_since` marks
+        // were cleared when the last flit left, so the sweep over the
+        // worklist alone is equivalent to the dense sweep. Within a
+        // router only occupied slots matter: every pop and extraction
+        // clears `blocked_since` the moment a buffer empties, so the
+        // dense sweep's reset of empty slots is always a no-op.
+        for wi in 0..self.worklist.len() {
+            let router = &mut self.routers[self.worklist[wi] as usize];
+            let mut occ = router.in_occ;
+            while occ != 0 {
+                let idx = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                let vc = &mut router.in_vcs[idx];
+                if vc.blocked_since.is_none() {
                     vc.blocked_since = Some(cycle);
                 }
             }
@@ -492,6 +663,9 @@ impl Network {
     ) {
         out.clear();
         for (r, router) in self.routers.iter().enumerate() {
+            if self.router_flits[r] == 0 {
+                continue; // no flits, no blocked heads
+            }
             for (_, _, vc) in router.iter_vcs() {
                 if let Some(f) = vc.front() {
                     if f.is_head() && vc.blocked_for(now) >= threshold && threshold > 0 {
@@ -514,6 +688,7 @@ impl Network {
             let node = NodeId(r as u32);
             let nports = self.routers[r].ports();
             let nvcs = self.vcs as usize;
+            let mut removed_here = 0u32;
             for p in 0..nports {
                 for v in 0..nvcs {
                     let (removed, had_head, front_was) = {
@@ -538,7 +713,9 @@ impl Network {
                     };
                     let _ = front_was;
                     if removed > 0 {
+                        self.routers[r].occ_sync(p * nvcs + v);
                         flits_removed += removed;
+                        removed_here += removed;
                         if had_head {
                             head_router = Some(node);
                         }
@@ -550,15 +727,26 @@ impl Network {
                                 [upport.index() * nvcs + v];
                             ovc.credits += removed;
                             debug_assert!(ovc.credits <= self.buf_depth);
+                            self.wake(up.index());
                         }
                     }
                 }
             }
+            if removed_here > 0 {
+                self.router_flits[r] -= removed_here;
+            }
             // Release any output VCs the packet held.
+            let mut released = false;
             for ovc in &mut self.routers[r].out_vcs {
                 if ovc.owner == Some(h) {
                     ovc.owner = None;
+                    released = true;
                 }
+            }
+            // A rescue mutates router state out of band; wake everything
+            // it touched so remaining traffic reschedules.
+            if removed_here > 0 || released {
+                self.wake(r);
             }
         }
         let src_router = self.topo.nic_router(st.src);
@@ -624,5 +812,8 @@ impl Network {
         }
         self.packets = PacketTable::new();
         self.vc_busy.iter_mut().for_each(|b| *b = 0);
+        self.active_bits.iter_mut().for_each(|w| *w = 0);
+        self.worklist.clear();
+        self.router_flits.iter_mut().for_each(|c| *c = 0);
     }
 }

@@ -20,6 +20,19 @@ pub struct Router {
     /// Rotation offset for the VC-allocation scan, advanced every cycle to
     /// avoid structural starvation.
     pub(crate) rr_alloc: u32,
+    /// First cycle whose `rr_alloc` advancement has not yet been applied.
+    /// The dense scan bumped `rr_alloc` once per cycle for every router;
+    /// the activity-driven scan instead catches a woken router up lazily
+    /// ([`Router::sync_rr_alloc`]) so its rotation offset is bit-identical
+    /// to what the dense schedule would have produced.
+    pub(crate) rr_cycle: u64,
+    /// Occupancy bitmask over input-VC slots: bit `s` is set iff
+    /// `in_vcs[s].buf` is non-empty. Maintained at every flit push, pop
+    /// and extraction so the per-cycle scans visit only occupied slots;
+    /// scanning set bits in (rotated) ascending order reproduces the
+    /// dense full-array scan exactly, because every slot the dense scan
+    /// would act on holds at least one flit.
+    pub(crate) in_occ: u128,
     nvcs: u8,
 }
 
@@ -28,12 +41,42 @@ impl Router {
     /// `buf_depth`-flit input buffers per VC.
     pub fn new(ports: usize, vcs: u8, buf_depth: u32) -> Self {
         let slots = ports * vcs as usize;
+        assert!(slots <= 128, "occupancy bitmask supports at most 128 VC slots per router");
         Router {
             in_vcs: (0..slots).map(|_| Vc::new(buf_depth)).collect(),
             out_vcs: (0..slots).map(|_| OutVc::new(buf_depth)).collect(),
             rr_out: vec![0; ports],
             rr_alloc: 0,
+            rr_cycle: 0,
+            in_occ: 0,
             nvcs: vcs,
+        }
+    }
+
+    /// Record that slot `slot` just received a flit.
+    #[inline]
+    pub(crate) fn occ_mark(&mut self, slot: usize) {
+        self.in_occ |= 1 << slot;
+    }
+
+    /// Re-derive slot `slot`'s occupancy bit after flits left its buffer.
+    #[inline]
+    pub(crate) fn occ_sync(&mut self, slot: usize) {
+        if self.in_vcs[slot].buf.is_empty() {
+            self.in_occ &= !(1 << slot);
+        }
+    }
+
+    /// Apply the per-cycle `rr_alloc` advancement for every cycle since
+    /// this router was last processed, up to (but not including) `cycle`.
+    /// Call before reading `rr_alloc` in the allocation phase; follow with
+    /// the regular end-of-cycle increment.
+    #[inline]
+    pub(crate) fn sync_rr_alloc(&mut self, cycle: u64) {
+        let lag = cycle.saturating_sub(self.rr_cycle);
+        if lag > 0 {
+            self.rr_alloc = self.rr_alloc.wrapping_add(lag as u32);
+            self.rr_cycle = cycle;
         }
     }
 

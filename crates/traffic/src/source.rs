@@ -28,4 +28,16 @@ pub trait TrafficSource: Send {
 
     /// Transactions generated so far.
     fn generated(&self) -> u64;
+
+    /// Earliest cycle `>= from` at which [`TrafficSource::tick`] might
+    /// generate a request or otherwise needs to run. The default returns
+    /// `from` (the source must be ticked every cycle). A source may
+    /// return a later cycle **only** when skipping its ticks over
+    /// `from..answer` leaves all observable state — including any RNG
+    /// stream whose draws could ever influence later output —
+    /// bit-identical; the simulator uses this to fast-forward fully
+    /// quiescent stretches.
+    fn next_arrival_cycle(&self, from: u64) -> u64 {
+        from
+    }
 }

@@ -201,4 +201,17 @@ impl TrafficSource for SyntheticTraffic {
     fn generated(&self) -> u64 {
         self.generated
     }
+
+    /// With a positive rate the per-node Bernoulli draws happen every
+    /// cycle and their order is load-bearing (skipping a tick would shift
+    /// the RNG stream for every later draw), so the source must run at
+    /// `from`. At rate zero no draw can ever fire or influence anything,
+    /// so ticks may be skipped wholesale.
+    fn next_arrival_cycle(&self, from: u64) -> u64 {
+        if self.txn_rate <= 0.0 {
+            u64::MAX
+        } else {
+            from
+        }
+    }
 }

@@ -1,0 +1,135 @@
+//! Activity-driven scheduling: the wake-set, NIC idle-skip and quiescent
+//! cycle-skip must be pure optimizations — bit-identical results to the
+//! dense every-cycle schedule, with the skipping observable only through
+//! the dedicated counters.
+//!
+//! Debug builds additionally run the dense shadow check inside every
+//! `Network::step` (each skipped router is asserted to be in the exact
+//! state on which all four pipeline phases are no-ops), so every
+//! simulation driven here — the randomized ones included — doubles as a
+//! structural proof-check of the scheduler.
+
+use mdd_sim::obs;
+use mdd_sim::prelude::*;
+use proptest::prelude::*;
+
+const SA: Scheme = Scheme::StrictAvoidance {
+    shared_adaptive: false,
+};
+
+fn cfg_with(scheme: Scheme, load: f64, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::small_test(scheme, PatternSpec::pat100(), 4, load);
+    cfg.seed = seed;
+    cfg
+}
+
+/// Drive one simulator with `run_cycles` (fast-forward eligible) and a
+/// twin with bare `step` calls (dense clock, the pre-scheduling loop), and
+/// assert the end states are indistinguishable.
+fn assert_schedules_agree(mut cfg: SimConfig, cycles: u64, stop_generation: bool) {
+    cfg.warmup = 0;
+    cfg.measure = 0;
+    let mut fast = Simulator::new(cfg.clone()).expect("feasible config");
+    let mut dense = Simulator::new(cfg).expect("feasible config");
+    if stop_generation {
+        fast.set_generation(false);
+        dense.set_generation(false);
+    }
+    fast.run_cycles(cycles);
+    for _ in 0..cycles {
+        dense.step();
+    }
+    assert_eq!(fast.cycle(), dense.cycle(), "clocks diverged");
+    let (f, d) = (fast.network().counters(), dense.network().counters());
+    assert_eq!(f.flits_moved, d.flits_moved);
+    assert_eq!(f.flits_delivered, d.flits_delivered);
+    assert_eq!(f.packets_delivered, d.packets_delivered);
+    assert_eq!(f.flits_injected, d.flits_injected);
+    let (fs, ds) = (fast.aggregate_stats(), dense.aggregate_stats());
+    assert_eq!(fs.messages_consumed, ds.messages_consumed);
+    assert_eq!(fs.transactions_completed, ds.transactions_completed);
+    assert_eq!(
+        fs.msg_latency.mean().to_bits(),
+        ds.msg_latency.mean().to_bits(),
+        "latency accumulators diverged"
+    );
+    assert_eq!(fast.is_quiescent(), dense.is_quiescent());
+}
+
+/// The obs layer is process-global, so all counter-reading checks share
+/// one `#[test]` (concurrent tests in this binary could only *increase*
+/// the deltas below, never hide them — every assertion is of the form
+/// "delta is positive / at least X").
+#[test]
+fn skip_counters_and_fast_forward() {
+    obs::install(1 << 16);
+
+    // Zero applied load: the whole run is one quiescent stretch. The
+    // clock must still cover the full horizon, almost entirely by
+    // fast-forwarding, and draining afterwards is a no-op.
+    let before = ObsReport::capture();
+    let mut cfg = cfg_with(SA, 0.0, 11);
+    cfg.warmup = 100;
+    cfg.measure = 5_000;
+    let mut sim = Simulator::new(cfg).expect("feasible config");
+    let r = sim.run();
+    let after = ObsReport::capture();
+    assert_eq!(sim.cycle(), 5_100, "horizon must be covered in full");
+    assert_eq!(r.generated, 0);
+    let jumped = after.get(CounterId::CyclesFastForwarded)
+        - before.get(CounterId::CyclesFastForwarded);
+    assert!(
+        jumped >= 5_000,
+        "an idle system should cover nearly the whole horizon by jumping, got {jumped}"
+    );
+    assert!(sim.drain(10), "an idle system drains immediately");
+    assert!(sim.is_quiescent());
+
+    // Low load: most routers and NICs sit out most cycles.
+    let before = ObsReport::capture();
+    let r = Simulator::new(cfg_with(SA, 0.05, 12)).expect("feasible config").run();
+    let after = ObsReport::capture();
+    assert!(r.messages_delivered > 0, "traffic must actually flow");
+    let router_skips = after.get(CounterId::RouterTicksSkipped)
+        - before.get(CounterId::RouterTicksSkipped);
+    let nic_skips =
+        after.get(CounterId::NicTicksSkipped) - before.get(CounterId::NicTicksSkipped);
+    assert!(router_skips > 0, "low load must skip router ticks");
+    assert!(nic_skips > 0, "low load must skip NIC ticks");
+}
+
+/// A drained low-load system fast-forwards the idle tail, and the fast
+/// clock is indistinguishable from dense stepping over the same window.
+#[test]
+fn fast_forward_matches_dense_after_drain() {
+    // Generation disabled from the start: the in-flight warmup of zero
+    // messages drains instantly and the rest of the window jumps.
+    assert_schedules_agree(cfg_with(SA, 0.3, 21), 4_000, true);
+    // With generation on, the fast path must never engage a jump that
+    // changes anything (the Bernoulli source needs every cycle).
+    assert_schedules_agree(cfg_with(SA, 0.1, 22), 2_000, false);
+    assert_schedules_agree(cfg_with(Scheme::DeflectiveRecovery, 0.1, 23), 2_000, false);
+    assert_schedules_agree(cfg_with(Scheme::ProgressiveRecovery, 0.1, 24), 2_000, false);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any feasible configuration run under the activity scheduler ends
+    /// bit-identical to the dense schedule — and, in debug builds, passes
+    /// the per-cycle dense shadow check along the way.
+    #[test]
+    fn activity_schedule_is_bit_exact(
+        scheme in prop_oneof![
+            Just(SA),
+            Just(Scheme::StrictAvoidance { shared_adaptive: true }),
+            Just(Scheme::DeflectiveRecovery),
+            Just(Scheme::ProgressiveRecovery),
+        ],
+        load in 0.02f64..0.6,
+        seed in 0u64..1000,
+        stop in prop_oneof![Just(false), Just(true)],
+    ) {
+        assert_schedules_agree(cfg_with(scheme, load, seed), 1_500, stop);
+    }
+}
