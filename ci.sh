@@ -14,6 +14,9 @@ cargo test --workspace -q
 echo "==> cargo doc --workspace --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
+echo "==> cargo test --workspace --doc (doctests as a named gate)"
+cargo test --workspace --doc -q
+
 echo "==> engine cache smoke (re-run must be served from cache)"
 CACHE_DIR=$(mktemp -d)
 trap 'rm -rf "$CACHE_DIR"' EXIT
@@ -78,6 +81,28 @@ if grep "\"load\": 0.05" "$smoke_json" | grep -Eq '"nic_ticks_skipped": 0[,}]'; 
     echo "hotpath smoke: a low-load run skipped no NIC ticks:"
     cat "$smoke_json"; exit 1
 fi
+
+echo "==> hot-path throughput floors at load 0.30"
+# Quick-mode cycles/sec measured at the PR5 commit on the CI machine:
+# sa=47166, pr=39262. The floors pin those baselines (rounded down) so a
+# hot-path regression that undoes the saturated-regime rework fails CI
+# here instead of surfacing as a silent slowdown in the next paper sweep.
+# Quick mode is best-of-3, which absorbs ordinary scheduler noise; a
+# machine busy enough to land a *faster* build below its predecessor's
+# floor is mismeasuring everything else in this script too.
+floor_check() { # scheme floor
+    local cps
+    cps=$(grep "\"scheme\": \"$1\"" "$smoke_json" | grep '"load": 0.30' |
+        sed -E 's/.*"cycles_per_sec": ([0-9.]+).*/\1/')
+    [ -n "$cps" ] || {
+        echo "hotpath floor: no $1@0.30 entry in $smoke_json"; exit 1; }
+    awk -v c="$cps" -v f="$2" 'BEGIN { exit !(c >= f) }' || {
+        echo "hotpath floor: $1@0.30 ran at $cps cycles/sec, floor is $2"
+        exit 1; }
+    echo "    $1@0.30: $cps cycles/sec (floor $2)"
+}
+floor_check sa 47000
+floor_check pr 39000
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy --workspace --all-targets"

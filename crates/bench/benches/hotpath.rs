@@ -12,8 +12,13 @@
 //! * `HOTPATH_OUT=<path>` — where to write the JSON (default
 //!   `BENCH_hotpath.json` in the current directory);
 //! * `HOTPATH_QUICK=1` — CI smoke mode: fewer samples, shorter runs.
+//!
+//! Both variables are parsed by [`mdd_bench::cli::hotpath_quick`] /
+//! [`mdd_bench::cli::hotpath_out`]; malformed values abort with status 2
+//! instead of silently benchmarking at the wrong scale.
 
 use criterion::{black_box, Criterion};
+use mdd_bench::cli::{hotpath_out, hotpath_quick};
 use mdd_core::{PatternSpec, Scheme, SimConfig, Simulator};
 use mdd_obs::CounterId;
 use std::time::Instant;
@@ -26,7 +31,7 @@ const SA: Scheme = Scheme::StrictAvoidance {
 const LOADS: [f64; 3] = [0.05, 0.30, 0.55];
 
 fn quick() -> bool {
-    std::env::var("HOTPATH_QUICK").is_ok_and(|v| v != "0")
+    hotpath_quick()
 }
 
 /// A simulator warmed into steady state at `load` (no measurement
@@ -115,14 +120,14 @@ fn write_json() {
         }
     }
     mdd_obs::uninstall();
-    let out = std::env::var("HOTPATH_OUT").unwrap_or_else(|_| "BENCH_hotpath.json".into());
+    let out = hotpath_out();
     let json = format!(
         "{{\"bench\": \"hotpath\", \"topology\": \"8x8 torus\", \"vcs\": 4, \
          \"loads\": [0.05, 0.30, 0.55], \"results\": [\n{}\n]}}\n",
         entries.join(",\n")
     );
     std::fs::write(&out, json).expect("write BENCH_hotpath.json");
-    println!("wrote {out}");
+    println!("wrote {}", out.display());
 }
 
 fn main() {

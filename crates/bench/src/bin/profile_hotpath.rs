@@ -1,0 +1,47 @@
+//! Scratch driver for profiling one hotpath rung under gprofng.
+
+use mdd_core::{PatternSpec, Scheme, SimConfig, Simulator};
+
+fn main() {
+    let scheme = std::env::args().nth(1).unwrap_or_else(|| "sa".into());
+    let load: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.30);
+    let cycles: u64 = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let (scheme, pattern, vcs) = match scheme.as_str() {
+        "sa" => (
+            Scheme::StrictAvoidance {
+                shared_adaptive: false,
+            },
+            PatternSpec::pat100(),
+            4,
+        ),
+        "dr" => (Scheme::DeflectiveRecovery, PatternSpec::pat271(), 4),
+        _ => (Scheme::ProgressiveRecovery, PatternSpec::pat271(), 4),
+    };
+    let mut cfg = SimConfig::paper_default(scheme, pattern, vcs, load);
+    cfg.warmup = 0;
+    cfg.measure = 0;
+    let mut sim = Simulator::new(cfg).expect("config feasible");
+    sim.run_cycles(2_000);
+    mdd_obs::install(0);
+    let t = std::time::Instant::now();
+    sim.run_cycles(cycles);
+    let dt = t.elapsed().as_secs_f64();
+    println!(
+        "{} cycles in {:.3}s = {:.0} cycles/sec (cycle={})",
+        cycles,
+        dt,
+        cycles as f64 / dt,
+        sim.cycle()
+    );
+    use mdd_obs::CounterId as C;
+    let snap = mdd_obs::counters_snapshot();
+    for id in [C::FusedPassRouters, C::RouterTicksSkipped, C::FlitsRouted, C::VcAllocs, C::VcStalls, C::LinkBurstFlits, C::NicTicksSkipped] {
+        println!("{} = {} ({:.2}/cycle)", id.name(), snap.get(id), snap.get(id) as f64 / cycles as f64);
+    }
+}

@@ -289,13 +289,14 @@ impl PrRecovery {
                     at: r.0,
                     at_nic: false,
                 });
-                net.blocked_heads_into(self.router_block_threshold, cycle, &mut self.blocked_scratch);
-                let victim = self.blocked_scratch.iter().find(|(node, h)| {
-                    *node == r
-                        && net
-                            .packets()
-                            .get(*h)
-                            .is_some_and(|p| p.dst_router != r)
+                // A token stop only ever inspects its own router: the
+                // single-router sweep yields the same victims, in the same
+                // order, as filtering a full-network sweep down to `r`.
+                net.blocked_heads_at(r, self.router_block_threshold, cycle, &mut self.blocked_scratch);
+                let victim = self.blocked_scratch.iter().find(|(_, h)| {
+                    net.packets()
+                        .get(*h)
+                        .is_some_and(|p| p.dst_router != r)
                 });
                 if let Some(&(_, h)) = victim {
                     let ex = net.extract_packet(h).expect("blocked packet is in flight");
@@ -323,6 +324,9 @@ impl PrRecovery {
                         (m.dst, m.length_flits)
                     };
                     let dst_router = topo.nic_router(dst);
+                    // A lane transfer is a block move: every flit of the
+                    // rescued packet streams without per-flit arbitration.
+                    mdd_obs::counter_add(CounterId::LinkBurstFlits, len as u64);
                     self.lane.send(h, len, ex.head_router, dst_router, cycle);
                     self.episode = Some(Episode {
                         id: self.episodes_started,
@@ -484,6 +488,12 @@ impl PrRecovery {
                                     };
                                     let dst_router = topo.nic_router(m_dst);
                                     mdd_obs::counter_add(CounterId::LaneTransfers, 1);
+                                    // Block move over the lane (see the
+                                    // router-capture site).
+                                    mdd_obs::counter_add(
+                                        CounterId::LinkBurstFlits,
+                                        m_len as u64,
+                                    );
                                     self.lane.send(m, m_len, top.router, dst_router, cycle);
                                     ep.phase = Phase::Transfer;
                                     return;

@@ -81,7 +81,7 @@ pub fn build_waitfor_graph(sim: &Simulator) -> WaitForGraph {
                         }
                     }
                 };
-                match vc.route {
+                match vc.route() {
                     Some((op, ov)) => {
                         // A granted local route has a reservation: progress
                         // is guaranteed, no wait edge.

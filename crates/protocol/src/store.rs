@@ -34,6 +34,26 @@ impl MsgHandle {
     pub fn slot(&self) -> u32 {
         self.slot
     }
+
+    /// A placeholder handle for structure-of-arrays slots whose validity is
+    /// tracked by an external occupancy mask. It resolves to nothing (the
+    /// store never hands out slot `u32::MAX`) and must never be dereferenced;
+    /// it only exists so flat `Vec<MsgHandle>` state can be densely
+    /// initialized without the per-element overhead of `Option`.
+    ///
+    /// ```
+    /// use mdd_protocol::MsgHandle;
+    /// let h = MsgHandle::dangling();
+    /// assert_eq!(h.slot(), u32::MAX);
+    /// ```
+    #[inline]
+    pub const fn dangling() -> Self {
+        MsgHandle {
+            slot: u32::MAX,
+            #[cfg(debug_assertions)]
+            gen: u32::MAX,
+        }
+    }
 }
 
 #[derive(Clone, Debug)]

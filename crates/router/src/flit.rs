@@ -29,7 +29,7 @@ impl Flit {
 /// the routing-relevant message fields (cached at injection so the hot
 /// routing path never resolves the store) and mutable routing bookkeeping
 /// updated as the head flit advances.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct PacketState {
     /// Handle of the message being carried.
     pub msg: MsgHandle,
@@ -58,10 +58,26 @@ pub struct PacketState {
 /// (no panicking accessors); under `debug_assertions` the full stored
 /// handle — including its generation tag — is compared against the query,
 /// so a stale handle whose slot was recycled fails loudly.
-#[derive(Default, Debug)]
+#[derive(Default, Debug, PartialEq)]
 pub struct PacketTable {
     slots: Vec<Option<PacketState>>,
     live: usize,
+}
+
+impl Clone for PacketTable {
+    fn clone(&self) -> Self {
+        PacketTable {
+            slots: self.slots.clone(),
+            live: self.live,
+        }
+    }
+
+    /// Allocation-free when `self` already has capacity — the debug shadow
+    /// snapshot runs this every cycle.
+    fn clone_from(&mut self, src: &Self) {
+        self.slots.clone_from(&src.slots);
+        self.live = src.live;
+    }
 }
 
 impl PacketTable {

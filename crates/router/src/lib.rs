@@ -37,7 +37,7 @@ pub use flit::{Flit, PacketState, PacketTable};
 pub use network::{ExtractedPacket, Network, NetworkCounters};
 pub use router::Router;
 pub use traits::{AcceptAll, EjectControl, RouteCandidate, Routing};
-pub use vc::{OutVc, Vc};
+pub use vc::{OutVc, VcRef};
 
 #[cfg(test)]
 mod tests;

@@ -10,31 +10,33 @@
 //!
 //! ## Cycle structure (one [`Network::step`])
 //!
-//! 1. **Route computation & VC allocation** — every input VC whose front
-//!    flit is an unrouted head asks the routing function for candidates and
-//!    claims the first available output VC (or an ejection reservation for
-//!    local candidates, via [`EjectControl::can_accept`]).
-//! 2. **Switch allocation** — per router, at most one flit per input port
-//!    and per output port is granted, round-robin, subject to credits.
-//! 3. **Traversal** — granted flits move to the downstream input buffer or
-//!    are delivered to the endpoint; credits and wormhole ownership are
-//!    updated; head flits crossing a wraparound link set their packet's
-//!    dateline bit.
-//! 4. **Blocked-timer sweep** — input VCs holding a flit that made no
-//!    progress accumulate blocked time, feeding deadlock detection.
+//! Semantically, a cycle consists of four phases — (1) route computation &
+//! VC allocation, (2) switch allocation, (3) link traversal, (4) the
+//! blocked-timer sweep — with every decision in phases 1–2 observing
+//! start-of-cycle state, so a flit advances at most one hop per cycle.
 //!
-//! All decisions in phases 1–2 observe start-of-cycle state, so a flit
-//! advances at most one hop per cycle.
+//! Mechanically, phases 1, 2 and 4 are *fused* into one pass over each
+//! woken router's occupancy bitmask ([`Network::fused_router_pass`]), and
+//! phase 3 applies the granted moves afterwards. The fusion is exact
+//! because phase-1/2 mutations are router-local (routes, output-VC
+//! ownership), credits are only mutated in phase 3, and switch grants pick
+//! the minimum round-robin rank — a function of the request *set*, not of
+//! the order requests were gathered in. The blocked-timer outcome of the
+//! trailing sweep is reproduced by marking occupied slots before moves and
+//! patching the moved/arrived slots during phase 3 (see
+//! [`Network::apply_moves`]). In debug builds every cycle is re-executed
+//! by a literal four-phase reference implementation on a snapshot and the
+//! two end states are compared field by field.
 
 use crate::flit::{Flit, PacketState, PacketTable};
-use crate::router::Router;
+use crate::router::{Router, NOT_BLOCKED, NO_ROUTE};
 use crate::traits::{EjectControl, RouteCandidate, Routing};
 use mdd_obs::CounterId;
 use mdd_protocol::{Message, MsgHandle};
 use mdd_topology::{NicId, NodeId, PortId, Topology};
 
 /// Aggregate transport counters.
-#[derive(Clone, Copy, Default, Debug)]
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
 pub struct NetworkCounters {
     /// Total flit-hops (including ejection hops).
     pub flits_moved: u64,
@@ -63,7 +65,7 @@ pub struct ExtractedPacket {
     pub injected_at: u64,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Copy, Debug)]
 struct Move {
     router: u32,
     in_port: u8,
@@ -72,14 +74,64 @@ struct Move {
     out_vc: u8,
 }
 
-/// One input VC's standing switch request (gathered once per router per
-/// cycle, then granted per output port in round-robin order).
-#[derive(Clone, Copy, Debug)]
-struct SwitchReq {
-    /// Flat input-VC index (`port * vcs + vc`).
-    idx: u16,
-    out_port: u8,
-    out_vc: u8,
+/// Precomputed link wiring, replacing per-flit topology arithmetic
+/// (`port_dim_dir` / `neighbor` / `port` / `nic_at` calls) in the traversal
+/// phase with flat array loads.
+#[derive(Debug)]
+struct Links {
+    ports: usize,
+    /// Per `(router, port)`: the router on the other end of this port's
+    /// link — the downstream router when used as an output, the upstream
+    /// router when used as an input. `u32::MAX` for local ports and absent
+    /// mesh boundary links.
+    nbr: Vec<u32>,
+    /// Per port: the opposite-direction port index (the paired port at the
+    /// neighbor, identical for every router). `u8::MAX` for local ports.
+    opp: Vec<u8>,
+    /// Per `(router, port)`: the `crossed_dateline` bit a head flit picks
+    /// up crossing this output link; 0 when it is not a dateline crossing.
+    dateline: Vec<u8>,
+    /// Per `(router, port)`: NIC id behind a local port, `u32::MAX`
+    /// otherwise.
+    nic: Vec<u32>,
+}
+
+impl Links {
+    fn build(topo: &Topology) -> Self {
+        let ports = topo.ports_per_router();
+        let n = topo.num_routers() as usize;
+        let mut links = Links {
+            ports,
+            nbr: vec![u32::MAX; n * ports],
+            opp: vec![u8::MAX; ports],
+            dateline: vec![0; n * ports],
+            nic: vec![u32::MAX; n * ports],
+        };
+        for p in 0..ports {
+            let pid = PortId(p as u8);
+            match topo.port_dim_dir(pid) {
+                Some((d, dir)) => {
+                    links.opp[p] = topo.port(d, dir.opposite()).0;
+                    for r in 0..n {
+                        let node = NodeId(r as u32);
+                        if let Some(nb) = topo.neighbor(node, d, dir) {
+                            links.nbr[r * ports + p] = nb.0;
+                        }
+                        if topo.crosses_dateline(node, d, dir) {
+                            links.dateline[r * ports + p] = 1 << d;
+                        }
+                    }
+                }
+                None => {
+                    let local = topo.port_local_index(pid).expect("port is network or local");
+                    for r in 0..n {
+                        links.nic[r * ports + p] = topo.nic_at(NodeId(r as u32), local).0;
+                    }
+                }
+            }
+        }
+        links
+    }
 }
 
 /// The full network of wormhole routers.
@@ -98,26 +150,61 @@ pub struct Network {
     vc_busy: Vec<u64>,
     cand_buf: Vec<RouteCandidate>,
     move_buf: Vec<Move>,
-    req_buf: Vec<SwitchReq>,
     /// Per-port flag: true for network (inter-router) ports, false for
     /// local (NIC) ports — a lookup for the hot loops, identical for
     /// every router.
     net_port: Vec<bool>,
+    links: Links,
+    /// Per NIC: `(router index, flat slot base)` of its injection port —
+    /// the per-flit injection path resolves no topology arithmetic.
+    nic_slot: Vec<(u32, u16)>,
     /// Activity wake-set: one bit per router due for processing at the
     /// next [`Network::step`]. A router is woken by flit arrival, credit
     /// return, local injection, or a recovery-lane extraction, and
     /// re-arms itself while it holds flits; everything else is skipped by
-    /// all four pipeline phases. Bits deduplicate for free, and draining
+    /// the whole pipeline. Bits deduplicate for free, and draining
     /// the words in order yields routers ascending — the dense 0..N
     /// sweep order — without a sort.
     active_bits: Vec<u64>,
     /// This step's worklist (previous cycle's wake-set, ascending so the
     /// scan order matches the dense 0..N sweep bit-exactly).
     worklist: Vec<u32>,
+    /// Bitmask copy of the worklist, used by the traversal phase to decide
+    /// whether an arriving flit lands at a router the blocked-timer sweep
+    /// of this cycle would have covered.
+    cur_mask: Vec<u64>,
     /// Buffered flits per router — O(1) occupancy queries for the
     /// quiescence check and the blocked-head sweep's empty-router
     /// early-out.
     router_flits: Vec<u32>,
+    /// Per router: true when its latest fused pass proved the router fully
+    /// stalled — no grant emitted, no route allocated, and every waiting
+    /// head memo-stalled away from its destination router. Such a router
+    /// is frozen (nothing it can do changes its own state), so instead of
+    /// re-arming it sleeps until an external event wakes it. Destination
+    /// heads disqualify: their stall is an ejection refusal that must be
+    /// re-asked every cycle (endpoint queues drain without waking us).
+    sleep_ok: Vec<bool>,
+    /// Per router: cycle of its last executed fused pass, paired with
+    /// [`Network::sleep_stalls`] to reconstruct the allocation-stall count
+    /// a permanently-rearming scheduler would have accumulated across the
+    /// slept gap.
+    last_pass: Vec<u64>,
+    /// Per router: number of memo-stalled waiting heads when it went to
+    /// sleep — the per-cycle `vc_stalls` contribution its frozen state
+    /// would re-count every slept cycle.
+    sleep_stalls: Vec<u32>,
+    /// Persistent switch-allocation scratch: per-port request-chain heads
+    /// (`u16::MAX` = empty) and per-slot next links. An entry packs the
+    /// requester's input port in its high byte and slot index in the low
+    /// byte. Chain heads are restored to empty by the grant loop (every
+    /// gathered port is processed exactly once), and next links are always
+    /// written before they are read within a pass, so neither needs
+    /// per-pass clearing.
+    sw_req_head: [u16; 64],
+    sw_req_next: [u16; 128],
+    #[cfg(debug_assertions)]
+    shadow: shadow::Scratch,
 }
 
 impl Network {
@@ -127,13 +214,21 @@ impl Network {
         assert!(vcs >= 1, "need at least one virtual channel");
         assert!(buf_depth >= 1, "need at least one flit buffer per VC");
         let ports = topo.ports_per_router();
-        let routers = (0..topo.num_routers())
+        let routers: Vec<Router> = (0..topo.num_routers())
             .map(|_| Router::new(ports, vcs, buf_depth))
             .collect();
-        let ports = topo.ports_per_router();
         let vc_busy = vec![0u64; topo.num_routers() as usize * ports * vcs as usize];
         let net_port = (0..ports)
             .map(|p| topo.port_dim_dir(PortId(p as u8)).is_some())
+            .collect();
+        let links = Links::build(&topo);
+        let nic_slot = (0..topo.num_nics())
+            .map(|i| {
+                let nic = NicId(i);
+                let router = topo.nic_router(nic);
+                let port = topo.local_port(topo.nic_local_index(nic));
+                (router.0, (port.index() * vcs as usize) as u16)
+            })
             .collect();
         let n = topo.num_routers() as usize;
         Network {
@@ -146,11 +241,20 @@ impl Network {
             vc_busy,
             cand_buf: Vec::with_capacity(64),
             move_buf: Vec::with_capacity(256),
-            req_buf: Vec::with_capacity(64),
             net_port,
+            links,
+            nic_slot,
             active_bits: vec![0; n.div_ceil(64)],
             worklist: Vec::with_capacity(n),
+            cur_mask: vec![0; n.div_ceil(64)],
             router_flits: vec![0; n],
+            sleep_ok: vec![false; n],
+            last_pass: vec![0; n],
+            sleep_stalls: vec![0; n],
+            sw_req_head: [u16::MAX; 64],
+            sw_req_next: [u16::MAX; 128],
+            #[cfg(debug_assertions)]
+            shadow: shadow::Scratch::default(),
         }
     }
 
@@ -160,11 +264,13 @@ impl Network {
         self.active_bits[r >> 6] |= 1 << (r & 63);
     }
 
-    /// True while router `r` must stay on the wake-list: it buffers
-    /// flits. Nothing else keeps a router awake — a flit-less router is a
-    /// no-op for every phase even mid-packet (owned or under-credited
-    /// output VCs included), and each event that changes that (flit
-    /// arrival, credit return, injection, rescue) wakes it explicitly.
+    /// True while router `r` holds flits — the precondition for re-arming.
+    /// A flit-less router is a no-op for every phase even mid-packet
+    /// (owned or under-credited output VCs included). A flit-holding
+    /// router re-arms unless its pass proved it fully stalled (see
+    /// [`Network::sleep_ok`]); every event that could unfreeze either kind
+    /// (flit arrival, credit return, injection, ownership release by
+    /// rescue) wakes it explicitly.
     #[inline]
     fn router_busy(&self, r: usize) -> bool {
         self.router_flits[r] > 0
@@ -245,22 +351,22 @@ impl Network {
 
     /// Free flit slots in the injection buffer (local input VC `vc` of
     /// `nic`'s router).
+    #[inline]
     pub fn injection_free(&self, nic: NicId, vc: u8) -> u32 {
-        let router = self.topo.nic_router(nic);
-        let port = self.topo.local_port(self.topo.nic_local_index(nic));
-        self.routers[router.index()].vc(port, vc).free_slots()
+        let (r, base) = self.nic_slot[nic.index()];
+        let slot = base as usize + vc as usize;
+        self.buf_depth - self.routers[r as usize].len[slot] as u32
     }
 
     /// True if injection VC `vc` of `nic` is between packets (its last
     /// buffered flit, if any, is a tail) — a new packet's head may enter.
+    #[inline]
     pub fn injection_vc_idle(&self, nic: NicId, vc: u8) -> bool {
-        let router = self.topo.nic_router(nic);
-        let port = self.topo.local_port(self.topo.nic_local_index(nic));
-        let vcb = self.routers[router.index()].vc(port, vc);
-        match vcb.buf.back() {
-            None => true,
-            Some(f) => f.is_tail,
-        }
+        let (r, base) = self.nic_slot[nic.index()];
+        let slot = base as usize + vc as usize;
+        let router = &self.routers[r as usize];
+        let len = router.len[slot] as usize;
+        len == 0 || router.flit_at(slot, len - 1).is_tail
     }
 
     /// Push one flit from `nic` into injection VC `vc`. Returns false
@@ -268,19 +374,13 @@ impl Network {
     /// injection precedes [`Network::step`] within a cycle, so the flit is
     /// routable this very cycle, exactly as under the dense scan.
     pub fn inject_flit(&mut self, nic: NicId, vc: u8, flit: Flit) -> bool {
-        let router = self.topo.nic_router(nic);
-        let port = self.topo.local_port(self.topo.nic_local_index(nic));
-        let ri = router.index();
-        {
-            let r = &mut self.routers[ri];
-            let slot = r.slot(port.index(), vc as usize);
-            let vcb = &mut r.in_vcs[slot];
-            if vcb.free_slots() == 0 {
-                return false;
-            }
-            vcb.push(flit);
-            r.occ_mark(slot);
+        let (r, base) = self.nic_slot[nic.index()];
+        let ri = r as usize;
+        let slot = base as usize + vc as usize;
+        if self.routers[ri].len[slot] as u32 >= self.buf_depth {
+            return false;
         }
+        self.routers[ri].push_flit(slot, flit);
         self.router_flits[ri] += 1;
         self.counters.flits_injected += 1;
         self.wake(ri);
@@ -294,358 +394,577 @@ impl Network {
     /// a dense shadow sweep in debug builds) and every phase is a no-op on
     /// them, so skipping changes nothing observable. The worklist is
     /// sorted ascending so grant and move ordering match the dense 0..N
-    /// scan bit-exactly.
+    /// scan bit-exactly. Debug builds additionally re-execute the cycle
+    /// with a reference four-phase implementation on a snapshot and
+    /// compare the end states.
     pub fn step(&mut self, cycle: u64, routing: &dyn Routing, ej: &mut dyn EjectControl) {
         self.worklist.clear();
         for wi in 0..self.active_bits.len() {
-            let mut w = std::mem::take(&mut self.active_bits[wi]);
+            let w = std::mem::take(&mut self.active_bits[wi]);
+            self.cur_mask[wi] = w;
             let base = (wi * 64) as u32;
-            while w != 0 {
-                self.worklist.push(base + w.trailing_zeros());
-                w &= w - 1;
+            let mut bits = w;
+            while bits != 0 {
+                self.worklist.push(base + bits.trailing_zeros());
+                bits &= bits - 1;
             }
         }
         mdd_obs::counter_add(
             CounterId::RouterTicksSkipped,
             (self.routers.len() - self.worklist.len()) as u64,
         );
+        mdd_obs::counter_add(CounterId::FusedPassRouters, self.worklist.len() as u64);
+        #[cfg(not(debug_assertions))]
+        self.step_inner(cycle, routing, ej);
         #[cfg(debug_assertions)]
-        self.dense_shadow_check(cycle);
-        self.alloc_phase(cycle, routing, ej);
-        self.switch_phase();
-        self.apply_moves(cycle, ej);
-        self.blocked_sweep(cycle);
+        {
+            self.skipped_router_check(cycle);
+            let mut scratch = std::mem::take(&mut self.shadow);
+            scratch.snapshot(self);
+            let mut rec = shadow::RecordEj {
+                inner: ej,
+                log: std::mem::take(&mut scratch.ej_log),
+            };
+            self.step_inner(cycle, routing, &mut rec);
+            scratch.ej_log = rec.log;
+            scratch.run_reference_and_compare(self, cycle, routing);
+            self.shadow = scratch;
+        }
         // Re-arm: a router still holding work schedules itself for the
-        // next cycle even if nothing new arrives.
+        // next cycle — unless its pass just proved it fully stalled, in
+        // which case it sleeps until an external event (credit return,
+        // flit arrival, ownership release, injection, extraction) wakes
+        // it. Every one of those events calls [`Network::wake`] at the
+        // point it mutates the router, so a sleeping router is frozen.
         for wi in 0..self.worklist.len() {
             let r = self.worklist[wi] as usize;
-            if self.router_busy(r) {
+            if self.router_busy(r) && !self.sleep_ok[r] {
                 self.wake(r);
             }
         }
     }
 
-    /// Debug-only dense shadow check: every router the activity scheduler
-    /// is about to skip must be in the exact state on which all four
-    /// phases are no-ops, and the per-router flit counters must agree with
-    /// the actual buffers.
-    #[cfg(debug_assertions)]
-    fn dense_shadow_check(&self, cycle: u64) {
-        for (r, router) in self.routers.iter().enumerate() {
-            debug_assert_eq!(
-                self.router_flits[r],
-                router.buffered_flits(),
-                "router {r}: flit counter out of sync at cycle {cycle}"
-            );
-            for (s, vc) in router.in_vcs.iter().enumerate() {
-                debug_assert_eq!(
-                    router.in_occ >> s & 1 == 1,
-                    !vc.buf.is_empty(),
-                    "router {r}: occupancy bit {s} out of sync at cycle {cycle}"
-                );
-            }
-            if self.worklist.binary_search(&(r as u32)).is_ok() {
-                continue;
-            }
-            for (i, vc) in router.in_vcs.iter().enumerate() {
-                // An empty VC may keep its route mid-packet (the flits
-                // seen so far moved on, the rest are still upstream or at
-                // the source NIC); no phase acts on it until the next
-                // flit arrival re-wakes the router.
-                debug_assert!(
-                    vc.buf.is_empty() && vc.blocked_since.is_none(),
-                    "router {r} skipped with a live input VC {i} at cycle {cycle}: \
-                     buf={}, blocked_since={:?}",
-                    vc.buf.len(),
-                    vc.blocked_since
-                );
-            }
-        }
-    }
-
-    /// Phase 1: route computation and output-VC allocation for waiting
-    /// heads.
-    fn alloc_phase(&mut self, cycle: u64, routing: &dyn Routing, ej: &mut dyn EjectControl) {
-        // Accumulated locally (plain u64 adds) and published once per
-        // cycle, so the hot loop stays free of atomics.
-        let mut obs_allocs = 0u64;
-        let mut obs_stalls = 0u64;
-        let nvcs = self.vcs as usize;
+    /// The fused pipeline: one pass per woken router (phases 1, 2 and the
+    /// blocked-timer marking), then the traversal phase.
+    fn step_inner(&mut self, cycle: u64, routing: &dyn Routing, ej: &mut dyn EjectControl) {
+        // Obs deltas are accumulated locally (plain u64 adds) and
+        // published once per cycle, so the hot loop stays free of atomics.
+        let mut obs = ObsDeltas::default();
+        self.move_buf.clear();
         for wi in 0..self.worklist.len() {
             let r = self.worklist[wi] as usize;
-            let node = NodeId(r as u32);
-            let nports = self.routers[r].ports();
-            let total = nports * nvcs;
-            self.routers[r].sync_rr_alloc(cycle);
-            let start = self.routers[r].rr_alloc as usize % total;
+            self.fused_router_pass(r, cycle, routing, ej, &mut obs);
+        }
+        self.apply_moves(cycle, ej);
+        mdd_obs::counter_add(CounterId::VcAllocs, obs.allocs);
+        mdd_obs::counter_add(CounterId::VcStalls, obs.stalls);
+        mdd_obs::counter_add(CounterId::LinkBurstFlits, obs.burst_flits);
+    }
+
+    /// One router's fused pass: a single rotated walk over its occupancy
+    /// bitmask performs route computation / VC allocation for waiting
+    /// heads, blocked-timer pre-marking, and switch-request gathering;
+    /// per-port round-robin grants follow.
+    ///
+    /// ### Ordering contract (why this equals the phased pipeline)
+    ///
+    /// * Allocation mutations are router-local (this router's routes and
+    ///   output-VC owners) except [`EjectControl::can_accept`], whose call
+    ///   sequence is router-ascending, rotated-slot order — identical to
+    ///   the phased allocation sweep.
+    /// * Grants select the *minimum round-robin rank* among a port's
+    ///   eligible requesters; the rank depends only on the requester's
+    ///   slot index and the port's `rr_out` pointer, so the gather order
+    ///   (rotated here, ascending in the phased reference) is immaterial.
+    /// * Credits are only mutated by the traversal phase, which runs after
+    ///   every router's fused pass — all grant decisions see
+    ///   start-of-cycle credits.
+    /// * Moves are emitted per router in ascending-output-port order, so
+    ///   the global move list matches the phased switch sweep exactly.
+    fn fused_router_pass(
+        &mut self,
+        r: usize,
+        cycle: u64,
+        routing: &dyn Routing,
+        ej: &mut dyn EjectControl,
+        obs: &mut ObsDeltas,
+    ) {
+        let node = NodeId(r as u32);
+        let nvcs = self.vcs as usize;
+        // Stall-counter compensation for a slept gap: a scheduler that
+        // re-armed this fully-stalled router every cycle would have
+        // re-counted each memo-stalled head once per cycle. The router's
+        // state was frozen while it slept (sleeping implies no external
+        // event touched it), so the count per skipped cycle is exactly
+        // what it was at sleep time.
+        let gap = cycle.saturating_sub(self.last_pass[r]);
+        if gap > 1 {
+            obs.stalls += (gap - 1) * self.sleep_stalls[r] as u64;
+        }
+        self.last_pass[r] = cycle;
+        let mut pass_stalls = 0u32;
+        let mut dst_head = false;
+        let moves_before = self.move_buf.len();
+        // Per-port singly linked request chains, in the persistent scratch
+        // (see the `sw_req_head` field docs; both `< 128`, so `u16::MAX`
+        // stays a safe sentinel).
+        let mut port_mask = 0u64;
+        // Waiting heads that need a full allocation attempt, in scan order.
+        let mut pend = [0u8; 128];
+        let mut npend = 0usize;
+        let total;
+        {
+            // Scan under a single router borrow: the occupancy walk touches
+            // several parallel arrays per slot, and hoisting the borrow
+            // keeps their base pointers live across the whole walk.
+            let Network {
+                routers,
+                sw_req_head: req_head,
+                sw_req_next: req_next,
+                ..
+            } = self;
+            let router = &mut routers[r];
+            router.sync_rr_alloc(cycle);
+            let nports = router.ports();
+            total = nports * nvcs;
+            debug_assert!(nports <= 64);
+            let start = router.rr_alloc as usize % total;
             // Visit occupied slots in the dense scan's rotated order
-            // (`start..total` then `0..start`, ascending within each
-            // half). Slots the dense scan would have acted on all hold a
-            // flit, so restricting to the occupancy mask is exact.
-            let occ = self.routers[r].in_occ;
+            // (`start..total` then `0..start`, ascending within each half).
+            // Slots the dense scan would have acted on all hold a flit, so
+            // restricting to the occupancy mask is exact.
+            let occ = router.in_occ;
             let low = occ & ((1u128 << start) - 1);
             let mut high = occ ^ low;
-            let mut pending = low;
+            let mut rest = low;
             loop {
                 let idx = if high != 0 {
                     let i = high.trailing_zeros() as usize;
                     high &= high - 1;
                     i
-                } else if pending != 0 {
-                    let i = pending.trailing_zeros() as usize;
-                    pending &= pending - 1;
+                } else if rest != 0 {
+                    let i = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
                     i
                 } else {
                     break;
                 };
-                let Some(h) = ({
-                    let vc = &self.routers[r].in_vcs[idx];
-                    if vc.awaiting_route() {
-                        vc.front_packet()
-                    } else {
-                        None
-                    }
-                }) else {
-                    continue;
-                };
-                self.cand_buf.clear();
-                let Some(pkt) = self.packets.get(h).copied() else {
-                    debug_assert!(false, "flit in network without a registered packet");
-                    continue;
-                };
-                let hint = cycle
-                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                    .wrapping_add((r as u64) << 8)
-                    .wrapping_add(idx as u64);
-                routing.candidates(&self.topo, node, &pkt, hint, &mut self.cand_buf);
-                debug_assert!(
-                    !self.cand_buf.is_empty(),
-                    "routing function returned no candidates for {h:?} at {node}"
-                );
-                let mut granted = false;
-                for ci in 0..self.cand_buf.len() {
-                    let c = self.cand_buf[ci];
-                    if let Some(local) = self.topo.port_local_index(c.port) {
-                        debug_assert_eq!(
-                            node, pkt.dst_router,
-                            "local candidate away from destination router"
-                        );
-                        let nic = self.topo.nic_at(node, local);
-                        if ej.can_accept(nic, h, cycle) {
-                            self.routers[r].in_vcs[idx].route = Some((c.port, 0));
-                            granted = true;
-                            break;
-                        }
-                    } else {
-                        let ov = &mut self.routers[r].out_vcs
-                            [c.port.index() * nvcs + c.vc as usize];
-                        if ov.is_free() {
-                            ov.owner = Some(h);
-                            self.routers[r].in_vcs[idx].route = Some((c.port, c.vc));
-                            granted = true;
-                            break;
-                        }
-                    }
+                // Blocked-timer pre-mark (fused phase 4): every occupied
+                // slot not already blocked starts its timer this cycle; the
+                // traversal phase re-derives the mark for slots that move.
+                if router.blocked[idx] == NOT_BLOCKED {
+                    router.blocked[idx] = cycle;
                 }
-                if granted {
-                    obs_allocs += 1;
-                } else {
-                    obs_stalls += 1;
+                // Phase 2 (gather): a routed slot with a buffered flit
+                // stands as a switch requester for its output port.
+                let q = router.route_port[idx];
+                if q != NO_ROUTE {
+                    port_mask |= 1 << q;
+                    req_next[idx] = req_head[q as usize];
+                    req_head[q as usize] = ((idx / nvcs) << 8) as u16 | idx as u16;
+                } else if router.front_flit(idx).expect("occupied slot").is_head() {
+                    // Phase 1: route computation & VC allocation.
+                    if router.stall_epoch[idx] == router.alloc_epoch {
+                        // Memoized stall: no output VC on this router has
+                        // been released since the last full attempt, and
+                        // the candidate set of a waiting packet is fixed,
+                        // so every candidate is still owner-busy.
+                        obs.stalls += 1;
+                        pass_stalls += 1;
+                    } else {
+                        pend[npend] = idx as u8;
+                        npend += 1;
+                    }
                 }
             }
-            self.routers[r].rr_alloc = self.routers[r].rr_alloc.wrapping_add(1);
-            self.routers[r].rr_cycle = cycle + 1;
+            router.rr_alloc = router.rr_alloc.wrapping_add(1);
+            router.rr_cycle = cycle + 1;
         }
-        mdd_obs::counter_add(CounterId::VcAllocs, obs_allocs);
-        mdd_obs::counter_add(CounterId::VcStalls, obs_stalls);
-    }
-
-    /// Phase 2: switch allocation — one flit per input port and output port.
-    ///
-    /// Requests are gathered in one pass over the input VCs, then each
-    /// output port grants the eligible request closest after its
-    /// round-robin pointer — the same flit the old full rescan would have
-    /// picked, at a fraction of the per-cycle scan work.
-    fn switch_phase(&mut self) {
-        self.move_buf.clear();
-        let nvcs = self.vcs as usize;
-        for wi in 0..self.worklist.len() {
-            let r = self.worklist[wi] as usize;
-            let router = &mut self.routers[r];
-            let nports = router.ports();
-            let total = nports * nvcs;
-            debug_assert!(nports <= 64);
-            self.req_buf.clear();
-            // Only occupied slots can request (route set + flit buffered);
-            // ascending bit order matches the dense enumerate.
-            let mut port_mask = 0u64;
-            let mut occ = router.in_occ;
-            while occ != 0 {
-                let idx = occ.trailing_zeros() as usize;
-                occ &= occ - 1;
-                if let Some((op, ov)) = router.in_vcs[idx].route {
-                    port_mask |= 1 << op.0;
-                    self.req_buf.push(SwitchReq {
-                        idx: idx as u16,
-                        out_port: op.0,
-                        out_vc: ov,
-                    });
+        // Phase 1, deferred: full allocation attempts for the (rare)
+        // non-memoized waiting heads. Deferral is exact: allocation only
+        // mutates output-VC ownership, ejection earmarks, and the
+        // attempting slot's own route — none of which the scan above reads
+        // for *other* slots — and processing `pend` in scan order preserves
+        // both the intra-router claim order (an earlier head can take an
+        // output VC a later head wanted) and the `can_accept` call
+        // sequence of the dense reference.
+        for &slot in &pend[..npend] {
+            let idx = slot as usize;
+            let h = self.routers[r].front_flit(idx).expect("occupied slot").msg;
+            match self.alloc_slot(r, node, idx, h, cycle, routing, ej, obs) {
+                AllocOutcome::Granted => {
+                    // A freshly routed head is a switch requester this
+                    // same cycle. Chain position is immaterial: grants
+                    // minimize rank over the set.
+                    let q = self.routers[r].route_port[idx];
+                    debug_assert_ne!(q, NO_ROUTE);
+                    port_mask |= 1 << q;
+                    self.sw_req_next[idx] = self.sw_req_head[q as usize];
+                    self.sw_req_head[q as usize] = ((idx / nvcs) << 8) as u16 | idx as u16;
+                }
+                AllocOutcome::StalledTransit => pass_stalls += 1,
+                AllocOutcome::StalledAtDst => {
+                    pass_stalls += 1;
+                    dst_head = true;
                 }
             }
-            if self.req_buf.is_empty() {
-                continue;
-            }
-            let mut in_used = [false; 64];
-            // Output ports without a requester grant nothing; visiting
-            // only requested ports (ascending) matches the dense loop.
+        }
+        // Phase 2 (grant): each requested output port (ascending) grants
+        // the eligible requester closest after its round-robin pointer.
+        {
+            let Network {
+                routers,
+                move_buf,
+                net_port,
+                sw_req_head: req_head,
+                sw_req_next: req_next,
+                ..
+            } = self;
+            let router = &mut routers[r];
+            let mut in_used = 0u64; // input ports granted this cycle
             while port_mask != 0 {
                 let q = port_mask.trailing_zeros() as usize;
                 port_mask &= port_mask - 1;
                 let rr = router.rr_out[q] as usize % total;
-                let mut best: Option<(usize, SwitchReq)> = None;
-                for req in &self.req_buf {
-                    if req.out_port as usize != q || in_used[req.idx as usize / nvcs] {
+                let is_net = net_port[q];
+                let mut best: Option<(usize, usize, usize)> = None;
+                let mut contenders = 0u32;
+                let mut cur = req_head[q];
+                req_head[q] = u16::MAX; // restore the empty-chain invariant
+                while cur != u16::MAX {
+                    let idx = (cur & 0xff) as usize;
+                    let p = (cur >> 8) as usize;
+                    cur = req_next[idx];
+                    if in_used & (1 << p) != 0 {
                         continue;
                     }
                     // Network outputs need a credit; local outputs were
                     // reserved at acceptance time.
-                    if self.net_port[q]
-                        && router.out_vcs[q * nvcs + req.out_vc as usize].credits == 0
+                    if is_net
+                        && router.out_credits[q * nvcs + router.route_vc[idx] as usize] == 0
                     {
                         continue;
                     }
-                    let rank = (req.idx as usize + total - rr) % total;
-                    if best.is_none_or(|(b, _)| rank < b) {
-                        best = Some((rank, *req));
+                    contenders += 1;
+                    let mut rank = idx + total - rr;
+                    if rank >= total {
+                        rank -= total;
+                    }
+                    if best.is_none_or(|(b, _, _)| rank < b) {
+                        best = Some((rank, idx, p));
                     }
                 }
-                if let Some((_, req)) = best {
-                    let idx = req.idx as usize;
-                    in_used[idx / nvcs] = true;
-                    router.rr_out[q] = ((idx + 1) % total) as u32;
-                    self.move_buf.push(Move {
+                if let Some((_, idx, p)) = best {
+                    in_used |= 1 << p;
+                    router.rr_out[q] = if idx + 1 == total { 0 } else { (idx + 1) as u32 };
+                    // Burst streaming: an uncontended port granting a
+                    // packet-body flit is a wormhole stream in flight — the
+                    // continuation of a multi-flit block transfer that
+                    // needed no arbitration this cycle.
+                    if contenders == 1
+                        && !router.front_flit(idx).expect("requester has a flit").is_head()
+                    {
+                        obs.burst_flits += 1;
+                    }
+                    move_buf.push(Move {
                         router: r as u32,
-                        in_port: (idx / nvcs) as u8,
-                        in_vc: (idx % nvcs) as u8,
+                        in_port: p as u8,
+                        in_vc: (idx - p * nvcs) as u8,
                         out_port: q as u8,
-                        out_vc: req.out_vc,
+                        out_vc: router.route_vc[idx],
                     });
                 }
             }
         }
+        // Sleep decision. No grant anywhere implies every routed slot is
+        // credit-blocked (a port with a creditable requester always grants
+        // someone, and local routes never need credits), and with every
+        // waiting head memo-stalled away from its destination, re-running
+        // this pass is a state no-op until an external event arrives. A
+        // head stalled at its destination router keeps the router awake:
+        // ejection admission must be re-asked as endpoint queues drain.
+        let stalled = !dst_head && self.move_buf.len() == moves_before;
+        self.sleep_ok[r] = stalled;
+        self.sleep_stalls[r] = if stalled { pass_stalls } else { 0 };
     }
 
-    /// Phase 3: apply granted moves.
+    /// Full route-computation + VC-allocation attempt for the head at
+    /// `(r, idx)` — the non-memoized path.
+    #[allow(clippy::too_many_arguments)]
+    fn alloc_slot(
+        &mut self,
+        r: usize,
+        node: NodeId,
+        idx: usize,
+        h: MsgHandle,
+        cycle: u64,
+        routing: &dyn Routing,
+        ej: &mut dyn EjectControl,
+        obs: &mut ObsDeltas,
+    ) -> AllocOutcome {
+        let nvcs = self.vcs as usize;
+        let Some(pkt) = self.packets.get(h).copied() else {
+            debug_assert!(false, "flit in network without a registered packet");
+            return AllocOutcome::Granted;
+        };
+        self.cand_buf.clear();
+        let hint = cycle
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((r as u64) << 8)
+            .wrapping_add(idx as u64);
+        routing.candidates(&self.topo, node, &pkt, hint, &mut self.cand_buf);
+        debug_assert!(
+            !self.cand_buf.is_empty(),
+            "routing function returned no candidates for {h:?} at {node}"
+        );
+        let mut granted = false;
+        for ci in 0..self.cand_buf.len() {
+            let c = self.cand_buf[ci];
+            if let Some(local) = self.topo.port_local_index(c.port) {
+                debug_assert_eq!(
+                    node, pkt.dst_router,
+                    "local candidate away from destination router"
+                );
+                let nic = self.topo.nic_at(node, local);
+                if ej.can_accept(nic, h, cycle) {
+                    self.routers[r].route_port[idx] = c.port.0;
+                    self.routers[r].route_vc[idx] = 0;
+                    granted = true;
+                    break;
+                }
+            } else {
+                let out_slot = c.port.index() * nvcs + c.vc as usize;
+                if self.routers[r].out_free(out_slot) {
+                    self.routers[r].own_out(out_slot, h);
+                    self.routers[r].route_port[idx] = c.port.0;
+                    self.routers[r].route_vc[idx] = c.vc;
+                    granted = true;
+                    break;
+                }
+            }
+        }
+        if granted {
+            obs.allocs += 1;
+            AllocOutcome::Granted
+        } else {
+            obs.stalls += 1;
+            if pkt.dst_router != node {
+                // All candidates are output VCs of this router and all are
+                // owner-busy; memoize until one is released. Destination
+                // heads are exempt: their stall is an ejection refusal,
+                // and `can_accept` both has side effects and depends on
+                // NIC state this router cannot version.
+                self.routers[r].stall_epoch[idx] = self.routers[r].alloc_epoch;
+                AllocOutcome::StalledTransit
+            } else {
+                AllocOutcome::StalledAtDst
+            }
+        }
+    }
+
+    /// Phase 3: apply granted moves (link traversal), table-driven.
+    ///
+    /// Also re-derives the blocked-timer marks the fused pre-marking could
+    /// not know yet: a popped slot restarts (still occupied) or clears
+    /// (emptied) its timer, and a flit arriving at a router covered by
+    /// this cycle's worklist starts one — exactly the state the phased
+    /// pipeline's trailing sweep would have left.
     fn apply_moves(&mut self, cycle: u64, ej: &mut dyn EjectControl) {
         mdd_obs::counter_add(CounterId::FlitsRouted, self.move_buf.len() as u64);
         let nvcs = self.vcs as usize;
-        for mi in 0..self.move_buf.len() {
+        let ports = self.links.ports;
+        // Disjoint field borrows so the per-move work indexes each array
+        // directly instead of re-deriving `&mut self.routers[..]` per
+        // access; `wake` is inlined as the bit-set it is.
+        let Network {
+            routers,
+            packets,
+            counters,
+            vc_busy,
+            move_buf,
+            links,
+            net_port,
+            active_bits,
+            cur_mask,
+            router_flits,
+            buf_depth,
+            ..
+        } = self;
+        let _ = buf_depth; // release-build: only the debug assert reads it
+        for mv in move_buf.iter() {
             let Move {
                 router: r,
                 in_port,
                 in_vc,
                 out_port,
                 out_vc,
-            } = self.move_buf[mi];
-            let node = NodeId(r);
+            } = *mv;
+            let r = r as usize;
             let in_slot = in_port as usize * nvcs + in_vc as usize;
-            let flit = {
-                let vc = &mut self.routers[r as usize].in_vcs[in_slot];
-                let flit = vc.pop().expect("granted move lost its flit");
-                vc.blocked_since = None;
-                if flit.is_tail {
-                    vc.route = None;
-                }
-                flit
+            let flit = routers[r].pop_flit(in_slot);
+            routers[r].blocked[in_slot] = if routers[r].len[in_slot] > 0 {
+                cycle
+            } else {
+                NOT_BLOCKED
             };
-            self.routers[r as usize].occ_sync(in_slot);
-            self.router_flits[r as usize] -= 1;
+            if flit.is_tail {
+                routers[r].route_port[in_slot] = NO_ROUTE;
+            }
+            router_flits[r] -= 1;
             // Return a credit upstream (network inputs only; NICs poll
             // injection space directly). The credit is an event for the
             // upstream router: wake it so it can use the freed slot.
-            if let Some((d, dir)) = self.topo.port_dim_dir(PortId(in_port)) {
-                let up = self
-                    .topo
-                    .neighbor(node, d, dir)
-                    .expect("input port implies the link exists");
-                let upport = self.topo.port(d, dir.opposite());
-                let ovc = &mut self.routers[up.index()].out_vcs
-                    [upport.index() * nvcs + in_vc as usize];
-                ovc.credits += 1;
-                debug_assert!(ovc.credits <= self.buf_depth);
-                self.wake(up.index());
+            let up = links.nbr[r * ports + in_port as usize];
+            if up != u32::MAX {
+                let up = up as usize;
+                let up_slot = links.opp[in_port as usize] as usize * nvcs + in_vc as usize;
+                routers[up].out_credits[up_slot] += 1;
+                debug_assert!(routers[up].out_credits[up_slot] <= *buf_depth);
+                active_bits[up >> 6] |= 1 << (up & 63);
             }
-            let out = PortId(out_port);
-            if let Some((d2, dir2)) = self.topo.port_dim_dir(out) {
-                let ports = self.topo.ports_per_router();
-                self.vc_busy[(r as usize * ports + out_port as usize) * self.vcs as usize
-                    + out_vc as usize] += 1;
-                let ovc = &mut self.routers[r as usize].out_vcs
-                    [out_port as usize * nvcs + out_vc as usize];
-                debug_assert!(ovc.credits > 0);
-                ovc.credits -= 1;
+            if net_port[out_port as usize] {
+                let out_slot = out_port as usize * nvcs + out_vc as usize;
+                vc_busy[(r * ports + out_port as usize) * nvcs + out_vc as usize] += 1;
+                debug_assert!(routers[r].out_credits[out_slot] > 0);
+                routers[r].out_credits[out_slot] -= 1;
                 if flit.is_tail {
-                    ovc.owner = None;
+                    routers[r].release_out(out_slot);
                 }
-                if flit.is_head() && self.topo.crosses_dateline(node, d2, dir2) {
-                    match self.packets.get_mut(flit.msg) {
-                        Some(st) => st.crossed_dateline |= 1 << d2,
+                let dl = links.dateline[r * ports + out_port as usize];
+                if dl != 0 && flit.is_head() {
+                    match packets.get_mut(flit.msg) {
+                        Some(st) => st.crossed_dateline |= dl,
                         None => debug_assert!(false, "dateline hop by unregistered packet"),
                     }
                 }
-                let down = self
-                    .topo
-                    .neighbor(node, d2, dir2)
-                    .expect("allocated output implies the link exists");
-                let dport = self.topo.port(d2, dir2.opposite());
-                let down_slot = dport.index() * nvcs + out_vc as usize;
-                self.routers[down.index()].in_vcs[down_slot].push(flit);
-                self.routers[down.index()].occ_mark(down_slot);
-                self.router_flits[down.index()] += 1;
-                self.wake(down.index());
+                let down = links.nbr[r * ports + out_port as usize] as usize;
+                debug_assert!(down != u32::MAX as usize, "allocated output implies the link exists");
+                let down_slot = links.opp[out_port as usize] as usize * nvcs + out_vc as usize;
+                routers[down].push_flit(down_slot, flit);
+                // Arrival mark: the trailing sweep of the phased pipeline
+                // would see this flit (post-move occupancy) at any router
+                // it covers this cycle.
+                if cur_mask[down >> 6] >> (down & 63) & 1 == 1
+                    && routers[down].blocked[down_slot] == NOT_BLOCKED
+                {
+                    routers[down].blocked[down_slot] = cycle;
+                }
+                router_flits[down] += 1;
+                active_bits[down >> 6] |= 1 << (down & 63);
             } else {
-                let local = self
-                    .topo
-                    .port_local_index(out)
-                    .expect("output is network or local");
-                let nic = self.topo.nic_at(node, local);
+                let nic = NicId(links.nic[r * ports + out_port as usize]);
+                debug_assert!(nic.0 != u32::MAX, "output is network or local");
                 if flit.is_tail {
-                    let st = self
-                        .packets
+                    let st = packets
                         .remove(flit.msg)
                         .expect("delivered packet must be registered");
-                    self.counters.packets_delivered += 1;
+                    counters.packets_delivered += 1;
                     ej.deliver_packet(nic, st.msg, st.injected_at, cycle);
                 } else {
                     ej.deliver_flit(nic, flit.msg, cycle);
                 }
-                self.counters.flits_delivered += 1;
+                counters.flits_delivered += 1;
             }
-            self.counters.flits_moved += 1;
+            counters.flits_moved += 1;
         }
         self.move_buf.clear();
     }
 
-    /// Phase 4: blocked-timer sweep. A VC holding a flit whose move was not
-    /// granted (including unrouted heads) starts or continues accumulating
-    /// blocked time; VCs that moved were reset during apply.
-    fn blocked_sweep(&mut self, cycle: u64) {
-        // Skipped routers hold no flits and their `blocked_since` marks
-        // were cleared when the last flit left, so the sweep over the
-        // worklist alone is equivalent to the dense sweep. Within a
-        // router only occupied slots matter: every pop and extraction
-        // clears `blocked_since` the moment a buffer empties, so the
-        // dense sweep's reset of empty slots is always a no-op.
-        for wi in 0..self.worklist.len() {
-            let router = &mut self.routers[self.worklist[wi] as usize];
-            let mut occ = router.in_occ;
-            while occ != 0 {
-                let idx = occ.trailing_zeros() as usize;
-                occ &= occ - 1;
-                let vc = &mut router.in_vcs[idx];
-                if vc.blocked_since.is_none() {
-                    vc.blocked_since = Some(cycle);
+    /// Debug-only: every router the activity scheduler is about to skip
+    /// must be in the exact state on which the whole pipeline is a no-op,
+    /// and the per-router flit counters must agree with the buffers.
+    #[cfg(debug_assertions)]
+    fn skipped_router_check(&self, cycle: u64) {
+        for (r, router) in self.routers.iter().enumerate() {
+            debug_assert_eq!(
+                self.router_flits[r],
+                router.buffered_flits(),
+                "router {r}: flit counter out of sync at cycle {cycle}"
+            );
+            for s in 0..router.len.len() {
+                debug_assert_eq!(
+                    router.in_occ >> s & 1 == 1,
+                    router.len[s] > 0,
+                    "router {r}: occupancy bit {s} out of sync at cycle {cycle}"
+                );
+            }
+            if self.worklist.binary_search(&(r as u32)).is_ok() {
+                continue;
+            }
+            let nvcs = self.vcs as usize;
+            for s in 0..router.len.len() {
+                if router.len[s] == 0 {
+                    // An empty VC may keep its route mid-packet (the flits
+                    // seen so far moved on, the rest are still upstream or
+                    // at the source NIC); no phase acts on it until the
+                    // next flit arrival re-wakes the router.
+                    debug_assert_eq!(
+                        router.blocked[s], NOT_BLOCKED,
+                        "router {r}: empty VC {s} with a blocked timer at {cycle}"
+                    );
+                    continue;
                 }
+                // A skipped occupied slot must be provably inert: its
+                // blocked timer already runs, and it is either a
+                // memo-stalled transit head (no release since the last
+                // full attempt) or a routed-but-credit-starved requester.
+                // Anything else would have re-armed or been woken.
+                debug_assert!(
+                    router.blocked[s] != NOT_BLOCKED,
+                    "router {r} slept with an unmarked occupied VC {s} at {cycle}"
+                );
+                if router.route_port[s] == NO_ROUTE {
+                    debug_assert!(
+                        router
+                            .front_flit(s)
+                            .is_some_and(|f| f.is_head()),
+                        "router {r} slept with an unrouted body flit at VC {s}, cycle {cycle}"
+                    );
+                    debug_assert_eq!(
+                        router.stall_epoch[s], router.alloc_epoch,
+                        "router {r} slept with a non-memoized waiting head at VC {s}, \
+                         cycle {cycle}"
+                    );
+                } else {
+                    let q = router.route_port[s] as usize;
+                    debug_assert!(
+                        self.net_port[q],
+                        "router {r} slept with an eject-routed flit at VC {s}, cycle {cycle}"
+                    );
+                    debug_assert_eq!(
+                        router.out_credits[q * nvcs + router.route_vc[s] as usize],
+                        0,
+                        "router {r} slept with a creditable requester at VC {s}, cycle {cycle}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Append the packets whose head flit has been blocked at router
+    /// `node` for at least `threshold` cycles as of `now` — slot-ascending,
+    /// the same order the full-network sweep produces within one router.
+    fn blocked_heads_router(
+        &self,
+        r: usize,
+        threshold: u64,
+        now: u64,
+        out: &mut Vec<(NodeId, MsgHandle)>,
+    ) {
+        if threshold == 0 || self.router_flits[r] == 0 {
+            return;
+        }
+        let router = &self.routers[r];
+        let mut occ = router.in_occ;
+        while occ != 0 {
+            let slot = occ.trailing_zeros() as usize;
+            occ &= occ - 1;
+            let f = router.front_flit(slot).expect("occupied slot");
+            if f.is_head()
+                && router.blocked[slot] != NOT_BLOCKED
+                && now.saturating_sub(router.blocked[slot]) >= threshold
+            {
+                out.push((NodeId(r as u32), f.msg));
             }
         }
     }
@@ -662,84 +981,109 @@ impl Network {
         out: &mut Vec<(NodeId, MsgHandle)>,
     ) {
         out.clear();
-        for (r, router) in self.routers.iter().enumerate() {
-            if self.router_flits[r] == 0 {
-                continue; // no flits, no blocked heads
-            }
-            for (_, _, vc) in router.iter_vcs() {
-                if let Some(f) = vc.front() {
-                    if f.is_head() && vc.blocked_for(now) >= threshold && threshold > 0 {
-                        out.push((NodeId(r as u32), f.msg));
-                    }
-                }
-            }
+        for r in 0..self.routers.len() {
+            self.blocked_heads_router(r, threshold, now, out);
         }
+    }
+
+    /// [`Network::blocked_heads_into`] restricted to one router — what a
+    /// token stop at `node` actually needs. Identical victim order to
+    /// filtering the full sweep down to `node`, without walking the other
+    /// `N - 1` routers.
+    pub fn blocked_heads_at(
+        &self,
+        node: NodeId,
+        threshold: u64,
+        now: u64,
+        out: &mut Vec<(NodeId, MsgHandle)>,
+    ) {
+        out.clear();
+        self.blocked_heads_router(node.index(), threshold, now, out);
     }
 
     /// Remove every buffered flit of packet `id` from the network,
     /// releasing virtual-channel ownership and restoring upstream credits,
     /// in preparation for recovery-lane transport. Returns `None` if the
     /// packet is unknown (already delivered).
+    ///
+    /// A packet's flits in any one VC buffer form one contiguous run
+    /// (wormhole flow control never interleaves packets within a VC), so
+    /// each buffer is reclaimed by a single block move and its upstream
+    /// credits are returned in one batch — the burst path of the data
+    /// plane, counted by `link_burst_flits`.
     pub fn extract_packet(&mut self, h: MsgHandle) -> Option<ExtractedPacket> {
         let st = self.packets.remove(h)?;
         let mut flits_removed = 0u32;
+        let mut burst_flits = 0u64;
         let mut head_router = None;
+        let nvcs = self.vcs as usize;
+        let ports = self.links.ports;
         for r in 0..self.routers.len() {
-            let node = NodeId(r as u32);
-            let nports = self.routers[r].ports();
-            let nvcs = self.vcs as usize;
             let mut removed_here = 0u32;
-            for p in 0..nports {
-                for v in 0..nvcs {
-                    let (removed, had_head, front_was) = {
-                        let vc = &mut self.routers[r].in_vcs[p * nvcs + v];
-                        let front_was = vc.front_packet() == Some(h);
-                        let before = vc.buf.len();
-                        let mut had_head = false;
-                        vc.buf.retain(|f| {
-                            if f.msg == h {
-                                had_head |= f.is_head();
-                                false
-                            } else {
-                                true
+            if self.router_flits[r] > 0 {
+                let mut occ = self.routers[r].in_occ;
+                while occ != 0 {
+                    let slot = occ.trailing_zeros() as usize;
+                    occ &= occ - 1;
+                    // Locate the packet's contiguous run in this buffer.
+                    let len = self.routers[r].len[slot] as usize;
+                    let mut run_start = len;
+                    let mut run_len = 0usize;
+                    let mut had_head = false;
+                    for k in 0..len {
+                        let f = self.routers[r].flit_at(slot, k);
+                        if f.msg == h {
+                            if run_len == 0 {
+                                run_start = k;
                             }
-                        });
-                        let removed = (before - vc.buf.len()) as u32;
-                        if front_was {
-                            vc.route = None;
-                            vc.blocked_since = None;
-                        }
-                        (removed, had_head, front_was)
-                    };
-                    let _ = front_was;
-                    if removed > 0 {
-                        self.routers[r].occ_sync(p * nvcs + v);
-                        flits_removed += removed;
-                        removed_here += removed;
-                        if had_head {
-                            head_router = Some(node);
-                        }
-                        // Restore upstream credits for the freed slots.
-                        if let Some((d, dir)) = self.topo.port_dim_dir(PortId(p as u8)) {
-                            let up = self.topo.neighbor(node, d, dir).unwrap();
-                            let upport = self.topo.port(d, dir.opposite());
-                            let ovc = &mut self.routers[up.index()].out_vcs
-                                [upport.index() * nvcs + v];
-                            ovc.credits += removed;
-                            debug_assert!(ovc.credits <= self.buf_depth);
-                            self.wake(up.index());
+                            debug_assert_eq!(
+                                run_start + run_len,
+                                k,
+                                "a packet's flits must be contiguous within a VC"
+                            );
+                            run_len += 1;
+                            had_head |= f.is_head();
                         }
                     }
+                    if run_len == 0 {
+                        continue;
+                    }
+                    let front_was = run_start == 0;
+                    self.routers[r].remove_run(slot, run_start, run_len);
+                    if front_was {
+                        self.routers[r].route_port[slot] = NO_ROUTE;
+                        self.routers[r].blocked[slot] = NOT_BLOCKED;
+                    }
+                    flits_removed += run_len as u32;
+                    removed_here += run_len as u32;
+                    burst_flits += run_len as u64;
+                    if had_head {
+                        head_router = Some(NodeId(r as u32));
+                    }
+                    // Restore upstream credits for the freed slots in one
+                    // batch.
+                    let p = slot / nvcs;
+                    let up = self.links.nbr[r * ports + p];
+                    if self.net_port[p] {
+                        let up = up as usize;
+                        let up_slot = self.links.opp[p] as usize * nvcs + slot % nvcs;
+                        self.routers[up].out_credits[up_slot] += run_len as u32;
+                        debug_assert!(self.routers[up].out_credits[up_slot] <= self.buf_depth);
+                        self.wake(up);
+                    }
                 }
-            }
-            if removed_here > 0 {
                 self.router_flits[r] -= removed_here;
             }
-            // Release any output VCs the packet held.
+            // Release any output VCs the packet held (it can hold one at a
+            // router it no longer buffers flits in — the wormhole spans
+            // routers head to tail).
             let mut released = false;
-            for ovc in &mut self.routers[r].out_vcs {
-                if ovc.owner == Some(h) {
-                    ovc.owner = None;
+            let mut owned = self.routers[r].out_owned;
+            while owned != 0 {
+                let s = owned.trailing_zeros() as usize;
+                owned &= owned - 1;
+                if self.routers[r].out_owner[s] == h {
+                    self.routers[r].release_out(s);
                     released = true;
                 }
             }
@@ -749,6 +1093,7 @@ impl Network {
                 self.wake(r);
             }
         }
+        mdd_obs::counter_add(CounterId::LinkBurstFlits, burst_flits);
         let src_router = self.topo.nic_router(st.src);
         Some(ExtractedPacket {
             head_router: head_router.unwrap_or(src_router),
@@ -813,7 +1158,424 @@ impl Network {
         self.packets = PacketTable::new();
         self.vc_busy.iter_mut().for_each(|b| *b = 0);
         self.active_bits.iter_mut().for_each(|w| *w = 0);
+        self.cur_mask.iter_mut().for_each(|w| *w = 0);
         self.worklist.clear();
         self.router_flits.iter_mut().for_each(|c| *c = 0);
+        self.sleep_ok.iter_mut().for_each(|b| *b = false);
+        self.last_pass.iter_mut().for_each(|c| *c = 0);
+        self.sleep_stalls.iter_mut().for_each(|c| *c = 0);
+        self.sw_req_head = [u16::MAX; 64];
+    }
+}
+
+/// Per-cycle observability deltas, published in one batch.
+#[derive(Default)]
+struct ObsDeltas {
+    allocs: u64,
+    stalls: u64,
+    burst_flits: u64,
+}
+
+/// What one full allocation attempt did — feeds the router's sleep
+/// decision.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum AllocOutcome {
+    /// A route (network output VC or ejection reservation) was granted.
+    Granted,
+    /// Every candidate output VC is owner-busy; the stall is memoized.
+    StalledTransit,
+    /// The destination NIC refused admission; must be re-asked each cycle.
+    StalledAtDst,
+}
+
+/// Debug-build shadow machinery: every [`Network::step`] is re-executed by
+/// a literal four-phase reference pipeline on a pre-cycle snapshot, with
+/// endpoint interactions recorded during the real (fused) pass and
+/// replayed to the reference; the two end states must match field by
+/// field. This checks the fused pass, the stall memo, the blocked-timer
+/// patch rules and the link tables against the phased semantics every
+/// single cycle of every debug run.
+#[cfg(debug_assertions)]
+mod shadow {
+    use super::*;
+
+    /// One recorded endpoint interaction of the real pass.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub(super) enum EjEvent {
+        Accept { nic: NicId, msg: MsgHandle, ok: bool },
+        Flit { nic: NicId, msg: MsgHandle },
+        Packet { nic: NicId, msg: MsgHandle, injected_at: u64 },
+    }
+
+    /// Wraps the real [`EjectControl`], recording the interaction log.
+    pub(super) struct RecordEj<'a> {
+        pub(super) inner: &'a mut dyn EjectControl,
+        pub(super) log: Vec<EjEvent>,
+    }
+
+    impl EjectControl for RecordEj<'_> {
+        fn can_accept(&mut self, nic: NicId, msg: MsgHandle, cycle: u64) -> bool {
+            let ok = self.inner.can_accept(nic, msg, cycle);
+            self.log.push(EjEvent::Accept { nic, msg, ok });
+            ok
+        }
+        fn deliver_flit(&mut self, nic: NicId, msg: MsgHandle, cycle: u64) {
+            self.log.push(EjEvent::Flit { nic, msg });
+            self.inner.deliver_flit(nic, msg, cycle);
+        }
+        fn deliver_packet(&mut self, nic: NicId, msg: MsgHandle, injected_at: u64, cycle: u64) {
+            self.log.push(EjEvent::Packet { nic, msg, injected_at });
+            self.inner.deliver_packet(nic, msg, injected_at, cycle);
+        }
+    }
+
+    /// Replays a recorded log to the reference pipeline, asserting the
+    /// call sequences are identical.
+    struct ReplayEj<'a> {
+        log: &'a [EjEvent],
+        pos: usize,
+    }
+
+    impl EjectControl for ReplayEj<'_> {
+        fn can_accept(&mut self, nic: NicId, msg: MsgHandle, _cycle: u64) -> bool {
+            let ev = self.log.get(self.pos).copied();
+            self.pos += 1;
+            match ev {
+                Some(EjEvent::Accept { nic: n, msg: m, ok }) if n == nic && m == msg => ok,
+                other => panic!(
+                    "shadow: reference asked can_accept({nic:?}, {msg:?}) but the \
+                     real pass recorded {other:?}"
+                ),
+            }
+        }
+        fn deliver_flit(&mut self, nic: NicId, msg: MsgHandle, _cycle: u64) {
+            let ev = self.log.get(self.pos).copied();
+            self.pos += 1;
+            assert_eq!(
+                ev,
+                Some(EjEvent::Flit { nic, msg }),
+                "shadow: flit delivery sequences diverged"
+            );
+        }
+        fn deliver_packet(&mut self, nic: NicId, msg: MsgHandle, injected_at: u64, _cycle: u64) {
+            let ev = self.log.get(self.pos).copied();
+            self.pos += 1;
+            assert_eq!(
+                ev,
+                Some(EjEvent::Packet { nic, msg, injected_at }),
+                "shadow: packet delivery sequences diverged"
+            );
+        }
+    }
+
+    /// Reusable snapshot + reference-pipeline scratch (all allocations
+    /// are reused across cycles via `clone_from`).
+    #[derive(Default, Debug)]
+    pub(super) struct Scratch {
+        routers: Vec<Router>,
+        packets: PacketTable,
+        counters: NetworkCounters,
+        vc_busy: Vec<u64>,
+        router_flits: Vec<u32>,
+        active_bits: Vec<u64>,
+        pub(super) ej_log: Vec<EjEvent>,
+        cand: Vec<RouteCandidate>,
+        moves: Vec<Move>,
+    }
+
+    impl Scratch {
+        /// Capture the pre-cycle state of every worklist-relevant field.
+        pub(super) fn snapshot(&mut self, net: &Network) {
+            self.routers.clone_from(&net.routers);
+            self.packets.clone_from(&net.packets);
+            self.counters = net.counters;
+            self.vc_busy.clone_from(&net.vc_busy);
+            self.router_flits.clone_from(&net.router_flits);
+            self.active_bits.clone_from(&net.active_bits);
+            self.ej_log.clear();
+        }
+
+        /// Run the phased reference pipeline on the snapshot and compare
+        /// its end state against the fused pipeline's (`net`, already
+        /// advanced).
+        pub(super) fn run_reference_and_compare(
+            &mut self,
+            net: &Network,
+            cycle: u64,
+            routing: &dyn Routing,
+        ) {
+            let log = std::mem::take(&mut self.ej_log);
+            let mut ej = ReplayEj { log: &log, pos: 0 };
+            self.ref_alloc_phase(net, cycle, routing, &mut ej);
+            self.ref_switch_phase(net);
+            self.ref_apply_moves(net, cycle, &mut ej);
+            self.ref_blocked_sweep(net, cycle);
+            assert_eq!(
+                ej.pos,
+                log.len(),
+                "shadow: the fused pass performed more endpoint calls than the reference"
+            );
+            self.ej_log = log;
+            self.compare(net, cycle);
+        }
+
+        /// Reference phase 1: route computation & output-VC allocation,
+        /// rotated occupancy order, full candidate recomputation (no stall
+        /// memo).
+        fn ref_alloc_phase(
+            &mut self,
+            net: &Network,
+            cycle: u64,
+            routing: &dyn Routing,
+            ej: &mut dyn EjectControl,
+        ) {
+            let nvcs = net.vcs as usize;
+            for &r in &net.worklist {
+                let r = r as usize;
+                let node = NodeId(r as u32);
+                let router = &mut self.routers[r];
+                router.sync_rr_alloc(cycle);
+                let total = router.ports() * nvcs;
+                let start = router.rr_alloc as usize % total;
+                let occ = router.in_occ;
+                let low = occ & ((1u128 << start) - 1);
+                let mut high = occ ^ low;
+                let mut pending = low;
+                loop {
+                    let idx = if high != 0 {
+                        let i = high.trailing_zeros() as usize;
+                        high &= high - 1;
+                        i
+                    } else if pending != 0 {
+                        let i = pending.trailing_zeros() as usize;
+                        pending &= pending - 1;
+                        i
+                    } else {
+                        break;
+                    };
+                    let router = &self.routers[r];
+                    if router.route_port[idx] != NO_ROUTE {
+                        continue;
+                    }
+                    let front = router.front_flit(idx).expect("occupied slot");
+                    if !front.is_head() {
+                        continue;
+                    }
+                    let h = front.msg;
+                    let Some(pkt) = self.packets.get(h).copied() else {
+                        continue;
+                    };
+                    self.cand.clear();
+                    let hint = cycle
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add((r as u64) << 8)
+                        .wrapping_add(idx as u64);
+                    routing.candidates(&net.topo, node, &pkt, hint, &mut self.cand);
+                    for ci in 0..self.cand.len() {
+                        let c = self.cand[ci];
+                        if let Some(local) = net.topo.port_local_index(c.port) {
+                            let nic = net.topo.nic_at(node, local);
+                            if ej.can_accept(nic, h, cycle) {
+                                self.routers[r].route_port[idx] = c.port.0;
+                                self.routers[r].route_vc[idx] = 0;
+                                break;
+                            }
+                        } else {
+                            let out_slot = c.port.index() * nvcs + c.vc as usize;
+                            if self.routers[r].out_free(out_slot) {
+                                self.routers[r].own_out(out_slot, h);
+                                self.routers[r].route_port[idx] = c.port.0;
+                                self.routers[r].route_vc[idx] = c.vc;
+                                break;
+                            }
+                        }
+                    }
+                }
+                let router = &mut self.routers[r];
+                router.rr_alloc = router.rr_alloc.wrapping_add(1);
+                router.rr_cycle = cycle + 1;
+            }
+        }
+
+        /// Reference phase 2: switch allocation — requests gathered in
+        /// ascending slot order, then per-port round-robin grants.
+        fn ref_switch_phase(&mut self, net: &Network) {
+            self.moves.clear();
+            let nvcs = net.vcs as usize;
+            for &r in &net.worklist {
+                let r = r as usize;
+                let router = &mut self.routers[r];
+                let total = router.ports() * nvcs;
+                let mut reqs: Vec<(usize, u8, u8)> = Vec::new();
+                let mut port_mask = 0u64;
+                let mut occ = router.in_occ;
+                while occ != 0 {
+                    let idx = occ.trailing_zeros() as usize;
+                    occ &= occ - 1;
+                    if router.route_port[idx] != NO_ROUTE {
+                        port_mask |= 1 << router.route_port[idx];
+                        reqs.push((idx, router.route_port[idx], router.route_vc[idx]));
+                    }
+                }
+                let mut in_used = [false; 64];
+                while port_mask != 0 {
+                    let q = port_mask.trailing_zeros() as usize;
+                    port_mask &= port_mask - 1;
+                    let rr = router.rr_out[q] as usize % total;
+                    let mut best: Option<(usize, usize, u8)> = None;
+                    for &(idx, op, ov) in &reqs {
+                        if op as usize != q || in_used[idx / nvcs] {
+                            continue;
+                        }
+                        if net.net_port[q] && router.out_credits[q * nvcs + ov as usize] == 0 {
+                            continue;
+                        }
+                        let rank = (idx + total - rr) % total;
+                        if best.is_none_or(|(b, _, _)| rank < b) {
+                            best = Some((rank, idx, ov));
+                        }
+                    }
+                    if let Some((_, idx, ov)) = best {
+                        in_used[idx / nvcs] = true;
+                        router.rr_out[q] = ((idx + 1) % total) as u32;
+                        self.moves.push(Move {
+                            router: r as u32,
+                            in_port: (idx / nvcs) as u8,
+                            in_vc: (idx % nvcs) as u8,
+                            out_port: q as u8,
+                            out_vc: ov,
+                        });
+                    }
+                }
+            }
+        }
+
+        /// Reference phase 3: link traversal via direct topology queries
+        /// (independently validating the link tables).
+        fn ref_apply_moves(&mut self, net: &Network, cycle: u64, ej: &mut dyn EjectControl) {
+            let nvcs = net.vcs as usize;
+            for mi in 0..self.moves.len() {
+                let Move { router: r, in_port, in_vc, out_port, out_vc } = self.moves[mi];
+                let r = r as usize;
+                let node = NodeId(r as u32);
+                let in_slot = in_port as usize * nvcs + in_vc as usize;
+                let flit = self.routers[r].pop_flit(in_slot);
+                self.routers[r].blocked[in_slot] = NOT_BLOCKED;
+                if flit.is_tail {
+                    self.routers[r].route_port[in_slot] = NO_ROUTE;
+                }
+                self.router_flits[r] -= 1;
+                if let Some((d, dir)) = net.topo.port_dim_dir(PortId(in_port)) {
+                    let up = net.topo.neighbor(node, d, dir).expect("input link exists");
+                    let upport = net.topo.port(d, dir.opposite());
+                    let up_slot = upport.index() * nvcs + in_vc as usize;
+                    self.routers[up.index()].out_credits[up_slot] += 1;
+                    self.active_bits[up.index() >> 6] |= 1 << (up.index() & 63);
+                }
+                let out = PortId(out_port);
+                if let Some((d2, dir2)) = net.topo.port_dim_dir(out) {
+                    let ports = net.topo.ports_per_router();
+                    self.vc_busy[(r * ports + out_port as usize) * nvcs + out_vc as usize] += 1;
+                    let out_slot = out_port as usize * nvcs + out_vc as usize;
+                    self.routers[r].out_credits[out_slot] -= 1;
+                    if flit.is_tail {
+                        self.routers[r].release_out(out_slot);
+                    }
+                    if flit.is_head() && net.topo.crosses_dateline(node, d2, dir2) {
+                        if let Some(st) = self.packets.get_mut(flit.msg) {
+                            st.crossed_dateline |= 1 << d2;
+                        }
+                    }
+                    let down = net.topo.neighbor(node, d2, dir2).expect("output link exists");
+                    let dport = net.topo.port(d2, dir2.opposite());
+                    let down_slot = dport.index() * nvcs + out_vc as usize;
+                    self.routers[down.index()].push_flit(down_slot, flit);
+                    self.router_flits[down.index()] += 1;
+                    self.active_bits[down.index() >> 6] |= 1 << (down.index() & 63);
+                } else {
+                    let local = net.topo.port_local_index(out).expect("local port");
+                    let nic = net.topo.nic_at(node, local);
+                    if flit.is_tail {
+                        let st = self.packets.remove(flit.msg).expect("registered packet");
+                        self.counters.packets_delivered += 1;
+                        ej.deliver_packet(nic, st.msg, st.injected_at, cycle);
+                    } else {
+                        ej.deliver_flit(nic, flit.msg, cycle);
+                    }
+                    self.counters.flits_delivered += 1;
+                }
+                self.counters.flits_moved += 1;
+            }
+        }
+
+        /// Reference phase 4: the trailing blocked-timer sweep.
+        fn ref_blocked_sweep(&mut self, net: &Network, cycle: u64) {
+            for &r in &net.worklist {
+                let router = &mut self.routers[r as usize];
+                let mut occ = router.in_occ;
+                while occ != 0 {
+                    let idx = occ.trailing_zeros() as usize;
+                    occ &= occ - 1;
+                    if router.blocked[idx] == NOT_BLOCKED {
+                        router.blocked[idx] = cycle;
+                    }
+                }
+            }
+        }
+
+        /// Compare the reference end state against the fused pipeline's.
+        /// The memoization clocks (`stall_epoch`, `alloc_epoch`) are
+        /// excluded: they are fused-pass bookkeeping with no phased
+        /// counterpart.
+        fn compare(&self, net: &Network, cycle: u64) {
+            assert_eq!(self.counters, net.counters, "shadow: counters diverged at {cycle}");
+            assert_eq!(
+                self.router_flits, net.router_flits,
+                "shadow: per-router flit counts diverged at {cycle}"
+            );
+            assert_eq!(self.vc_busy, net.vc_busy, "shadow: vc_busy diverged at {cycle}");
+            assert_eq!(
+                self.active_bits, net.active_bits,
+                "shadow: wake sets diverged at {cycle}"
+            );
+            assert!(
+                self.packets == net.packets,
+                "shadow: packet tables diverged at {cycle}"
+            );
+            for (r, (a, b)) in self.routers.iter().zip(&net.routers).enumerate() {
+                assert_eq!(a.in_occ, b.in_occ, "shadow: router {r} occupancy at {cycle}");
+                assert_eq!(a.head, b.head, "shadow: router {r} ring heads at {cycle}");
+                assert_eq!(a.len, b.len, "shadow: router {r} buffer lengths at {cycle}");
+                assert_eq!(a.bufs, b.bufs, "shadow: router {r} flit buffers at {cycle}");
+                assert_eq!(
+                    a.route_port, b.route_port,
+                    "shadow: router {r} route ports at {cycle}"
+                );
+                // route_vc is only meaningful where a route is set.
+                for s in 0..a.route_vc.len() {
+                    if a.route_port[s] != NO_ROUTE {
+                        assert_eq!(
+                            a.route_vc[s], b.route_vc[s],
+                            "shadow: router {r} route vc slot {s} at {cycle}"
+                        );
+                    }
+                }
+                assert_eq!(a.blocked, b.blocked, "shadow: router {r} blocked timers at {cycle}");
+                assert_eq!(a.out_owned, b.out_owned, "shadow: router {r} ownership at {cycle}");
+                let mut owned = a.out_owned;
+                while owned != 0 {
+                    let s = owned.trailing_zeros() as usize;
+                    owned &= owned - 1;
+                    assert_eq!(
+                        a.out_owner[s], b.out_owner[s],
+                        "shadow: router {r} out-VC {s} owner at {cycle}"
+                    );
+                }
+                assert_eq!(a.out_credits, b.out_credits, "shadow: router {r} credits at {cycle}");
+                assert_eq!(a.rr_out, b.rr_out, "shadow: router {r} rr_out at {cycle}");
+                assert_eq!(a.rr_alloc, b.rr_alloc, "shadow: router {r} rr_alloc at {cycle}");
+                assert_eq!(a.rr_cycle, b.rr_cycle, "shadow: router {r} rr_cycle at {cycle}");
+            }
+        }
     }
 }

@@ -1,94 +1,131 @@
-//! Virtual-channel state: input-side flit FIFOs and output-side
-//! ownership/credit tracking.
+//! Virtual-channel views over the router's structure-of-arrays state.
+//!
+//! The SoA rewrite removed the per-VC structs; external readers (the CWG
+//! validator, the deadlock-witness formatter, tests) observe a VC through
+//! the borrowing [`VcRef`] view and the [`OutVc`] snapshot instead. Both
+//! are zero-cost facades over the flat arrays in [`crate::Router`].
 
 use crate::flit::Flit;
+use crate::router::{Router, NOT_BLOCKED};
 use mdd_protocol::MsgHandle;
 use mdd_topology::PortId;
-use std::collections::VecDeque;
 
-/// An input virtual channel: a finite flit FIFO plus the wormhole routing
-/// state of the packet currently at its front.
-#[derive(Clone, Debug)]
-pub struct Vc {
-    /// Buffered flits, in arrival order. Flits of successive packets may
-    /// coexist (the tail of one followed by the head of the next); routing
-    /// state always describes the packet whose flit is at the front.
-    pub buf: VecDeque<Flit>,
-    /// The allocated route of the front packet: `(output port, output vc)`.
-    /// `None` while the head flit awaits route computation / VC allocation.
-    pub route: Option<(PortId, u8)>,
-    /// First cycle at which the front flit failed to advance; cleared on
-    /// progress. Drives the router-level potential-deadlock timers.
-    pub blocked_since: Option<u64>,
-    capacity: u32,
+/// Read view of one input virtual channel: a finite flit FIFO plus the
+/// wormhole routing state of the packet currently at its front.
+///
+/// ```
+/// use mdd_router::Router;
+/// use mdd_topology::PortId;
+/// let r = Router::new(3, 4, 2);
+/// let vc = r.vc(PortId(1), 2);
+/// assert!(vc.is_empty());
+/// assert!(!vc.awaiting_route()); // empty: nothing to route
+/// assert_eq!(vc.free_slots(), vc.capacity());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct VcRef<'a> {
+    router: &'a Router,
+    slot: usize,
 }
 
-impl Vc {
-    /// A VC with `capacity` flit buffers (the paper's default is 2).
-    pub fn new(capacity: u32) -> Self {
-        Vc {
-            buf: VecDeque::with_capacity(capacity as usize),
-            route: None,
-            blocked_since: None,
-            capacity,
-        }
+impl<'a> VcRef<'a> {
+    #[inline]
+    pub(crate) fn new(router: &'a Router, slot: usize) -> Self {
+        VcRef { router, slot }
     }
 
-    /// Buffer capacity in flits.
+    /// Buffer capacity in flits (the paper's default is 2).
     #[inline]
     pub fn capacity(&self) -> u32 {
-        self.capacity
+        self.router.buf_depth()
+    }
+
+    /// Buffered flits.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.router.len[self.slot] as u32
+    }
+
+    /// True when no flit is buffered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.router.len[self.slot] == 0
     }
 
     /// Free buffer slots.
     #[inline]
     pub fn free_slots(&self) -> u32 {
-        self.capacity - self.buf.len() as u32
+        self.capacity() - self.len()
     }
 
     /// The flit at the front, if any.
     #[inline]
-    pub fn front(&self) -> Option<&Flit> {
-        self.buf.front()
+    pub fn front(&self) -> Option<Flit> {
+        self.router.front_flit(self.slot)
+    }
+
+    /// The most recently buffered flit, if any.
+    #[inline]
+    pub fn back(&self) -> Option<Flit> {
+        let len = self.router.len[self.slot] as usize;
+        if len == 0 {
+            None
+        } else {
+            Some(self.router.flit_at(self.slot, len - 1))
+        }
+    }
+
+    /// The `k`-th buffered flit (0 = front), if present.
+    #[inline]
+    pub fn get(&self, k: usize) -> Option<Flit> {
+        if k < self.len() as usize {
+            Some(self.router.flit_at(self.slot, k))
+        } else {
+            None
+        }
+    }
+
+    /// The allocated route of the front packet: `(output port, output vc)`.
+    /// `None` while the head flit awaits route computation / VC allocation.
+    #[inline]
+    pub fn route(&self) -> Option<(PortId, u8)> {
+        self.router.route_of(self.slot)
     }
 
     /// True if the front flit is a head awaiting VC allocation.
     #[inline]
     pub fn awaiting_route(&self) -> bool {
-        self.route.is_none() && self.front().is_some_and(Flit::is_head)
-    }
-
-    /// Append an arriving flit. Panics on overflow — credits must prevent
-    /// this.
-    pub fn push(&mut self, flit: Flit) {
-        assert!(
-            (self.buf.len() as u32) < self.capacity,
-            "VC buffer overflow: credit accounting violated"
-        );
-        self.buf.push_back(flit);
-    }
-
-    /// Remove and return the front flit.
-    pub fn pop(&mut self) -> Option<Flit> {
-        self.buf.pop_front()
+        self.route().is_none() && self.front().is_some_and(|f| f.is_head())
     }
 
     /// Packet id of the front flit, if any.
+    #[inline]
     pub fn front_packet(&self) -> Option<MsgHandle> {
         self.front().map(|f| f.msg)
     }
 
+    /// First cycle at which the front flit failed to advance; `None` while
+    /// it is making progress.
+    #[inline]
+    pub fn blocked_since(&self) -> Option<u64> {
+        match self.router.blocked[self.slot] {
+            NOT_BLOCKED => None,
+            t => Some(t),
+        }
+    }
+
     /// Duration (in cycles, as of `now`) the front flit has been blocked.
+    #[inline]
     pub fn blocked_for(&self, now: u64) -> u64 {
-        match self.blocked_since {
+        match self.blocked_since() {
             Some(t) => now.saturating_sub(t),
             None => 0,
         }
     }
 }
 
-/// Output-side state of a virtual channel: which packet holds it and how
-/// many credits (free downstream buffer slots) remain.
+/// Snapshot of an output virtual channel's state: which packet holds it
+/// and how many credits (free downstream buffer slots) remain.
 #[derive(Clone, Copy, Debug)]
 pub struct OutVc {
     /// The packet holding this output VC (wormhole: held from head until
@@ -99,14 +136,6 @@ pub struct OutVc {
 }
 
 impl OutVc {
-    /// A free output VC with full credits.
-    pub fn new(credits: u32) -> Self {
-        OutVc {
-            owner: None,
-            credits,
-        }
-    }
-
     /// True if unowned (a new packet may allocate it).
     #[inline]
     pub fn is_free(&self) -> bool {

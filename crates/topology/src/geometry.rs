@@ -68,48 +68,68 @@ impl HopGeometry {
     }
 }
 
+/// Maximum supported torus/mesh dimensionality. Inline storage in
+/// [`MinimalHops`] keeps the per-hop routing geometry allocation-free —
+/// it is rebuilt on every route-computation attempt.
+pub const MAX_DIMS: usize = 4;
+
 /// All per-dimension minimal-hop information from `src` to `dst`.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct MinimalHops {
-    per_dim: Vec<HopGeometry>,
+    per_dim: [HopGeometry; MAX_DIMS],
+    ndims: u8,
 }
 
 impl MinimalHops {
     /// Compute the minimal-hop geometry between two routers.
     pub fn new(topo: &Topology, src: NodeId, dst: NodeId) -> Self {
-        let mut per_dim = Vec::with_capacity(topo.dims());
-        for d in 0..topo.dims() {
-            per_dim.push(hop_geometry(topo, src, dst, d));
+        let ndims = topo.dims();
+        assert!(ndims <= MAX_DIMS, "topology exceeds MAX_DIMS");
+        let mut per_dim = [HopGeometry {
+            plus: None,
+            minus: None,
+        }; MAX_DIMS];
+        for (d, g) in per_dim.iter_mut().enumerate().take(ndims) {
+            *g = hop_geometry(topo, src, dst, d);
         }
-        MinimalHops { per_dim }
+        MinimalHops {
+            per_dim,
+            ndims: ndims as u8,
+        }
     }
 
     /// Geometry for dimension `d`.
     #[inline]
     pub fn dim(&self, d: usize) -> HopGeometry {
+        debug_assert!(d < self.ndims as usize);
         self.per_dim[d]
     }
 
     /// Number of dimensions.
     #[inline]
     pub fn dims(&self) -> usize {
-        self.per_dim.len()
+        self.ndims as usize
+    }
+
+    #[inline]
+    fn live(&self) -> &[HopGeometry] {
+        &self.per_dim[..self.ndims as usize]
     }
 
     /// True if source equals destination (no hops remain in any dimension).
     pub fn arrived(&self) -> bool {
-        self.per_dim.iter().all(HopGeometry::aligned)
+        self.live().iter().all(HopGeometry::aligned)
     }
 
     /// The lowest unaligned dimension, which dimension-order routing
     /// corrects first.
     pub fn first_unaligned(&self) -> Option<usize> {
-        self.per_dim.iter().position(|g| !g.aligned())
+        self.live().iter().position(|g| !g.aligned())
     }
 
     /// Total minimal distance (taking the shorter way in each dimension).
     pub fn total_distance(&self) -> u32 {
-        self.per_dim
+        self.live()
             .iter()
             .map(|g| match (g.plus, g.minus) {
                 (None, None) => 0,

@@ -32,7 +32,7 @@ mod torus;
 
 pub use capacity::CapacityReport;
 pub use coord::{Coord, NicId, NodeId};
-pub use geometry::{Direction, HopGeometry, MinimalHops};
+pub use geometry::{Direction, HopGeometry, MinimalHops, MAX_DIMS};
 pub use ring::{RecoveryRing, TourStop};
 pub use torus::{PortId, Topology, TopologyKind};
 

@@ -8,6 +8,12 @@
 //! state on which all four pipeline phases are no-ops), so every
 //! simulation driven here — the randomized ones included — doubles as a
 //! structural proof-check of the scheduler.
+//!
+//! The PAT271 cases below stress the burst path specifically: multi-flit
+//! data messages stream head→tail through a claimed out-VC, straddle the
+//! credit boundary when the downstream buffer fills mid-packet, and (in
+//! the progressive-recovery cases) get whole flit runs ripped out
+//! mid-burst by recovery-lane extraction.
 
 use mdd_sim::obs;
 use mdd_sim::prelude::*;
@@ -23,10 +29,20 @@ fn cfg_with(scheme: Scheme, load: f64, seed: u64) -> SimConfig {
     cfg
 }
 
+/// PAT271 twin config: data messages span several flits, so link
+/// traversal runs as wormhole bursts instead of single-flit moves.
+fn cfg_271(scheme: Scheme, load: f64, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::small_test(scheme, PatternSpec::pat271(), 4, load);
+    cfg.seed = seed;
+    cfg
+}
+
 /// Drive one simulator with `run_cycles` (fast-forward eligible) and a
 /// twin with bare `step` calls (dense clock, the pre-scheduling loop), and
-/// assert the end states are indistinguishable.
-fn assert_schedules_agree(mut cfg: SimConfig, cycles: u64, stop_generation: bool) {
+/// assert the end states are indistinguishable. Returns the number of
+/// recovery router captures (0 for schemes without PR recovery) so burst
+/// cases can assert extraction actually fired.
+fn assert_schedules_agree(mut cfg: SimConfig, cycles: u64, stop_generation: bool) -> u64 {
     cfg.warmup = 0;
     cfg.measure = 0;
     let mut fast = Simulator::new(cfg.clone()).expect("feasible config");
@@ -54,6 +70,12 @@ fn assert_schedules_agree(mut cfg: SimConfig, cycles: u64, stop_generation: bool
         "latency accumulators diverged"
     );
     assert_eq!(fast.is_quiescent(), dense.is_quiescent());
+    let (fc, dc) = (
+        fast.recovery().map_or(0, |r| r.router_captures),
+        dense.recovery().map_or(0, |r| r.router_captures),
+    );
+    assert_eq!(fc, dc, "recovery extraction schedules diverged");
+    fc
 }
 
 /// The obs layer is process-global, so all counter-reading checks share
@@ -112,6 +134,35 @@ fn fast_forward_matches_dense_after_drain() {
     assert_schedules_agree(cfg_with(Scheme::ProgressiveRecovery, 0.1, 24), 2_000, false);
 }
 
+/// Multi-flit PAT271 bursts straddling the credit boundary: at these
+/// loads downstream buffers routinely fill mid-packet, so the link stream
+/// pauses inside a claimed out-VC and resumes on credit return — the path
+/// the burst-transfer optimization rewrote.
+#[test]
+fn multi_flit_bursts_straddle_credit_boundary() {
+    assert_schedules_agree(cfg_271(Scheme::DeflectiveRecovery, 0.35, 31), 3_000, false);
+    assert_schedules_agree(cfg_271(Scheme::ProgressiveRecovery, 0.35, 32), 3_000, false);
+    // Near saturation: almost every burst stalls on credits at least once.
+    assert_schedules_agree(cfg_271(Scheme::DeflectiveRecovery, 0.60, 33), 3_000, false);
+}
+
+/// Recovery-lane extraction interrupting bursts: lowered detection
+/// thresholds at saturating load make PR recovery capture blocked heads
+/// and pull whole flit runs out of in-flight wormholes. The twin check
+/// proves extraction lands on the same cycles under both schedules; the
+/// returned capture count proves the case actually exercised it.
+#[test]
+fn extraction_interrupts_bursts() {
+    let mut cfg = cfg_271(Scheme::ProgressiveRecovery, 0.65, 2);
+    cfg.detect_threshold = 12;
+    cfg.router_block_threshold = 40;
+    let captures = assert_schedules_agree(cfg, 4_000, false);
+    assert!(
+        captures > 0,
+        "chosen seed/load must trigger recovery extraction mid-run"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
@@ -131,5 +182,24 @@ proptest! {
         stop in prop_oneof![Just(false), Just(true)],
     ) {
         assert_schedules_agree(cfg_with(scheme, load, seed), 1_500, stop);
+    }
+
+    /// The same bit-exactness property over multi-flit PAT271 traffic,
+    /// where link traversal runs as bursts: random loads up to saturation
+    /// cover credit-boundary straddles, and the lowered recovery
+    /// thresholds let PR extraction fire mid-burst when the draw blocks.
+    #[test]
+    fn multi_flit_burst_schedule_is_bit_exact(
+        scheme in prop_oneof![
+            Just(Scheme::DeflectiveRecovery),
+            Just(Scheme::ProgressiveRecovery),
+        ],
+        load in 0.2f64..0.7,
+        seed in 0u64..1000,
+    ) {
+        let mut cfg = cfg_271(scheme, load, seed);
+        cfg.detect_threshold = 12;
+        cfg.router_block_threshold = 40;
+        assert_schedules_agree(cfg, 1_500, false);
     }
 }
