@@ -33,6 +33,74 @@ second=$(engine_sweep)
 echo "$second" | grep -q "3 points: 0 simulated, 3 cached" || {
     echo "engine smoke: warm run was not fully cache-served:"; echo "$second"; exit 1; }
 
+echo "==> --jobs equivalence (reports bit-identical across worker counts)"
+jobs_sweep() { # n
+    cargo run -q -p mdd-bench --release --bin mddsim -- \
+        --scheme pr --pattern pat271 --vcs 4 --radix 4x4 \
+        --sweep 0.05:0.15:3 --warmup 100 --measure 300 \
+        --no-cache --jobs "$1" 2>/dev/null
+}
+jobs1=$(jobs_sweep 1)
+jobs4=$(jobs_sweep 4)
+[ "$jobs1" = "$jobs4" ] || {
+    echo "jobs equivalence: --jobs 1 and --jobs 4 disagree:"
+    diff <(echo "$jobs1") <(echo "$jobs4") || true; exit 1; }
+# --jobs 0 must be rejected at the flag, not deep in the pool.
+set +e
+cargo run -q -p mdd-bench --release --bin mddsim -- \
+    --scheme pr --pattern pat271 --vcs 4 --radix 4x4 \
+    --sweep 0.05:0.15:3 --warmup 100 --measure 300 --jobs 0 >/dev/null 2>&1
+jobs0_status=$?
+set -e
+[ "$jobs0_status" -eq 2 ] || {
+    echo "jobs equivalence: --jobs 0 should exit 2, got $jobs0_status"; exit 1; }
+
+echo "==> pool scaling perf gate (self-skips below 4 cores)"
+cargo test -q -p mdd-engine --release --test perf -- --ignored
+
+echo "==> mddsimd sweep service smoke"
+DAEMON_DIR=$(mktemp -d)
+DAEMON_SOCK="$DAEMON_DIR/mddsimd.sock"
+daemon_submit() {
+    cargo run -q -p mdd-bench --release --bin mddsim-client -- \
+        --socket "$DAEMON_SOCK" submit --sweep 0.05:0.30:6 \
+        --scheme pr --pattern pat271 --vcs 4 --radix 4x4 \
+        --warmup 100 --measure 300 2>/dev/null
+}
+cargo run -q -p mdd-bench --release --bin mddsimd -- \
+    --socket "$DAEMON_SOCK" --cache-dir "$DAEMON_DIR/cache" --jobs 2 \
+    2>"$DAEMON_DIR/daemon.log" &
+DAEMON_PID=$!
+trap 'rm -rf "$CACHE_DIR" "$DAEMON_DIR"; kill "$DAEMON_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 50); do [ -S "$DAEMON_SOCK" ] && break; sleep 0.1; done
+[ -S "$DAEMON_SOCK" ] || {
+    echo "daemon smoke: socket never appeared"; cat "$DAEMON_DIR/daemon.log"; exit 1; }
+# Two concurrent clients: both must stream all six points back.
+daemon_submit >"$DAEMON_DIR/c1.out" &
+C1=$!
+daemon_submit >"$DAEMON_DIR/c2.out" &
+C2=$!
+wait "$C1" "$C2"
+for out in c1 c2; do
+    grep -q "^6 points:" "$DAEMON_DIR/$out.out" || {
+        echo "daemon smoke: client $out did not finish its sweep:"
+        cat "$DAEMON_DIR/$out.out"; exit 1; }
+    [ "$(grep -c '^point ' "$DAEMON_DIR/$out.out")" -eq 6 ] || {
+        echo "daemon smoke: client $out did not stream 6 points:"
+        cat "$DAEMON_DIR/$out.out"; exit 1; }
+done
+# A third identical submission must be served entirely from the cache.
+third=$(daemon_submit)
+echo "$third" | grep -q "6 points: 0 simulated, 6 cached" || {
+    echo "daemon smoke: repeat submit was not fully cache-served:"; echo "$third"; exit 1; }
+cargo run -q -p mdd-bench --release --bin mddsim-client -- \
+    --socket "$DAEMON_SOCK" shutdown >/dev/null
+wait "$DAEMON_PID" || {
+    echo "daemon smoke: daemon did not exit cleanly:"; cat "$DAEMON_DIR/daemon.log"; exit 1; }
+[ ! -e "$DAEMON_SOCK" ] || {
+    echo "daemon smoke: socket not removed on shutdown"; exit 1; }
+trap 'rm -rf "$CACHE_DIR" "$DAEMON_DIR"' EXIT
+
 echo "==> static verifier smoke (mddsim --verify)"
 verify_one() { # scheme vcs expected_verdict
     local out

@@ -27,7 +27,7 @@ fn main() {
                 .windows(cli.scale.warmup, cli.scale.measure)
                 .build()
                 .expect("feasible at 8+ VCs");
-            let report = engine.run_sweep(&cfg, &loads, label);
+            let report = engine.submit_sweep(&cfg, &loads, label).wait();
             for err in report.errors() {
                 eprintln!("ablation_sa_shared: {err}");
             }

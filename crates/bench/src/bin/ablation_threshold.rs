@@ -28,7 +28,7 @@ fn main() {
             jobs.push(Job::new(jobs.len(), format!("T={threshold}"), cfg.at_load(load)));
         }
     }
-    let report = engine.run_jobs(jobs);
+    let report = engine.submit(jobs).wait();
     let mut t = Table::new(vec![
         "T", "load", "throughput", "latency", "detections", "rescues",
     ]);

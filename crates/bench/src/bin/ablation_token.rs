@@ -30,7 +30,7 @@ fn main() {
             jobs.push(Job::new(jobs.len(), format!("x{hop}"), cfg.at_load(load)));
         }
     }
-    let report = engine.run_jobs(jobs);
+    let report = engine.submit(jobs).wait();
     let mut t = Table::new(vec![
         "hop cost",
         "load",

@@ -211,7 +211,19 @@ fn main() {
         let hi: f64 = parts[1].parse().unwrap_or_else(|_| die("bad sweep hi"));
         let n: usize = parts[2].parse().unwrap_or_else(|_| die("bad sweep n"));
         let loads = default_loads(lo, hi, n);
-        let report = engine.run_sweep(&cfg, &loads, scheme.label());
+        // Stream points as they complete (progress on stderr), then
+        // assemble the deterministically ordered report.
+        let mut handle = engine.submit_sweep(&cfg, &loads, scheme.label());
+        while let Some(outcome) = handle.recv() {
+            eprintln!(
+                "mddsim: point {}/{} done (load {:.3}{})",
+                handle.received(),
+                handle.total(),
+                outcome.job.load(),
+                if outcome.from_cache { ", cached" } else { "" }
+            );
+        }
+        let report = handle.wait();
         for err in report.errors() {
             eprintln!("mddsim: {err}");
         }
@@ -238,7 +250,7 @@ fn main() {
         println!("\n{}", report.summary());
         println!("saturation throughput: {:.4}", curve.saturation_throughput());
     } else {
-        let report = engine.run_sweep(&cfg, &[load], scheme.label());
+        let report = engine.submit_sweep(&cfg, &[load], scheme.label()).wait();
         let outcome = report.outcomes.first().expect("one job was scheduled");
         let r = match &outcome.result {
             Ok(r) => r,

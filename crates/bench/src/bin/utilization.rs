@@ -44,7 +44,7 @@ fn main() {
             jobs.push(Job::new(jobs.len(), label, cfg.at_load(load)));
         }
     }
-    let report = engine.run_jobs(jobs);
+    let report = engine.submit(jobs).wait();
     let mut t = Table::new(vec![
         "vcs",
         "scheme",

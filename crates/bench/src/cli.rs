@@ -6,7 +6,8 @@
 //! --smoke            smallest scale (smoke-test windows, 3 load points)
 //! --fast             reduced scale for constrained machines
 //! --out DIR          results directory [results]
-//! --jobs N           cap simulation worker threads [machine parallelism]
+//! --jobs N           simulation worker threads, N >= 1
+//!                    [default: machine parallelism]
 //! --no-cache         disable the persistent result cache
 //! --cache-dir DIR    cache location [<out>/cache]
 //! ```
@@ -30,8 +31,9 @@ pub struct BenchCli {
     pub smoke: bool,
     /// Results directory (`--out`, default `results`).
     pub out_dir: PathBuf,
-    /// Worker-thread cap (`--jobs`, `0` = machine parallelism).
-    pub jobs: usize,
+    /// Worker-thread count (`--jobs`; `None` = machine parallelism).
+    /// `--jobs 0` is rejected at parse time — there is no pool to run on.
+    pub jobs: Option<usize>,
     /// True when `--no-cache` was given.
     pub no_cache: bool,
     /// Result-cache directory (`--cache-dir`, default `<out>/cache`).
@@ -62,8 +64,11 @@ impl BenchCli {
             RunScale::full()
         };
         let out_dir = PathBuf::from(value("--out").unwrap_or_else(|| "results".into()));
-        let jobs = value("--jobs")
-            .map_or(0, |v| v.parse().unwrap_or_else(|_| die(&format!("bad --jobs: {v}"))));
+        let jobs = value("--jobs").map(|v| match v.parse() {
+            Ok(0) => die("--jobs needs at least one worker (got 0); omit the flag for the machine default"),
+            Ok(n) => n,
+            Err(_) => die(&format!("bad --jobs: {v}")),
+        });
         let cache_dir = value("--cache-dir").map_or_else(|| out_dir.join("cache"), PathBuf::from);
         BenchCli {
             smoke,
@@ -102,25 +107,27 @@ impl BenchCli {
     }
 
     /// An [`Engine`] honoring `--jobs`, `--no-cache` and `--cache-dir`.
-    /// A cache that cannot be opened degrades to uncached with a warning
-    /// rather than aborting the experiment.
+    /// With `--jobs N` the engine runs on its own pool of exactly `N`
+    /// workers; otherwise it shares the process-global pool sized to the
+    /// machine. A cache that cannot be opened degrades to uncached with
+    /// a warning rather than aborting the experiment.
     pub fn engine(&self) -> Engine {
-        if self.jobs > 0 {
-            Engine::set_jobs(self.jobs);
-        }
-        if self.no_cache {
-            return Engine::new();
-        }
-        match Engine::with_cache_dir(&self.cache_dir) {
-            Ok(e) => e,
-            Err(e) => {
-                eprintln!(
+        let with_jobs = |b: mdd_engine::EngineBuilder| match self.jobs {
+            Some(n) => b.jobs(n),
+            None => b,
+        };
+        if !self.no_cache {
+            match with_jobs(Engine::builder().cache_dir(&self.cache_dir)).build() {
+                Ok(e) => return e,
+                Err(e) => eprintln!(
                     "warning: cannot open result cache at {}: {e}; running uncached",
                     self.cache_dir.display()
-                );
-                Engine::new()
+                ),
             }
         }
+        with_jobs(Engine::builder())
+            .build()
+            .expect("an uncached engine with a positive worker count cannot fail")
     }
 
     /// Write `contents` under the selected results directory, returning

@@ -211,7 +211,7 @@ fn run_figure(
                     continue;
                 }
             };
-            let report = engine.run_sweep(&cfg, &loads, e.label);
+            let report = engine.submit_sweep(&cfg, &loads, e.label).wait();
             for err in report.errors() {
                 eprintln!("{id}: {err}");
             }
@@ -462,7 +462,7 @@ pub fn synthetic_deadlock_frequency_with(engine: &Engine, scale: RunScale) -> Ve
         .cwg_interval(Some(50))
         .build()
         .expect("PR always configurable");
-    let report = engine.run_sweep(&cfg, &loads, "PR");
+    let report = engine.submit_sweep(&cfg, &loads, "PR").wait();
     for err in report.errors() {
         eprintln!("deadlock_freq: {err}");
     }

@@ -1,11 +1,13 @@
-//! The content-addressed persistent result cache.
+//! The content-addressed persistent result cache, sharded by key prefix.
 //!
-//! Layout: one append-only JSON Lines file, `points.jsonl`, in the cache
-//! directory (`results/cache/` by convention). Each line is one completed
-//! simulation point keyed by the canonical hash of its full
+//! Layout: sixteen append-only JSON Lines files, `shard-0.jsonl` …
+//! `shard-f.jsonl`, in the cache directory (`results/cache/` by
+//! convention), plus read-only support for the pre-shard single-file
+//! layout (`points.jsonl`). Each line is one completed simulation point
+//! keyed by the canonical hash of its full
 //! [`SimConfig`](mdd_core::SimConfig) (see `SimConfig::canonical_string`
-//! for exactly what the key covers). Properties that fall out of this
-//! design:
+//! for exactly what the key covers); the first hex digit of the key picks
+//! the shard. Properties that fall out of this design:
 //!
 //! * **Invalidation is automatic and per-point.** Change any semantic
 //!   field — scheme, pattern, load, seed, windows, topology — and the key
@@ -18,6 +20,17 @@
 //! * **Duplicate keys collapse to the newest line**, so concurrent
 //!   writers or repeated runs stay harmless (last writer wins, and both
 //!   wrote identical results anyway — simulations are deterministic).
+//! * **Concurrent jobs do not contend on one file.** Every shard has its
+//!   own lock guarding both the in-memory map and the appender, so
+//!   points landing in different shards (the common case — FNV keys
+//!   spread uniformly) commit in parallel.
+//! * **Concurrent *processes* interleave at line granularity.** Shard
+//!   files are opened in append mode and every point is committed as one
+//!   `write` of a complete line, so two engines sharing a directory never
+//!   splice bytes into each other's entries. The unterminated-tail repair
+//!   (a crash artifact) happens under the shard lock at open and only
+//!   ever *appends* a newline — it cannot drop a completed point, and the
+//!   worst concurrent outcome is a harmless blank line.
 //! * Cache-served results carry `obs: None`; counter snapshots are not
 //!   meaningful across processes (see `codec`).
 
@@ -25,62 +38,94 @@ use crate::codec;
 use mdd_core::SimResult;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// Name of the JSONL file inside the cache directory.
+/// Name of the legacy single-file JSONL cache inside the cache directory.
+/// Still *read* (so pre-shard caches keep hitting) but never written;
+/// new points go to their [`ResultCache::shard_file`].
 pub const CACHE_FILE: &str = "points.jsonl";
 
+/// Number of key-prefix shards (one hex digit).
+pub const CACHE_SHARDS: usize = 16;
+
+/// One shard: its decoded entries and its appender, guarded together so
+/// a lookup never races a commit to the same shard.
+struct Shard {
+    entries: HashMap<String, SimResult>,
+    file: File,
+}
+
 /// A persistent key → [`SimResult`] store, safe to share across the
-/// engine's worker threads.
+/// engine's worker threads (and, at line granularity, across processes).
 pub struct ResultCache {
     dir: PathBuf,
-    entries: Mutex<HashMap<String, SimResult>>,
-    writer: Mutex<BufWriter<File>>,
-    hits: std::sync::atomic::AtomicU64,
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+}
+
+/// The shard index of a cache key: its first hex digit (keys are FNV-1a
+/// hashes in lowercase hex). Unrecognized first characters fall back to
+/// shard 0 rather than failing — such keys only arise from hand-edited
+/// files.
+fn shard_index(key: &str) -> usize {
+    key.chars()
+        .next()
+        .and_then(|c| c.to_digit(16))
+        .map_or(0, |d| d as usize)
 }
 
 impl ResultCache {
     /// Open (creating on demand) the cache rooted at `dir`, loading every
-    /// decodable line of `dir/points.jsonl`. Corrupt or truncated lines
-    /// and lines of other format versions are skipped silently.
+    /// decodable line of each `shard-*.jsonl` (and of a legacy
+    /// `points.jsonl`, read-only). Corrupt or truncated lines and lines
+    /// of other format versions are skipped silently. A final line left
+    /// unterminated by a crashed writer is repaired (newline-terminated)
+    /// before this handle appends anything.
     pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
-        let path = dir.join(CACHE_FILE);
-        let mut entries = HashMap::new();
-        let mut unterminated = false;
-        match File::open(&path) {
+        // Pre-shard caches: single read-only file, entries routed to the
+        // shard their key belongs to.
+        let mut legacy: Vec<HashMap<String, SimResult>> =
+            (0..CACHE_SHARDS).map(|_| HashMap::new()).collect();
+        match File::open(dir.join(CACHE_FILE)) {
             Ok(f) => {
-                let mut reader = BufReader::new(f);
-                let mut line = String::new();
-                loop {
-                    line.clear();
-                    if reader.read_line(&mut line)? == 0 {
-                        break;
-                    }
-                    // A final line with no newline is a write cut short
-                    // by a crash; remember to terminate it before
-                    // appending, or the next entry would glue onto it.
-                    unterminated = !line.ends_with('\n');
-                    if let Some((key, _label, result)) = codec::decode_line(line.trim_end()) {
-                        entries.insert(key, result);
-                    }
-                }
+                let mut unterminated = false;
+                read_entries(f, &mut unterminated, |key, result| {
+                    legacy[shard_index(&key)].insert(key, result);
+                });
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => {}
             Err(e) => return Err(e),
         }
-        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
-        if unterminated {
-            file.write_all(b"\n")?;
+        let mut shards = Vec::with_capacity(CACHE_SHARDS);
+        for (s, mut entries) in legacy.into_iter().enumerate() {
+            let path = dir.join(format!("shard-{s:x}.jsonl"));
+            let mut unterminated = false;
+            match File::open(&path) {
+                Ok(f) => read_entries(f, &mut unterminated, |key, result| {
+                    entries.insert(key, result);
+                }),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+            let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+            if unterminated {
+                // A final line with no newline is a write cut short by a
+                // crash; terminate it before appending, or the next entry
+                // would glue onto it. Append-only, so concurrent repairs
+                // at worst leave a blank line (skipped on read).
+                file.write_all(b"\n")?;
+            }
+            shards.push(Mutex::new(Shard { entries, file }));
         }
         Ok(ResultCache {
             dir,
-            entries: Mutex::new(entries),
-            writer: Mutex::new(BufWriter::new(file)),
-            hits: std::sync::atomic::AtomicU64::new(0),
+            shards,
+            hits: AtomicU64::new(0),
         })
     }
 
@@ -89,9 +134,18 @@ impl ResultCache {
         &self.dir
     }
 
+    /// The shard file `key` lives in (for tests and tooling; the path may
+    /// not exist yet if nothing hashed into that shard).
+    pub fn shard_file(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("shard-{:x}.jsonl", shard_index(key)))
+    }
+
     /// Number of distinct points currently cached.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache map poisoned").len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").entries.len())
+            .sum()
     }
 
     /// True when no points are cached.
@@ -101,29 +155,58 @@ impl ResultCache {
 
     /// Cache hits served since this handle was opened.
     pub fn hits(&self) -> u64 {
-        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// Look up a point by key.
     pub fn get(&self, key: &str) -> Option<SimResult> {
-        let hit = self.entries.lock().expect("cache map poisoned").get(key).cloned();
+        let hit = self.shards[shard_index(key)]
+            .lock()
+            .expect("cache shard poisoned")
+            .entries
+            .get(key)
+            .cloned();
         if hit.is_some() {
-            self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
         }
         hit
     }
 
     /// Record a completed point: remembered in memory and appended +
-    /// flushed to `points.jsonl` so an interrupt cannot lose it.
+    /// flushed to its shard file so an interrupt cannot lose it. The
+    /// whole line (newline included) is committed in a single write, so
+    /// concurrent writers — threads of this process serialized by the
+    /// shard lock, or other processes interleaved by the kernel's
+    /// append-mode offset handling — never corrupt each other's lines.
     pub fn put(&self, key: &str, label: &str, result: &SimResult) -> io::Result<()> {
-        self.entries
+        let mut line = codec::encode_line(key, label, result);
+        line.push('\n');
+        let mut shard = self.shards[shard_index(key)]
             .lock()
-            .expect("cache map poisoned")
-            .insert(key.to_string(), result.clone());
-        let line = codec::encode_line(key, label, result);
-        let mut w = self.writer.lock().expect("cache writer poisoned");
-        writeln!(w, "{line}")?;
-        w.flush()
+            .expect("cache shard poisoned");
+        shard.entries.insert(key.to_string(), result.clone());
+        shard.file.write_all(line.as_bytes())
+    }
+}
+
+/// Read every decodable line of `f` into `insert`, flagging whether the
+/// final line was missing its newline (a crashed append).
+fn read_entries(f: File, unterminated: &mut bool, mut insert: impl FnMut(String, SimResult)) {
+    let mut reader = BufReader::new(f);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            // An unreadable tail behaves like a truncated one: keep what
+            // decoded so far.
+            Err(_) => break,
+        }
+        *unterminated = !line.ends_with('\n');
+        if let Some((key, _label, result)) = codec::decode_line(line.trim_end()) {
+            insert(key, result);
+        }
     }
 }
 
@@ -131,6 +214,7 @@ impl std::fmt::Debug for ResultCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ResultCache")
             .field("dir", &self.dir)
+            .field("shards", &CACHE_SHARDS)
             .field("len", &self.len())
             .finish()
     }

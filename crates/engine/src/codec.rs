@@ -1,12 +1,16 @@
 //! JSONL encoding of cached points.
 //!
 //! One flat JSON object per line: the cache key, the label, a format
-//! version, and every measured field of [`SimResult`]. Floats are written
-//! in Rust's shortest round-trip form, so decode(encode(r)) == r
-//! bit-for-bit. The observability snapshot is *not* persisted — obs
-//! counters are process-cumulative and meaningless outside the run that
-//! produced them — so cache-served results carry `obs: None`.
+//! version, and every measured field of [`SimResult`]. Built on the
+//! shared [`Json`] value type (floats render in Rust's shortest
+//! round-trip form), so decode(encode(r)) == r bit-for-bit — and the
+//! daemon protocol's `result` objects are the same serialization, minus
+//! the key/label/version envelope. The observability snapshot is *not*
+//! persisted — obs counters are process-cumulative and meaningless
+//! outside the run that produced them — so cache-served results carry
+//! `obs: None`.
 
+use crate::json::Json;
 use mdd_core::SimResult;
 
 /// Format version written into every line; lines with any other version
@@ -15,43 +19,13 @@ pub const CACHE_LINE_VERSION: u64 = 1;
 
 /// Encode one cached point as a single JSONL line (no trailing newline).
 pub fn encode_line(key: &str, label: &str, r: &SimResult) -> String {
-    let (q50, q95, q99) = r.latency_quantiles;
-    format!(
-        concat!(
-            "{{\"v\":{v},\"key\":\"{key}\",\"label\":\"{label}\",",
-            "\"applied_load\":{applied_load:?},\"throughput\":{throughput:?},",
-            "\"avg_latency\":{avg_latency:?},\"q50\":{q50:?},\"q95\":{q95:?},\"q99\":{q99:?},",
-            "\"messages_delivered\":{messages_delivered},\"transactions\":{transactions},",
-            "\"deadlocks\":{deadlocks},\"router_rescues\":{router_rescues},",
-            "\"deflections\":{deflections},\"rescues\":{rescues},\"generated\":{generated},",
-            "\"mc_utilization\":{mc_utilization:?},\"cwg_checks\":{cwg_checks},",
-            "\"cwg_deadlocked_checks\":{cwg_deadlocked_checks},",
-            "\"vc_util_mean\":{vc_util_mean:?},\"vc_util_max\":{vc_util_max:?},",
-            "\"vc_util_cv\":{vc_util_cv:?}}}"
-        ),
-        v = CACHE_LINE_VERSION,
-        key = escape(key),
-        label = escape(label),
-        applied_load = r.applied_load,
-        throughput = r.throughput,
-        avg_latency = r.avg_latency,
-        q50 = q50,
-        q95 = q95,
-        q99 = q99,
-        messages_delivered = r.messages_delivered,
-        transactions = r.transactions,
-        deadlocks = r.deadlocks,
-        router_rescues = r.router_rescues,
-        deflections = r.deflections,
-        rescues = r.rescues,
-        generated = r.generated,
-        mc_utilization = r.mc_utilization,
-        cwg_checks = r.cwg_checks,
-        cwg_deadlocked_checks = r.cwg_deadlocked_checks,
-        vc_util_mean = r.vc_util_mean,
-        vc_util_max = r.vc_util_max,
-        vc_util_cv = r.vc_util_cv,
-    )
+    let mut fields = vec![
+        ("v".to_string(), Json::Int(CACHE_LINE_VERSION)),
+        ("key".to_string(), Json::Str(key.to_string())),
+        ("label".to_string(), Json::Str(label.to_string())),
+    ];
+    fields.extend(result_fields(r));
+    Json::Obj(fields).render()
 }
 
 /// Decode one line back into `(key, label, result)`. `None` on any
@@ -59,22 +33,59 @@ pub fn encode_line(key: &str, label: &str, r: &SimResult) -> String {
 /// such lines as absent rather than failing, so a file cut short by an
 /// interrupt only loses its final entry.
 pub fn decode_line(line: &str) -> Option<(String, String, SimResult)> {
-    let fields = parse_flat_object(line)?;
-    let num = |k: &str| -> Option<f64> { fields.iter().find(|(n, _)| n == k)?.1.number() };
-    let int = |k: &str| -> Option<u64> {
-        let v = num(k)?;
-        (v >= 0.0 && v.fract() == 0.0).then_some(v as u64)
-    };
-    let text = |k: &str| -> Option<String> {
-        match &fields.iter().find(|(n, _)| n == k)?.1 {
-            Value::Text(s) => Some(s.clone()),
-            Value::Number(_) => None,
-        }
-    };
-    if int("v")? != CACHE_LINE_VERSION {
+    let j = Json::parse(line.trim())?;
+    if j.get("v")?.as_u64()? != CACHE_LINE_VERSION {
         return None;
     }
-    let result = SimResult {
+    let result = result_from_json(&j)?;
+    Some((
+        j.get("key")?.as_str()?.to_string(),
+        j.get("label")?.as_str()?.to_string(),
+        result,
+    ))
+}
+
+/// The measured fields of a result, in canonical write order.
+fn result_fields(r: &SimResult) -> Vec<(String, Json)> {
+    let (q50, q95, q99) = r.latency_quantiles;
+    let f = |k: &str, v: f64| (k.to_string(), Json::Num(v));
+    let i = |k: &str, v: u64| (k.to_string(), Json::Int(v));
+    vec![
+        f("applied_load", r.applied_load),
+        f("throughput", r.throughput),
+        f("avg_latency", r.avg_latency),
+        f("q50", q50),
+        f("q95", q95),
+        f("q99", q99),
+        i("messages_delivered", r.messages_delivered),
+        i("transactions", r.transactions),
+        i("deadlocks", r.deadlocks),
+        i("router_rescues", r.router_rescues),
+        i("deflections", r.deflections),
+        i("rescues", r.rescues),
+        i("generated", r.generated),
+        f("mc_utilization", r.mc_utilization),
+        i("cwg_checks", r.cwg_checks),
+        i("cwg_deadlocked_checks", r.cwg_deadlocked_checks),
+        f("vc_util_mean", r.vc_util_mean),
+        f("vc_util_max", r.vc_util_max),
+        f("vc_util_cv", r.vc_util_cv),
+    ]
+}
+
+/// A result as a bare JSON object (no key/label/version envelope) — the
+/// shape the daemon protocol streams inside point events.
+pub(crate) fn result_to_json(r: &SimResult) -> Json {
+    Json::Obj(result_fields(r))
+}
+
+/// Rebuild a result from an object carrying the measured fields (either
+/// a full cache line or a protocol `result` object). `None` if any field
+/// is missing or mistyped.
+pub(crate) fn result_from_json(j: &Json) -> Option<SimResult> {
+    let num = |k: &str| j.get(k)?.as_f64();
+    let int = |k: &str| j.get(k)?.as_u64();
+    Some(SimResult {
         applied_load: num("applied_load")?,
         throughput: num("throughput")?,
         avg_latency: num("avg_latency")?,
@@ -93,110 +104,5 @@ pub fn decode_line(line: &str) -> Option<(String, String, SimResult)> {
         vc_util_max: num("vc_util_max")?,
         vc_util_cv: num("vc_util_cv")?,
         obs: None,
-    };
-    Some((text("key")?, text("label")?, result))
-}
-
-enum Value {
-    Text(String),
-    Number(f64),
-}
-
-impl Value {
-    fn number(&self) -> Option<f64> {
-        match self {
-            Value::Number(n) => Some(*n),
-            Value::Text(_) => None,
-        }
-    }
-}
-
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Parse a one-line flat JSON object of string and number values (the
-/// only shape this cache writes). Not a general JSON parser.
-fn parse_flat_object(line: &str) -> Option<Vec<(String, Value)>> {
-    let line = line.trim();
-    let body = line.strip_prefix('{')?.strip_suffix('}')?;
-    let mut fields = Vec::new();
-    let mut chars = body.chars().peekable();
-    loop {
-        // Key.
-        skip_ws(&mut chars);
-        if chars.peek().is_none() {
-            break;
-        }
-        if chars.next()? != '"' {
-            return None;
-        }
-        let key = read_string_tail(&mut chars)?;
-        skip_ws(&mut chars);
-        if chars.next()? != ':' {
-            return None;
-        }
-        skip_ws(&mut chars);
-        // Value: string or number.
-        let value = if chars.peek() == Some(&'"') {
-            chars.next();
-            Value::Text(read_string_tail(&mut chars)?)
-        } else {
-            let mut tok = String::new();
-            while let Some(&c) = chars.peek() {
-                if c == ',' {
-                    break;
-                }
-                tok.push(c);
-                chars.next();
-            }
-            Value::Number(tok.trim().parse().ok()?)
-        };
-        fields.push((key, value));
-        skip_ws(&mut chars);
-        match chars.next() {
-            None => break,
-            Some(',') => {}
-            Some(_) => return None,
-        }
-    }
-    Some(fields)
-}
-
-fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
-    while chars.peek().is_some_and(|c| c.is_whitespace()) {
-        chars.next();
-    }
-}
-
-/// Read a JSON string after its opening quote, consuming the closing one.
-fn read_string_tail(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Option<String> {
-    let mut out = String::new();
-    loop {
-        match chars.next()? {
-            '"' => return Some(out),
-            '\\' => match chars.next()? {
-                '"' => out.push('"'),
-                '\\' => out.push('\\'),
-                'n' => out.push('\n'),
-                't' => out.push('\t'),
-                'u' => {
-                    let code: String = (0..4).filter_map(|_| chars.next()).collect();
-                    out.push(char::from_u32(u32::from_str_radix(&code, 16).ok()?)?);
-                }
-                other => out.push(other),
-            },
-            c => out.push(c),
-        }
-    }
+    })
 }

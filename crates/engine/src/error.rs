@@ -13,6 +13,10 @@ pub enum PointFailure {
     /// panic was caught at the point boundary (`catch_unwind`), the
     /// worker thread survived, and every other point ran to completion.
     Panic(String),
+    /// The batch was cancelled before this point started. The point was
+    /// never simulated; its slot in the stream is filled by this marker
+    /// so a drain still sees every outcome.
+    Cancelled,
 }
 
 /// One failed point of a batch: which job, under which label, at which
@@ -39,6 +43,7 @@ impl std::fmt::Display for PointError {
         match &self.failure {
             PointFailure::Config(e) => write!(f, "{e}"),
             PointFailure::Panic(msg) => write!(f, "simulation panicked: {msg}"),
+            PointFailure::Cancelled => write!(f, "cancelled before start"),
         }
     }
 }
@@ -47,7 +52,7 @@ impl std::error::Error for PointError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match &self.failure {
             PointFailure::Config(e) => Some(e),
-            PointFailure::Panic(_) => None,
+            PointFailure::Panic(_) | PointFailure::Cancelled => None,
         }
     }
 }

@@ -1,24 +1,37 @@
-//! mdd-engine: the fault-tolerant, cached batch experiment engine.
+//! mdd-engine: the fault-tolerant, cached, streaming experiment engine.
 //!
-//! All figure harnesses and the bench binaries route their simulation
-//! points through this crate. Three ideas compose:
+//! All figure harnesses, the bench binaries, and the `mddsimd` sweep
+//! daemon route their simulation points through this crate. Four ideas
+//! compose:
 //!
 //! 1. **Jobs.** A [`Job`] is one fully resolved
 //!    [`SimConfig`](mdd_core::SimConfig) plus the curve label and point
 //!    id it reports under. [`Job::points`] expands a base config and a
 //!    load vector into a batch, applying the same per-point seed
 //!    decorrelation the classic sweep used.
-//! 2. **Fault isolation.** The [`Engine`] schedules a batch across the
-//!    rayon workers and wraps every point in `catch_unwind`: a poisoned
-//!    point becomes a typed [`PointError`] in the [`SweepReport`]
-//!    while every other point runs to completion. Configuration
-//!    failures surface the same way.
-//! 3. **Content-addressed caching.** With [`Engine::with_cache_dir`],
-//!    each completed point is persisted to an append-only JSONL file
+//! 2. **Streaming submission.** [`Engine::submit`] schedules a batch
+//!    onto a work-stealing thread pool and returns a [`JobHandle`]
+//!    immediately; each [`PointOutcome`] streams back as it completes
+//!    ([`JobHandle::recv`] / [`JobHandle::try_recv`]), and
+//!    [`JobHandle::wait`] assembles the drained stream into a
+//!    [`SweepReport`] ordered by job id — bit-identical regardless of
+//!    worker count. Batches can be cancelled mid-flight; unstarted
+//!    points then stream back as [`PointFailure::Cancelled`].
+//! 3. **Fault isolation.** Every point runs under `catch_unwind`: a
+//!    poisoned point becomes a typed [`PointError`] in the stream while
+//!    every other point runs to completion. Configuration failures
+//!    surface the same way.
+//! 4. **Content-addressed caching.** With [`Engine::with_cache_dir`],
+//!    each completed point is persisted to an append-only JSONL shard
 //!    keyed by the canonical hash of its configuration. Re-running an
 //!    unchanged experiment simulates zero new points; changing any
 //!    semantic field invalidates exactly the affected points. An
-//!    interrupted sweep resumes from what it already finished.
+//!    interrupted sweep resumes from what it already finished, and
+//!    concurrent engines may share a directory.
+//!
+//! The [`proto`] module serializes this same surface over a Unix domain
+//! socket for the `mddsimd` daemon: a remote submit expands to the same
+//! job batch, and each streamed line is one `PointOutcome`.
 //!
 //! ```
 //! use mdd_engine::Engine;
@@ -32,7 +45,12 @@
 //!     .build()
 //!     .unwrap();
 //! let engine = Engine::new(); // or Engine::with_cache_dir("results/cache")
-//! let report = engine.run_sweep(&base, &[0.1, 0.2], "PR");
+//! let mut handle = engine.submit_sweep(&base, &[0.1, 0.2], "PR");
+//! while let Some(outcome) = handle.recv() {
+//!     // Points arrive as they complete — report progress here.
+//!     assert!(outcome.result.is_ok());
+//! }
+//! let report = handle.wait(); // already drained: assembles instantly
 //! assert!(report.complete());
 //! let curve = report.curve("PR");
 //! assert_eq!(curve.points.len(), 2);
@@ -43,12 +61,18 @@ mod codec;
 mod engine;
 mod error;
 mod job;
+mod json;
+pub mod proto;
 
-pub use cache::{ResultCache, CACHE_FILE};
+pub use cache::{ResultCache, CACHE_FILE, CACHE_SHARDS};
 pub use codec::{decode_line, encode_line, CACHE_LINE_VERSION};
-pub use engine::{Engine, PointOutcome, SweepReport};
+pub use engine::{Canceller, Engine, EngineBuilder, JobHandle, PointOutcome, SweepReport};
 pub use error::{PointError, PointFailure};
 pub use job::Job;
+pub use json::Json;
 
 /// The conventional cache directory used by the bench binaries.
 pub const DEFAULT_CACHE_DIR: &str = "results/cache";
+
+/// The conventional socket path of the `mddsimd` daemon.
+pub const DEFAULT_SOCKET: &str = "/tmp/mddsimd.sock";

@@ -44,13 +44,13 @@ fn second_identical_run_simulates_nothing() {
     let loads = [0.05, 0.10, 0.15];
 
     let engine = Engine::with_cache_dir(tmp.path()).expect("open cache");
-    let first = engine.run_sweep(&cfg, &loads, "PR");
+    let first = engine.submit_sweep(&cfg, &loads, "PR").wait();
     assert_eq!(first.simulated(), 3);
     assert_eq!(first.cached(), 0);
     assert!(first.complete());
 
     let engine = Engine::with_cache_dir(tmp.path()).expect("reopen cache");
-    let second = engine.run_sweep(&cfg, &loads, "PR");
+    let second = engine.submit_sweep(&cfg, &loads, "PR").wait();
     assert_eq!(second.simulated(), 0, "no new simulation points");
     assert_eq!(second.cached(), 3);
     assert!(second.outcomes.iter().all(|o| o.from_cache));
@@ -69,7 +69,7 @@ fn second_identical_run_simulates_nothing() {
     let mut changed = cfg.clone();
     changed.detect_threshold += 1;
     let engine = Engine::with_cache_dir(tmp.path()).expect("reopen cache");
-    let third = engine.run_sweep(&changed, &[0.05], "PR");
+    let third = engine.submit_sweep(&changed, &[0.05], "PR").wait();
     assert_eq!(third.cached(), 0);
     assert_eq!(third.simulated(), 1);
 }
@@ -78,7 +78,7 @@ fn second_identical_run_simulates_nothing() {
 fn uncached_engine_reports_no_cache() {
     let engine = Engine::new();
     assert!(engine.cache().is_none());
-    let report = engine.run_sweep(&small_cfg(), &[0.05], "PR");
+    let report = engine.submit_sweep(&small_cfg(), &[0.05], "PR").wait();
     assert_eq!(report.simulated(), 1);
     assert_eq!(report.cached(), 0);
 }

@@ -6,17 +6,19 @@
 mod common;
 
 use common::{fake_result, small_cfg, TempDir};
-use mdd_engine::{Engine, Job, PointFailure, ResultCache, CACHE_FILE};
+use mdd_engine::{Engine, Job, PointFailure, ResultCache};
 
 #[test]
 fn injected_panic_becomes_point_error_without_aborting() {
     let jobs = Job::points(&small_cfg(), &[0.10, 0.20, 0.30], "PR");
-    let report = Engine::new().run_jobs_with(jobs, |job| {
-        if job.id == 1 {
-            panic!("boom at load {:.2}", job.load());
-        }
-        Ok(fake_result(job.load()))
-    });
+    let report = Engine::new()
+        .submit_with(jobs, |job: &Job| {
+            if job.id == 1 {
+                panic!("boom at load {:.2}", job.load());
+            }
+            Ok(fake_result(job.load()))
+        })
+        .wait();
 
     assert_eq!(report.failed(), 1);
     assert_eq!(report.simulated(), 2);
@@ -54,7 +56,7 @@ fn infeasible_config_becomes_typed_config_error() {
         Job::new(0, "PR", small_cfg().at_load(0.10)),
         Job::new(1, "SA", bad.at_load(0.10)),
     ];
-    let report = Engine::new().run_jobs(jobs);
+    let report = Engine::new().submit(jobs).wait();
 
     assert_eq!(report.simulated(), 1);
     assert_eq!(report.failed(), 1);
@@ -69,22 +71,26 @@ fn resume_after_partial_failure_replays_survivors_from_cache() {
 
     // First run: the middle point dies.
     let engine = Engine::with_cache_dir(tmp.path()).expect("open cache");
-    let report = engine.run_jobs_with(Job::points(&small_cfg(), &loads, "PR"), |job| {
-        if job.id == 1 {
-            panic!("interrupted");
-        }
-        Ok(fake_result(job.load()))
-    });
+    let report = engine
+        .submit_with(Job::points(&small_cfg(), &loads, "PR"), |job: &Job| {
+            if job.id == 1 {
+                panic!("interrupted");
+            }
+            Ok(fake_result(job.load()))
+        })
+        .wait();
     assert_eq!(report.simulated(), 2);
     assert_eq!(report.failed(), 1);
 
     // Second run, fresh engine over the same directory: only the failed
     // point may reach the runner — the other two must come from disk.
     let engine = Engine::with_cache_dir(tmp.path()).expect("reopen cache");
-    let report = engine.run_jobs_with(Job::points(&small_cfg(), &loads, "PR"), |job| {
-        assert_eq!(job.id, 1, "cached point re-simulated");
-        Ok(fake_result(job.load()))
-    });
+    let report = engine
+        .submit_with(Job::points(&small_cfg(), &loads, "PR"), |job: &Job| {
+            assert_eq!(job.id, 1, "cached point re-simulated");
+            Ok(fake_result(job.load()))
+        })
+        .wait();
     assert_eq!(report.cached(), 2);
     assert_eq!(report.simulated(), 1);
     assert_eq!(report.failed(), 0);
@@ -95,13 +101,18 @@ fn resume_after_partial_failure_replays_survivors_from_cache() {
 #[test]
 fn cache_skips_corrupt_lines_and_keeps_valid_ones() {
     let tmp = TempDir::new("corrupt");
+    // Both keys start with 'a', so they share one shard file — the one
+    // this test corrupts.
     {
         let cache = ResultCache::open(tmp.path()).unwrap();
         cache.put("aaaa", "PR", &fake_result(0.1)).unwrap();
-        cache.put("bbbb", "PR", &fake_result(0.2)).unwrap();
+        cache.put("abbb", "PR", &fake_result(0.2)).unwrap();
     }
     // Simulate a crash mid-append plus unrelated garbage.
-    let file = tmp.path().join(CACHE_FILE);
+    let file = {
+        let cache = ResultCache::open(tmp.path()).unwrap();
+        cache.shard_file("aaaa")
+    };
     let mut text = std::fs::read_to_string(&file).unwrap();
     text.insert_str(0, "not json\n");
     text.push_str("{\"v\":1,\"key\":\"truncated");
@@ -110,10 +121,12 @@ fn cache_skips_corrupt_lines_and_keeps_valid_ones() {
     let cache = ResultCache::open(tmp.path()).unwrap();
     assert_eq!(cache.len(), 2);
     assert!(cache.get("aaaa").is_some());
-    assert!(cache.get("bbbb").is_some());
+    assert!(cache.get("abbb").is_some());
 
-    // And the reopened file still accepts appends.
-    cache.put("cccc", "PR", &fake_result(0.3)).unwrap();
+    // And the reopened file still accepts appends — the repaired tail
+    // cannot glue the next entry onto the truncated line.
+    cache.put("accc", "PR", &fake_result(0.3)).unwrap();
     let cache = ResultCache::open(tmp.path()).unwrap();
     assert_eq!(cache.len(), 3);
+    assert!(cache.get("accc").is_some());
 }

@@ -31,7 +31,7 @@ fn engine_counters_distinguish_simulated_cached_and_failed() {
     // Cold run: everything is simulated.
     let before = counters();
     let engine = Engine::with_cache_dir(tmp.path()).expect("open cache");
-    let report = engine.run_sweep(&cfg, &loads, "PR");
+    let report = engine.submit_sweep(&cfg, &loads, "PR").wait();
     assert!(report.complete());
     let after = counters();
     assert_eq!(after.0 - before.0, 3, "points_started");
@@ -44,7 +44,7 @@ fn engine_counters_distinguish_simulated_cached_and_failed() {
     // only the cached counter moves (and no wall time accrues).
     let before = counters();
     let engine = Engine::with_cache_dir(tmp.path()).expect("reopen cache");
-    let report = engine.run_sweep(&cfg, &loads, "PR");
+    let report = engine.submit_sweep(&cfg, &loads, "PR").wait();
     assert!(report.complete());
     let after = counters();
     assert_eq!(after.0 - before.0, 0, "points_started");
@@ -55,12 +55,14 @@ fn engine_counters_distinguish_simulated_cached_and_failed() {
 
     // A failing point is counted as started + failed, never completed.
     let before = counters();
-    let report = engine.run_jobs_with(
-        mdd_engine::Job::points(&cfg, &[0.20], "PR"),
-        |_job| -> Result<mdd_core::SimResult, mdd_core::SchemeConfigError> {
-            panic!("injected")
-        },
-    );
+    let report = engine
+        .submit_with(
+            mdd_engine::Job::points(&cfg, &[0.20], "PR"),
+            |_job: &mdd_engine::Job| -> Result<mdd_core::SimResult, mdd_core::SchemeConfigError> {
+                panic!("injected")
+            },
+        )
+        .wait();
     assert_eq!(report.failed(), 1);
     let after = counters();
     assert_eq!(after.0 - before.0, 1, "points_started");
