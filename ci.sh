@@ -123,6 +123,34 @@ set -e
 echo "$unsafe_out" | grep -q "verdict: Unsafe" || {
     echo "verify smoke: crippled SA should be Unsafe, got:"; echo "$unsafe_out"; exit 1; }
 
+echo "==> scaling smoke (orbit-quotiented verifier at 64x64, ladder sweep point)"
+# The orbit quotient must classify a 4096-router torus interactively:
+# three verdicts in <1s each. The release binary is invoked directly
+# (already built above) so process spawn doesn't pollute the budget.
+verify_big() { # scheme vcs expected_verdict
+    local out t0 t1
+    t0=$(date +%s%N)
+    out=$(./target/release/mddsim \
+        --verify --scheme "$1" --pattern pat271 --vcs "$2" --topo 64x64) || true
+    t1=$(date +%s%N)
+    echo "$out" | grep -q "verdict: $3" || {
+        echo "scaling smoke: $1 vcs=$2 at 64x64 expected $3, got:"; echo "$out"; exit 1; }
+    local ms=$(( (t1 - t0) / 1000000 ))
+    [ "$ms" -lt 1000 ] || {
+        echo "scaling smoke: 64x64 $1 verdict took ${ms}ms (budget 1000ms)"; exit 1; }
+    echo "    64x64 $1 vcs=$2: $3 in ${ms}ms"
+}
+verify_big sa 8 ProvenFree
+verify_big dr 8 RecoverableCycles
+verify_big pr 4 RecoverableCycles
+# One short 64x64 simulation point through the --topo preset path.
+scale_out=$(./target/release/mddsim \
+    --scheme pr --pattern pat100 --vcs 4 --topo 64x64 \
+    --load 0.005 --warmup 100 --measure 200 --no-cache)
+echo "$scale_out" | grep -q "throughput" || {
+    echo "scaling smoke: 64x64 sweep point produced no result:"
+    echo "$scale_out"; exit 1; }
+
 echo "==> hot-path bench smoke (load ladder + activity-scheduler counters)"
 # Written to target/ so the committed BENCH_hotpath.json (full-length
 # numbers) is never clobbered by quick-mode smoke results.
@@ -138,6 +166,13 @@ grep -q '"pr"' "$smoke_json" || {
 for load in 0.05 0.30 0.55; do
     grep -q "\"load\": $load" "$smoke_json" || {
         echo "hotpath smoke: output is missing ladder rung $load:"
+        cat "$smoke_json"; exit 1; }
+done
+# The size ladder must have produced every rung (the bench itself asserts
+# sub-linear per-cycle cost growth, so rungs present ⇒ the gate passed).
+for topo in 8x8 16x16 64x64 8x8x8; do
+    grep -q "\"topo\": \"$topo\"" "$smoke_json" || {
+        echo "hotpath smoke: output is missing size-ladder rung $topo:"
         cat "$smoke_json"; exit 1; }
 done
 # At low load the activity scheduler must actually be skipping work.

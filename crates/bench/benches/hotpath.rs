@@ -30,6 +30,12 @@ const SA: Scheme = Scheme::StrictAvoidance {
 /// The benchmarked load ladder (flits/node/cycle).
 const LOADS: [f64; 3] = [0.05, 0.30, 0.55];
 
+/// Fixed per-node load for the size ladder (big-but-sparse: the regime
+/// the lazily-materialized state and hierarchical wake sets target — a
+/// mostly quiescent machine where dense per-router structure, not
+/// activity, used to dominate per-cycle cost).
+const LADDER_LOAD: f64 = 0.005;
+
 fn quick() -> bool {
     hotpath_quick()
 }
@@ -119,12 +125,78 @@ fn write_json() {
             ));
         }
     }
+    // Size ladder: PR at a fixed per-node load across the torus rungs.
+    // Destinations follow the Neighbor permutation and the protocol is
+    // PAT100 (pure request-reply, no forwarded third-party chains) so the
+    // hop count — and with it per-node activity — stays constant as the
+    // network grows; under uniform or chain-forwarding traffic the
+    // average path length scales with the radix and the comparison would
+    // conflate simulator cost with traffic intensity. Arrivals are the
+    // sparse geometric mode, so generation (like everything else on this
+    // path) costs activity, not router count. With lazily-materialized
+    // router state and the hierarchical wake set, per-cycle cost must
+    // then track *activity*: going up each rung, wall cost per cycle may
+    // grow by strictly less than the router-count multiple (sub-linear
+    // growth; the dense baseline grows at least linearly).
+    let ladder_cycles = if quick() { 1_000 } else { 5_000 };
+    let mut ladder = Vec::new();
+    let mut base_cost: Option<f64> = None;
+    for rung in SimConfig::scale_ladder() {
+        let topo = rung
+            .iter()
+            .map(u32::to_string)
+            .collect::<Vec<_>>()
+            .join("x");
+        let routers: u32 = rung.iter().product();
+        let mut cfg = SimConfig::paper_default(
+            Scheme::ProgressiveRecovery,
+            PatternSpec::pat100(),
+            4,
+            LADDER_LOAD,
+        );
+        cfg.radix = rung.to_vec();
+        cfg.dest = mdd_core::DestPattern::Neighbor;
+        cfg.sparse_arrivals = true;
+        // Gauge sampling walks every NIC, so a fixed period would charge
+        // the big rungs O(N) observability cost per sample that the 8x8
+        // rung never pays; scaling the period with the router count keeps
+        // the *amortized per-router* cost identical across rungs (gauges
+        // are excluded from the canonical config hash — they cannot
+        // affect results).
+        cfg.obs_sample_every = u64::from(routers).max(64);
+        cfg.warmup = 0;
+        cfg.measure = 0;
+        let mut sim = Simulator::new(cfg).expect("ladder config is feasible");
+        sim.run_cycles(if quick() { 500 } else { 2_000 });
+        let (cps, wall) = cycles_per_sec(&mut sim, ladder_cycles, reps);
+        let per_cycle_cost = 1.0 / cps;
+        let base = *base_cost.get_or_insert(per_cycle_cost);
+        let cost_ratio = per_cycle_cost / base;
+        let node_ratio = f64::from(routers) / 64.0;
+        println!(
+            "hotpath/ladder pr@{LADDER_LOAD:.3} {topo}: {cps:.0} cycles/sec \
+             (cost x{cost_ratio:.1} for x{node_ratio:.0} routers)"
+        );
+        assert!(
+            cost_ratio < node_ratio || node_ratio <= 1.0,
+            "per-cycle cost grew x{cost_ratio:.2} from 8x8 to {topo} — not \
+             sub-linear in the x{node_ratio:.0} router growth"
+        );
+        ladder.push(format!(
+            "  {{\"topo\": \"{topo}\", \"routers\": {routers}, \"scheme\": \"pr\", \
+             \"load\": {LADDER_LOAD:.3}, \"cycles_per_sec\": {cps:.1}, \
+             \"wall_secs\": {wall:.4}, \"cost_ratio_vs_8x8\": {cost_ratio:.3}, \
+             \"router_ratio_vs_8x8\": {node_ratio:.1}}}"
+        ));
+    }
     mdd_obs::uninstall();
     let out = hotpath_out();
     let json = format!(
         "{{\"bench\": \"hotpath\", \"topology\": \"8x8 torus\", \"vcs\": 4, \
-         \"loads\": [0.05, 0.30, 0.55], \"results\": [\n{}\n]}}\n",
-        entries.join(",\n")
+         \"loads\": [0.05, 0.30, 0.55], \"results\": [\n{}\n],\n\
+         \"ladder\": [\n{}\n]}}\n",
+        entries.join(",\n"),
+        ladder.join(",\n")
     );
     std::fs::write(&out, json).expect("write BENCH_hotpath.json");
     println!("wrote {}", out.display());

@@ -17,6 +17,9 @@
 //! --load F                     [0.2]   (ignored with --sweep)
 //! --sweep LO:HI:N              run a Burton-Normal-Form sweep
 //! --radix KxK[xK...]           [8x8]
+//! --topo KxK[xK...]            alias of --radix: the scale-ladder preset
+//!                              grammar (8x8, 16x16, 64x64, 8x8x8), parsed
+//!                              and bounds-checked by SimConfig::parse_topo
 //! --bristle N                  [1]
 //! --queue-org shared|pernet|pertype   [scheme default]
 //! --warmup N / --measure N     [10000 / 30000]
@@ -137,12 +140,13 @@ fn main() {
     };
     let vcs: u8 = cli.parse_value("--vcs", 4);
     let load: f64 = cli.parse_value("--load", 0.2);
-    let radix: Vec<u32> = match cli.value("--radix") {
+    if cli.value("--radix").is_some() && cli.value("--topo").is_some() {
+        die("--radix and --topo are aliases; give only one");
+    }
+    let radix: Vec<u32> = match cli.value("--topo").or_else(|| cli.value("--radix")) {
         None => vec![8, 8],
-        Some(s) => s
-            .split('x')
-            .map(|k| k.parse().unwrap_or_else(|_| die("bad --radix")))
-            .collect(),
+        Some(s) => SimConfig::parse_topo(s)
+            .unwrap_or_else(|e| die(&format!("bad topology spec: {e}"))),
     };
     let queue_org = match cli.value("--queue-org") {
         None => None,
@@ -183,7 +187,7 @@ fn main() {
             scheme.label(),
             cli.value("--pattern").unwrap_or("pat271"),
             vcs,
-            cli.value("--radix").unwrap_or("8x8"),
+            cli.value("--topo").or_else(|| cli.value("--radix")).unwrap_or("8x8"),
             cfg.effective_queue_org(),
         );
         println!("verdict: {}", verdict.name());

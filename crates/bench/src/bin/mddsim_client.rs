@@ -3,7 +3,7 @@
 //! ```text
 //! mddsim-client [--socket PATH] submit --sweep LO:HI:N [--label L]
 //!               [--scheme sa|sa+|dr|pr] [--pattern pat100|pat721|pat451|pat271|pat280]
-//!               [--vcs N] [--radix AxB] [--bristle N]
+//!               [--vcs N] [--radix AxB | --topo AxB[xC]] [--bristle N]
 //!               [--queue-org shared|pernet|pertype]
 //!               [--warmup N] [--measure N] [--seed N]
 //! mddsim-client [--socket PATH] status
@@ -185,11 +185,12 @@ fn spec_from_flags(value: &dyn Fn(&str) -> Option<String>) -> SweepSpec {
     if let Some(v) = value("--vcs") {
         spec.vcs = v.parse().unwrap_or_else(|_| die("bad --vcs"));
     }
-    if let Some(v) = value("--radix") {
-        spec.radix = v
-            .split('x')
-            .map(|r| r.parse().unwrap_or_else(|_| die("bad --radix (want AxB)")))
-            .collect();
+    if value("--radix").is_some() && value("--topo").is_some() {
+        die("--radix and --topo are aliases; give only one");
+    }
+    if let Some(v) = value("--topo").or_else(|| value("--radix")) {
+        spec.radix = mdd_core::SimConfig::parse_topo(&v)
+            .unwrap_or_else(|e| die(&format!("bad topology spec: {e}")));
     }
     if let Some(v) = value("--bristle") {
         spec.bristle = v.parse().unwrap_or_else(|_| die("bad --bristle"));

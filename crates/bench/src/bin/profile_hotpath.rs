@@ -12,18 +12,29 @@ fn main() {
         .nth(3)
         .and_then(|s| s.parse().ok())
         .unwrap_or(100_000);
-    let (scheme, pattern, vcs) = match scheme.as_str() {
-        "sa" => (
+    // Optional 4th arg: a `KxK[xK]` topo spec switches to the scale-ladder
+    // configuration (Neighbor destinations, PAT100, sparse arrivals) on
+    // that torus instead of the 8x8 paper default.
+    let topo = std::env::args().nth(4);
+    let (scheme, pattern, vcs) = match (scheme.as_str(), topo.is_some()) {
+        (_, true) => (Scheme::ProgressiveRecovery, PatternSpec::pat100(), 4),
+        ("sa", _) => (
             Scheme::StrictAvoidance {
                 shared_adaptive: false,
             },
             PatternSpec::pat100(),
             4,
         ),
-        "dr" => (Scheme::DeflectiveRecovery, PatternSpec::pat271(), 4),
+        ("dr", _) => (Scheme::DeflectiveRecovery, PatternSpec::pat271(), 4),
         _ => (Scheme::ProgressiveRecovery, PatternSpec::pat271(), 4),
     };
     let mut cfg = SimConfig::paper_default(scheme, pattern, vcs, load);
+    if let Some(spec) = &topo {
+        cfg.radix = SimConfig::parse_topo(spec).expect("valid topo spec");
+        cfg.dest = mdd_core::DestPattern::Neighbor;
+        cfg.sparse_arrivals = true;
+        cfg.obs_sample_every = u64::from(cfg.radix.iter().product::<u32>()).max(64);
+    }
     cfg.warmup = 0;
     cfg.measure = 0;
     let mut sim = Simulator::new(cfg).expect("config feasible");

@@ -30,6 +30,32 @@ pub enum ConfigError {
         /// The radix given for it.
         radix: u32,
     },
+    /// More dimensions than the hop-geometry tables support
+    /// ([`MAX_DIMS`](mdd_topology::MAX_DIMS)).
+    TooManyDimensions {
+        /// The number of dimensions requested.
+        dims: usize,
+    },
+    /// The port·VC product exceeds the 128-slot occupancy masks: router
+    /// input occupancy and output ownership are `u128` bitmasks indexed
+    /// by `port * vcs + vc`, so `(2·dims + bristle) · vcs` must fit in
+    /// 128 bits. Before this check, an oversized combination died on a
+    /// debug assert deep in the fused pipeline pass (or silently
+    /// truncated in release builds).
+    VcBudgetTooLarge {
+        /// Ports per router (`2·dims + bristle`).
+        ports: usize,
+        /// Virtual channels per physical link.
+        vcs: u8,
+        /// The resulting slot count (`ports · vcs`).
+        slots: usize,
+    },
+    /// A `--topo`/`--radix` specification that does not parse as
+    /// `KxK[xK...]` with positive integer radices.
+    InvalidTopology {
+        /// The offending specification string.
+        spec: String,
+    },
     /// Zero NICs per router.
     ZeroBristle,
     /// Zero virtual channels per physical link.
@@ -68,6 +94,19 @@ impl std::fmt::Display for ConfigError {
             ConfigError::EmptyRadix => write!(f, "radix vector is empty"),
             ConfigError::RadixTooSmall { dim, radix } => {
                 write!(f, "radix {radix} in dimension {dim} (minimum is 2)")
+            }
+            ConfigError::TooManyDimensions { dims } => write!(
+                f,
+                "{dims} dimensions exceed the supported maximum of {}",
+                mdd_topology::MAX_DIMS
+            ),
+            ConfigError::VcBudgetTooLarge { ports, vcs, slots } => write!(
+                f,
+                "{ports} ports x {vcs} VCs = {slots} slots exceed the 128-bit \
+                 router occupancy masks"
+            ),
+            ConfigError::InvalidTopology { spec } => {
+                write!(f, "invalid topology spec {spec:?} (expected KxK[xK...], radices >= 2)")
             }
             ConfigError::ZeroBristle => write!(f, "bristle factor must be at least 1"),
             ConfigError::ZeroVirtualChannels => write!(f, "at least 1 virtual channel required"),
@@ -116,6 +155,11 @@ impl SimConfig {
         if self.radix.is_empty() {
             return Err(ConfigError::EmptyRadix);
         }
+        if self.radix.len() > mdd_topology::MAX_DIMS {
+            return Err(ConfigError::TooManyDimensions {
+                dims: self.radix.len(),
+            });
+        }
         if let Some((dim, &radix)) = self.radix.iter().enumerate().find(|(_, &k)| k < 2) {
             return Err(ConfigError::RadixTooSmall { dim, radix });
         }
@@ -124,6 +168,15 @@ impl SimConfig {
         }
         if self.vcs == 0 {
             return Err(ConfigError::ZeroVirtualChannels);
+        }
+        let ports = 2 * self.radix.len() + self.bristle as usize;
+        let slots = ports * self.vcs as usize;
+        if slots > 128 {
+            return Err(ConfigError::VcBudgetTooLarge {
+                ports,
+                vcs: self.vcs,
+                slots,
+            });
         }
         if self.flit_buf == 0 {
             return Err(ConfigError::ZeroFlitBuffers);
@@ -182,6 +235,39 @@ impl SimConfig {
             verify: false,
         }
     }
+
+    /// Parse a `KxK[xK...]` topology spec (the `mddsim --topo` / `--radix`
+    /// grammar) into a per-dimension radix vector, applying the same
+    /// bounds [`SimConfig::validate`] enforces so a bad spec fails at the
+    /// flag instead of deep in construction.
+    ///
+    /// ```
+    /// use mdd_core::SimConfig;
+    /// assert_eq!(SimConfig::parse_topo("64x64").unwrap(), vec![64, 64]);
+    /// assert_eq!(SimConfig::parse_topo("8x8x8").unwrap(), vec![8, 8, 8]);
+    /// assert!(SimConfig::parse_topo("8x").is_err());
+    /// assert!(SimConfig::parse_topo("8x8x8x8x8").is_err());
+    /// ```
+    pub fn parse_topo(spec: &str) -> Result<Vec<u32>, ConfigError> {
+        let bad = || ConfigError::InvalidTopology { spec: spec.to_string() };
+        let radix: Vec<u32> = spec
+            .split('x')
+            .map(|part| part.parse::<u32>().map_err(|_| bad()))
+            .collect::<Result<_, _>>()?;
+        if radix.is_empty() || radix.iter().any(|&k| k < 2) {
+            return Err(bad());
+        }
+        if radix.len() > mdd_topology::MAX_DIMS {
+            return Err(ConfigError::TooManyDimensions { dims: radix.len() });
+        }
+        Ok(radix)
+    }
+
+    /// The scale-ladder rungs exercised end-to-end by the benches and CI:
+    /// the paper's 8×8 baseline, 16×16, 64×64, and a 3D 8×8×8 torus.
+    pub fn scale_ladder() -> [&'static [u32]; 4] {
+        [&[8, 8], &[16, 16], &[64, 64], &[8, 8, 8]]
+    }
 }
 
 /// Builder for [`SimConfig`] with validate-at-build semantics; obtained
@@ -228,6 +314,13 @@ impl SimConfigBuilder {
     pub fn radix(mut self, radix: &[u32]) -> Self {
         self.cfg.radix = radix.to_vec();
         self
+    }
+
+    /// Per-dimension radices from a `KxK[xK...]` spec string (the ladder
+    /// preset grammar; see [`SimConfig::parse_topo`]).
+    pub fn topo(self, spec: &str) -> Result<Self, ConfigError> {
+        let radix = SimConfig::parse_topo(spec)?;
+        Ok(self.radix(&radix))
     }
 
     /// Queue-organization override (`None` = scheme default).
@@ -283,6 +376,11 @@ impl SimConfigBuilder {
     setter!(
         /// Destination pattern for original requests.
         dest: DestPattern
+    );
+    setter!(
+        /// Sparse event-driven traffic arrivals (geometric inter-arrival
+        /// sampling; O(arrivals) generation — the scale-ladder regime).
+        sparse_arrivals: bool
     );
     setter!(
         /// RNG seed.

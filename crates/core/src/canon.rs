@@ -57,6 +57,11 @@ impl SimConfig {
         let _ = writeln!(s, "token_hop={}", self.token_hop);
         let _ = writeln!(s, "lane_hop={}", self.lane_hop);
         let _ = writeln!(s, "dest={}", canon_dest(self.dest));
+        // Written only when enabled so every pre-existing dense-mode
+        // cache key (and its stored results) stays valid.
+        if self.sparse_arrivals {
+            let _ = writeln!(s, "sparse_arrivals=true");
+        }
         let _ = writeln!(s, "seed={}", self.seed);
         let _ = writeln!(s, "warmup={}", self.warmup);
         let _ = writeln!(s, "measure={}", self.measure);
@@ -119,6 +124,7 @@ fn canon_dest(d: DestPattern) -> String {
         DestPattern::Random => "random".into(),
         DestPattern::BitComplement => "bitcomp".into(),
         DestPattern::Transpose => "transpose".into(),
+        DestPattern::Neighbor => "neighbor".into(),
         DestPattern::Hotspot { node, permille } => format!("hotspot:{node}:{permille}"),
     }
 }

@@ -47,6 +47,15 @@ pub struct SimConfig {
     pub lane_hop: u64,
     /// Destination pattern for original requests (default uniform random).
     pub dest: DestPattern,
+    /// Sparse event-driven traffic arrivals (default false): per-node
+    /// inter-arrival gaps are sampled geometrically instead of one
+    /// Bernoulli draw per node per cycle, so generation costs
+    /// O(arrivals) and quiescent stretches can be fast-forwarded even
+    /// while generation is on — the scale-ladder regime. Same arrival
+    /// distribution, different RNG stream: results are reproducible per
+    /// mode, and the golden-pinned configurations keep the dense
+    /// default.
+    pub sparse_arrivals: bool,
     /// RNG seed; identical configurations with identical seeds reproduce
     /// identical results.
     pub seed: u64,
@@ -89,6 +98,7 @@ impl SimConfig {
             token_hop: 1,
             lane_hop: 1,
             dest: DestPattern::Random,
+            sparse_arrivals: false,
             seed: 0x5eed,
             warmup: 10_000,
             measure: 30_000,

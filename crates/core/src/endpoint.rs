@@ -1,6 +1,7 @@
 //! Adapter presenting the NIC array to the network as an
 //! [`mdd_router::EjectControl`].
 
+use crate::schedule::NicSchedule;
 use mdd_nic::Nic;
 use mdd_protocol::{MessageStore, MsgHandle};
 use mdd_router::EjectControl;
@@ -12,10 +13,9 @@ use mdd_topology::NicId;
 pub(crate) struct NicArray<'a> {
     pub store: &'a MessageStore,
     pub nics: &'a mut [Nic],
-    /// Per-NIC next-due-tick cycles (the simulator's idle-skip schedule);
-    /// a completed packet delivery zeroes the entry so the NIC ticks
-    /// again from the next cycle on.
-    pub nic_next: &'a mut [u64],
+    /// The simulator's idle-skip schedule; a completed packet delivery
+    /// zeroes the NIC's entry so it ticks again from the next cycle on.
+    pub sched: &'a mut NicSchedule,
 }
 
 impl EjectControl for NicArray<'_> {
@@ -30,6 +30,6 @@ impl EjectControl for NicArray<'_> {
     fn deliver_packet(&mut self, nic: NicId, msg: MsgHandle, _injected_at: u64, _cycle: u64) {
         self.nics[nic.index()].on_packet(msg, self.store.get(msg));
         // A new message is queued at this endpoint: cancel its idle-skip.
-        self.nic_next[nic.index()] = 0;
+        self.sched.set(nic.index(), 0);
     }
 }

@@ -28,6 +28,7 @@ mod config;
 mod endpoint;
 mod preflight;
 mod recovery;
+mod schedule;
 mod sim;
 mod sweep;
 mod validate;

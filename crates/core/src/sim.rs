@@ -3,6 +3,7 @@
 use crate::config::{SimConfig, SimResult};
 use crate::endpoint::NicArray;
 use crate::recovery::PrRecovery;
+use crate::schedule::NicSchedule;
 use mdd_nic::{Nic, NicConfig, NicStats};
 use mdd_protocol::{IdAlloc, MessageStore};
 use mdd_router::Network;
@@ -28,9 +29,16 @@ pub struct Simulator {
     /// Idle-skip schedule: per NIC, the next cycle its endpoint/injection
     /// ticks must execute. `u64::MAX` marks a fully inert NIC; request
     /// issue, packet delivery and recovery activity rewind the entry so
-    /// the NIC resumes ticking. While `nic_next[i] > cycle`, both of NIC
-    /// `i`'s ticks are provably no-ops, so skipping them is bit-exact.
-    nic_next: Vec<u64>,
+    /// the NIC resumes ticking. While an entry exceeds the current cycle,
+    /// both of that NIC's ticks are provably no-ops, so skipping them is
+    /// bit-exact. A two-level occupancy bitmap over the scheduled entries
+    /// keeps per-cycle walks O(scheduled NICs), not O(all NICs).
+    nic_sched: NicSchedule,
+    /// Scratch for draining the schedule's due set without holding a
+    /// borrow across the tick calls.
+    due_scratch: Vec<u32>,
+    /// Scratch for the traffic source's non-empty-queue report.
+    src_scratch: Vec<NicId>,
     cwg_checks: u64,
     cwg_deadlocked_checks: u64,
     /// Debug-build cross-check state: `Some(true)` once the static
@@ -60,13 +68,17 @@ impl Simulator {
     /// 4 VCs — exactly the configurations the paper omits from Figure 8).
     pub fn new(cfg: SimConfig) -> Result<Self, SchemeConfigError> {
         let num_nics: u32 = cfg.radix.iter().product::<u32>() * cfg.bristle;
-        let traffic = Box::new(SyntheticTraffic::new(
+        let mut traffic = SyntheticTraffic::new(
             cfg.pattern.clone(),
             num_nics,
             cfg.load,
             cfg.dest,
             cfg.seed,
-        ));
+        );
+        if cfg.sparse_arrivals {
+            traffic = traffic.sparse_arrivals();
+        }
+        let traffic = Box::new(traffic);
         Self::with_traffic(cfg, traffic)
     }
 
@@ -90,13 +102,17 @@ impl Simulator {
     /// configurations the verifier rejects genuinely deadlock.
     pub fn with_degraded_vcs(cfg: SimConfig) -> Self {
         let num_nics: u32 = cfg.radix.iter().product::<u32>() * cfg.bristle;
-        let traffic = Box::new(SyntheticTraffic::new(
+        let mut traffic = SyntheticTraffic::new(
             cfg.pattern.clone(),
             num_nics,
             cfg.load,
             cfg.dest,
             cfg.seed,
-        ));
+        );
+        if cfg.sparse_arrivals {
+            traffic = traffic.sparse_arrivals();
+        }
+        let traffic = Box::new(traffic);
         let escape = if cfg.mesh { 1 } else { 2 };
         let map = VcMap::build_degraded(cfg.scheme, cfg.pattern.protocol(), cfg.vcs, escape);
         Self::assemble(cfg, traffic, map)
@@ -156,7 +172,9 @@ impl Simulator {
             ids: IdAlloc::new(),
             cycle: 0,
             generation: true,
-            nic_next: vec![0; num_nics],
+            nic_sched: NicSchedule::new(num_nics),
+            due_scratch: Vec::new(),
+            src_scratch: Vec::new(),
             cwg_checks: 0,
             cwg_deadlocked_checks: 0,
             #[cfg(debug_assertions)]
@@ -230,6 +248,22 @@ impl Simulator {
         }
     }
 
+    /// Move requests from NIC `i`'s source queue into the NIC while it
+    /// can accept them; a successful issue rewinds the NIC's idle-skip
+    /// schedule to the current cycle.
+    fn issue_from_source(&mut self, i: usize, c: u64) {
+        let nic_id = NicId(i as u32);
+        while let Some(head) = self.traffic.pending_head(nic_id) {
+            if self.nics[i].can_issue_request(self.store.get(head).mtype) {
+                let h = self.traffic.pop_pending(nic_id).expect("head exists");
+                self.nics[i].issue_request(h, &self.store);
+                self.nic_sched.set(i, c);
+            } else {
+                break;
+            }
+        }
+    }
+
     /// Advance one cycle.
     pub fn step(&mut self) {
         let c = self.cycle;
@@ -238,19 +272,21 @@ impl Simulator {
             self.traffic.tick(c, &mut self.ids, &mut self.store);
         }
         // 2. Request issue from source queues. A successful issue hands a
-        // sleeping NIC new work, so it must tick from this cycle on.
-        for i in 0..self.nics.len() {
-            let nic_id = NicId(i as u32);
-            while let Some(head) = self.traffic.pending_head(nic_id) {
-                if self.nics[i].can_issue_request(self.store.get(head).mtype) {
-                    let h = self.traffic.pop_pending(nic_id).expect("head exists");
-                    self.nics[i].issue_request(h, &self.store);
-                    self.nic_next[i] = c;
-                } else {
-                    break;
-                }
+        // sleeping NIC new work, so it must tick from this cycle on. When
+        // the source tracks queue occupancy, only NICs with queued
+        // requests are visited (same set, same ascending order, as the
+        // dense poll — NICs with empty queues are no-ops either way).
+        let mut srcs = std::mem::take(&mut self.src_scratch);
+        if self.traffic.pending_sources(&mut srcs) {
+            for &nic in &srcs {
+                self.issue_from_source(nic.index(), c);
+            }
+        } else {
+            for i in 0..self.nics.len() {
+                self.issue_from_source(i, c);
             }
         }
+        self.src_scratch = srcs;
         // A PR rescue episode drives NIC state from the orchestrator
         // (deposits, MC preemptions), so idle-skip is suspended for its
         // duration: episodes are rare and short, the dense ticks there
@@ -258,14 +294,21 @@ impl Simulator {
         let episode_before = self.recovery.as_ref().is_some_and(PrRecovery::episode_active);
         // 3. Endpoint work. Skipped NICs have no queued messages and no
         // due memory-controller completion, making `tick` a no-op.
-        let mut skipped = 0u64;
-        for i in 0..self.nics.len() {
-            if episode_before || self.nic_next[i] <= c {
+        let skipped = if episode_before {
+            for i in 0..self.nics.len() {
                 self.nics[i].tick(c, &mut self.ids, &mut self.store);
-            } else {
-                skipped += 1;
             }
-        }
+            0
+        } else {
+            let mut due = std::mem::take(&mut self.due_scratch);
+            self.nic_sched.due_into(c, &mut due);
+            for &i in &due {
+                self.nics[i as usize].tick(c, &mut self.ids, &mut self.store);
+            }
+            let skipped = (self.nics.len() - due.len()) as u64;
+            self.due_scratch = due;
+            skipped
+        };
         mdd_obs::counter_add(mdd_obs::CounterId::NicTicksSkipped, skipped);
         // 4. Scheme actions.
         match self.cfg.scheme {
@@ -285,22 +328,32 @@ impl Simulator {
         // An episode that was (or just became) active may have mutated
         // any NIC: wake the whole array for injection this cycle and a
         // dense tick next cycle; the per-NIC schedules rebuild below.
-        if episode_before || self.recovery.as_ref().is_some_and(PrRecovery::episode_active) {
-            self.nic_next.iter_mut().for_each(|n| *n = c);
+        let episode_after =
+            episode_before || self.recovery.as_ref().is_some_and(PrRecovery::episode_active);
+        if episode_after {
+            self.nic_sched.wake_all(c);
         }
         // 5. Injection, then rebuild each executed NIC's schedule from
-        // its post-cycle state.
-        for i in 0..self.nics.len() {
-            if self.nic_next[i] <= c {
-                self.nics[i].injection_tick(&mut self.net, &self.routing, c, &self.store);
-                self.nic_next[i] = self.nics[i].next_tick_cycle(c + 1);
-            }
+        // its post-cycle state. Nothing between the endpoint collection
+        // and here touches the schedule (request issue precedes it;
+        // deliveries happen in the network phase below) unless an episode
+        // woke the whole array, so the endpoint due set is reused
+        // verbatim in the common case.
+        let mut due = std::mem::take(&mut self.due_scratch);
+        if episode_after {
+            self.nic_sched.due_into(c, &mut due);
         }
+        for &i in &due {
+            let i = i as usize;
+            self.nics[i].injection_tick(&mut self.net, &self.routing, c, &self.store);
+            self.nic_sched.set(i, self.nics[i].next_tick_cycle(c + 1));
+        }
+        self.due_scratch = due;
         // 6. Network cycle.
         let mut ej = NicArray {
             store: &self.store,
             nics: &mut self.nics,
-            nic_next: &mut self.nic_next,
+            sched: &mut self.nic_sched,
         };
         self.net.step(c, &self.routing, &mut ej);
         self.cycle += 1;
@@ -372,6 +425,8 @@ impl Simulator {
         mdd_obs::gauge_set(CounterId::DmbOccupancy, dmb);
         let queued: u64 = self.nics.iter().map(|n| n.buffered_messages() as u64).sum();
         mdd_obs::gauge_set(CounterId::EndpointQueueOccupancy, queued);
+        mdd_obs::gauge_set(CounterId::RoutersMaterialized, self.net.routers_materialized());
+        mdd_obs::gauge_set(CounterId::RouterStateBytes, self.net.router_state_bytes());
         if let Some(rec) = &self.recovery {
             mdd_obs::gauge_set(CounterId::DbLaneOccupancy, rec.lane_busy() as u64);
         }
@@ -424,9 +479,7 @@ impl Simulator {
         if self.generation {
             target = target.min(self.traffic.next_arrival_cycle(c));
         }
-        for &n in &self.nic_next {
-            target = target.min(n);
-        }
+        target = target.min(self.nic_sched.min_next());
         if let Some(rec) = &self.recovery {
             // An active episode needs every cycle; otherwise the token's
             // next hop (or watchdog firing) bounds the jump.

@@ -134,20 +134,84 @@ impl Links {
     }
 }
 
+/// Borrow router `r`'s materialized chunk. Every router a pipeline phase
+/// mutates is materialized by construction: chunks materialize on first
+/// flit, and all wake/mutation paths (injection, arrival, credit return,
+/// extraction) act on routers that hold or held flits.
+#[inline]
+fn mat(routers: &[Option<Box<Router>>], r: usize) -> &Router {
+    routers[r].as_deref().expect("touched router must be materialized")
+}
+
+/// Mutable counterpart of [`mat`].
+#[inline]
+fn mat_mut(routers: &mut [Option<Box<Router>>], r: usize) -> &mut Router {
+    routers[r]
+        .as_deref_mut()
+        .expect("touched router must be materialized")
+}
+
+/// Materialize router slot `slot` if needed: recycle a chunk from the
+/// free pool (resetting it to pristine state) or clone the template.
+/// Returns the (now guaranteed) chunk.
+#[inline]
+// Boxed on purpose: chunks move between `routers` slots and the pool as
+// pointers, never copying the multi-kilobyte `Router` by value.
+#[allow(clippy::vec_box)]
+fn materialize<'a>(
+    slot: &'a mut Option<Box<Router>>,
+    pool: &mut Vec<Box<Router>>,
+    materialized: &mut u32,
+    template: &Router,
+) -> &'a mut Router {
+    if slot.is_none() {
+        *materialized += 1;
+        let chunk = match pool.pop() {
+            Some(mut chunk) => {
+                chunk.reset();
+                chunk
+            }
+            None => Box::new(template.clone()),
+        };
+        *slot = Some(chunk);
+    }
+    slot.as_deref_mut().expect("just materialized")
+}
+
 /// The full network of wormhole routers.
 #[derive(Debug)]
 pub struct Network {
     topo: Topology,
     vcs: u8,
     buf_depth: u32,
-    routers: Vec<Router>,
+    /// Per-router state chunks, lazily materialized: `None` until the
+    /// router first receives a flit (injection or arrival). A `None`
+    /// router is semantically identical to a pristine [`Router`] — empty
+    /// buffers, full credits, zeroed round-robin state (`rr_alloc` is a
+    /// pure function of the cycle via [`Router::sync_rr_alloc`], so a
+    /// chunk materialized at cycle `c` catches up to exactly the state an
+    /// eagerly-allocated router would hold). A quiescent region of a
+    /// large torus therefore costs no memory and no per-cycle traffic.
+    routers: Vec<Option<Box<Router>>>,
+    /// Recycle pool fed by [`Network::hard_reset`]: chunks are reset on
+    /// their way back out of the pool, so re-materialization after a
+    /// measurement-window reset allocates nothing. Boxed on purpose —
+    /// chunks move between here and [`Network::routers`] as pointers,
+    /// never copying the multi-kilobyte [`Router`] by value.
+    #[allow(clippy::vec_box)]
+    free_pool: Vec<Box<Router>>,
+    /// Number of `Some` entries in [`Network::routers`] — the
+    /// `routers_materialized` observability gauge.
+    materialized: u32,
+    /// Bytes per materialized chunk (constant across routers), for the
+    /// `router_state_bytes` gauge.
+    chunk_bytes: u64,
+    /// The never-mutated pristine router template: read-only access to an
+    /// unmaterialized router ([`Network::router`]) resolves here, and new
+    /// chunks are cloned from it when the free pool is empty.
+    pristine: Box<Router>,
     packets: PacketTable,
     counters: NetworkCounters,
-    /// Busy cycles per output virtual channel, indexed
-    /// `(router·ports + port)·vcs + vc` — network ports only. Feeds the
-    /// resource-utilization analysis (the paper attributes SA's early
-    /// saturation to "unbalanced use of network resources").
-    vc_busy: Vec<u64>,
     cand_buf: Vec<RouteCandidate>,
     move_buf: Vec<Move>,
     /// Per-port flag: true for network (inter-router) ports, false for
@@ -166,6 +230,15 @@ pub struct Network {
     /// the words in order yields routers ascending — the dense 0..N
     /// sweep order — without a sort.
     active_bits: Vec<u64>,
+    /// Second level of the wake set: bit `g` of word `s` summarizes
+    /// `active_bits[s*64 + g]` — set iff that word is nonzero. Waking sets
+    /// both levels; the drain clears both. The per-cycle drain walks only
+    /// the set summary bits, so its cost is O(active groups), not
+    /// O(routers/64): one summary word covers 4096 routers, making the
+    /// whole wake-set scan a single word load for any torus up to 64×64.
+    /// Draining summary words ascending, then bits within each word
+    /// ascending, preserves the dense 0..N router order exactly.
+    active_summary: Vec<u64>,
     /// This step's worklist (previous cycle's wake-set, ascending so the
     /// scan order matches the dense 0..N sweep bit-exactly).
     worklist: Vec<u32>,
@@ -173,6 +246,10 @@ pub struct Network {
     /// whether an arriving flit lands at a router the blocked-timer sweep
     /// of this cycle would have covered.
     cur_mask: Vec<u64>,
+    /// Indices of the `cur_mask` words written this cycle, so the next
+    /// drain clears only those instead of sweeping the whole mask — the
+    /// wake-set bookkeeping stays O(activity) end to end.
+    cur_words: Vec<u32>,
     /// Buffered flits per router — O(1) occupancy queries for the
     /// quiescence check and the blocked-head sweep's empty-router
     /// early-out.
@@ -214,10 +291,12 @@ impl Network {
         assert!(vcs >= 1, "need at least one virtual channel");
         assert!(buf_depth >= 1, "need at least one flit buffer per VC");
         let ports = topo.ports_per_router();
-        let routers: Vec<Router> = (0..topo.num_routers())
-            .map(|_| Router::new(ports, vcs, buf_depth))
-            .collect();
-        let vc_busy = vec![0u64; topo.num_routers() as usize * ports * vcs as usize];
+        // No per-router allocation here: state chunks materialize on first
+        // flit. Only the pristine template is built eagerly.
+        let pristine = Box::new(Router::new(ports, vcs, buf_depth));
+        let chunk_bytes = pristine.state_bytes();
+        let routers: Vec<Option<Box<Router>>> =
+            (0..topo.num_routers()).map(|_| None).collect();
         let net_port = (0..ports)
             .map(|p| topo.port_dim_dir(PortId(p as u8)).is_some())
             .collect();
@@ -236,17 +315,22 @@ impl Network {
             vcs,
             buf_depth,
             routers,
+            free_pool: Vec::new(),
+            materialized: 0,
+            chunk_bytes,
+            pristine,
             packets: PacketTable::new(),
             counters: NetworkCounters::default(),
-            vc_busy,
             cand_buf: Vec::with_capacity(64),
             move_buf: Vec::with_capacity(256),
             net_port,
             links,
             nic_slot,
             active_bits: vec![0; n.div_ceil(64)],
+            active_summary: vec![0; n.div_ceil(64).div_ceil(64)],
             worklist: Vec::with_capacity(n),
             cur_mask: vec![0; n.div_ceil(64)],
+            cur_words: Vec::new(),
             router_flits: vec![0; n],
             sleep_ok: vec![false; n],
             last_pass: vec![0; n],
@@ -258,10 +342,11 @@ impl Network {
         }
     }
 
-    /// Put router `r` on the wake-set for the next step.
+    /// Put router `r` on the wake-set for the next step (both levels).
     #[inline]
     fn wake(&mut self, r: usize) {
         self.active_bits[r >> 6] |= 1 << (r & 63);
+        self.active_summary[r >> 12] |= 1 << ((r >> 6) & 63);
     }
 
     /// True while router `r` holds flits — the precondition for re-arming.
@@ -277,17 +362,42 @@ impl Network {
     }
 
     /// Routers currently on the wake-set (the ones the next step will
-    /// process) — the `active_routers` observability gauge.
+    /// process) — the `active_routers` observability gauge. Walks only the
+    /// wake-set's populated words via the summary level.
     #[inline]
     pub fn active_routers(&self) -> usize {
-        self.active_bits.iter().map(|w| w.count_ones() as usize).sum()
+        let mut n = 0;
+        for (si, &sw) in self.active_summary.iter().enumerate() {
+            let mut sw = sw;
+            while sw != 0 {
+                let wi = si * 64 + sw.trailing_zeros() as usize;
+                sw &= sw - 1;
+                n += self.active_bits[wi].count_ones() as usize;
+            }
+        }
+        n
     }
 
     /// True when no router has any scheduled work: the wake-set is empty.
-    /// Implies zero buffered flits.
+    /// Implies zero buffered flits. O(routers/4096): only the summary
+    /// level is scanned (a set summary bit always covers a nonzero word).
     #[inline]
     pub fn is_idle(&self) -> bool {
-        self.active_bits.iter().all(|&w| w == 0)
+        self.active_summary.iter().all(|&w| w == 0)
+    }
+
+    /// Number of routers whose state chunk is materialized — the
+    /// `routers_materialized` observability gauge.
+    #[inline]
+    pub fn routers_materialized(&self) -> u64 {
+        u64::from(self.materialized)
+    }
+
+    /// Bytes held by materialized router state chunks — the
+    /// `router_state_bytes` observability gauge.
+    #[inline]
+    pub fn router_state_bytes(&self) -> u64 {
+        u64::from(self.materialized) * self.chunk_bytes
     }
 
     /// The topology.
@@ -314,10 +424,14 @@ impl Network {
         self.counters
     }
 
-    /// Read access to a router.
+    /// Read access to a router. An unmaterialized router resolves to the
+    /// shared pristine template — semantically identical state (empty
+    /// buffers, full credits, nothing routed or owned).
     #[inline]
     pub fn router(&self, node: NodeId) -> &Router {
-        &self.routers[node.index()]
+        self.routers[node.index()]
+            .as_deref()
+            .unwrap_or(&self.pristine)
     }
 
     /// The in-flight packet table.
@@ -355,7 +469,10 @@ impl Network {
     pub fn injection_free(&self, nic: NicId, vc: u8) -> u32 {
         let (r, base) = self.nic_slot[nic.index()];
         let slot = base as usize + vc as usize;
-        self.buf_depth - self.routers[r as usize].len[slot] as u32
+        match self.routers[r as usize].as_deref() {
+            Some(router) => self.buf_depth - router.len[slot] as u32,
+            None => self.buf_depth, // pristine: entirely free
+        }
     }
 
     /// True if injection VC `vc` of `nic` is between packets (its last
@@ -364,23 +481,40 @@ impl Network {
     pub fn injection_vc_idle(&self, nic: NicId, vc: u8) -> bool {
         let (r, base) = self.nic_slot[nic.index()];
         let slot = base as usize + vc as usize;
-        let router = &self.routers[r as usize];
-        let len = router.len[slot] as usize;
-        len == 0 || router.flit_at(slot, len - 1).is_tail
+        match self.routers[r as usize].as_deref() {
+            Some(router) => {
+                let len = router.len[slot] as usize;
+                len == 0 || router.flit_at(slot, len - 1).is_tail
+            }
+            None => true, // pristine: empty, so idle
+        }
     }
 
     /// Push one flit from `nic` into injection VC `vc`. Returns false
     /// (without effect) when the buffer is full. Wakes the router: local
     /// injection precedes [`Network::step`] within a cycle, so the flit is
-    /// routable this very cycle, exactly as under the dense scan.
+    /// routable this very cycle, exactly as under the dense scan. This is
+    /// one of the two points that materialize a router chunk (the other is
+    /// flit arrival in `Network::apply_moves`).
     pub fn inject_flit(&mut self, nic: NicId, vc: u8, flit: Flit) -> bool {
         let (r, base) = self.nic_slot[nic.index()];
         let ri = r as usize;
         let slot = base as usize + vc as usize;
-        if self.routers[ri].len[slot] as u32 >= self.buf_depth {
-            return false;
+        let buf_depth = self.buf_depth;
+        {
+            let Network {
+                routers,
+                free_pool,
+                materialized,
+                pristine,
+                ..
+            } = self;
+            let router = materialize(&mut routers[ri], free_pool, materialized, pristine);
+            if router.len[slot] as u32 >= buf_depth {
+                return false;
+            }
+            router.push_flit(slot, flit);
         }
-        self.routers[ri].push_flit(slot, flit);
         self.router_flits[ri] += 1;
         self.counters.flits_injected += 1;
         self.wake(ri);
@@ -399,14 +533,30 @@ impl Network {
     /// compare the end states.
     pub fn step(&mut self, cycle: u64, routing: &dyn Routing, ej: &mut dyn EjectControl) {
         self.worklist.clear();
-        for wi in 0..self.active_bits.len() {
-            let w = std::mem::take(&mut self.active_bits[wi]);
-            self.cur_mask[wi] = w;
-            let base = (wi * 64) as u32;
-            let mut bits = w;
-            while bits != 0 {
-                self.worklist.push(base + bits.trailing_zeros());
-                bits &= bits - 1;
+        // Clear the previous cycle's arrival mask sparsely (only the words
+        // it actually wrote), then drain the two-level wake set: summary
+        // words ascending, group words within each ascending, bits within
+        // each word ascending — the dense 0..N router order, touching only
+        // populated words.
+        for &wi in &self.cur_words {
+            self.cur_mask[wi as usize] = 0;
+        }
+        self.cur_words.clear();
+        for si in 0..self.active_summary.len() {
+            let mut sw = std::mem::take(&mut self.active_summary[si]);
+            while sw != 0 {
+                let wi = si * 64 + sw.trailing_zeros() as usize;
+                sw &= sw - 1;
+                let w = std::mem::take(&mut self.active_bits[wi]);
+                debug_assert_ne!(w, 0, "summary bit over an empty wake word");
+                self.cur_mask[wi] = w;
+                self.cur_words.push(wi as u32);
+                let base = (wi * 64) as u32;
+                let mut bits = w;
+                while bits != 0 {
+                    self.worklist.push(base + bits.trailing_zeros());
+                    bits &= bits - 1;
+                }
             }
         }
         mdd_obs::counter_add(
@@ -523,7 +673,7 @@ impl Network {
                 sw_req_next: req_next,
                 ..
             } = self;
-            let router = &mut routers[r];
+            let router = mat_mut(routers, r);
             router.sync_rr_alloc(cycle);
             let nports = router.ports();
             total = nports * nvcs;
@@ -590,13 +740,16 @@ impl Network {
         // sequence of the dense reference.
         for &slot in &pend[..npend] {
             let idx = slot as usize;
-            let h = self.routers[r].front_flit(idx).expect("occupied slot").msg;
+            let h = mat(&self.routers, r)
+                .front_flit(idx)
+                .expect("occupied slot")
+                .msg;
             match self.alloc_slot(r, node, idx, h, cycle, routing, ej, obs) {
                 AllocOutcome::Granted => {
                     // A freshly routed head is a switch requester this
                     // same cycle. Chain position is immaterial: grants
                     // minimize rank over the set.
-                    let q = self.routers[r].route_port[idx];
+                    let q = mat(&self.routers, r).route_port[idx];
                     debug_assert_ne!(q, NO_ROUTE);
                     port_mask |= 1 << q;
                     self.sw_req_next[idx] = self.sw_req_head[q as usize];
@@ -620,7 +773,7 @@ impl Network {
                 sw_req_next: req_next,
                 ..
             } = self;
-            let router = &mut routers[r];
+            let router = mat_mut(routers, r);
             let mut in_used = 0u64; // input ports granted this cycle
             while port_mask != 0 {
                 let q = port_mask.trailing_zeros() as usize;
@@ -727,17 +880,19 @@ impl Network {
                 );
                 let nic = self.topo.nic_at(node, local);
                 if ej.can_accept(nic, h, cycle) {
-                    self.routers[r].route_port[idx] = c.port.0;
-                    self.routers[r].route_vc[idx] = 0;
+                    let router = mat_mut(&mut self.routers, r);
+                    router.route_port[idx] = c.port.0;
+                    router.route_vc[idx] = 0;
                     granted = true;
                     break;
                 }
             } else {
                 let out_slot = c.port.index() * nvcs + c.vc as usize;
-                if self.routers[r].out_free(out_slot) {
-                    self.routers[r].own_out(out_slot, h);
-                    self.routers[r].route_port[idx] = c.port.0;
-                    self.routers[r].route_vc[idx] = c.vc;
+                let router = mat_mut(&mut self.routers, r);
+                if router.out_free(out_slot) {
+                    router.own_out(out_slot, h);
+                    router.route_port[idx] = c.port.0;
+                    router.route_vc[idx] = c.vc;
                     granted = true;
                     break;
                 }
@@ -754,7 +909,8 @@ impl Network {
                 // heads are exempt: their stall is an ejection refusal,
                 // and `can_accept` both has side effects and depends on
                 // NIC state this router cannot version.
-                self.routers[r].stall_epoch[idx] = self.routers[r].alloc_epoch;
+                let router = mat_mut(&mut self.routers, r);
+                router.stall_epoch[idx] = router.alloc_epoch;
                 AllocOutcome::StalledTransit
             } else {
                 AllocOutcome::StalledAtDst
@@ -780,14 +936,17 @@ impl Network {
             routers,
             packets,
             counters,
-            vc_busy,
             move_buf,
             links,
             net_port,
             active_bits,
+            active_summary,
             cur_mask,
             router_flits,
             buf_depth,
+            free_pool,
+            materialized,
+            pristine,
             ..
         } = self;
         let _ = buf_depth; // release-build: only the debug assert reads it
@@ -801,34 +960,39 @@ impl Network {
             } = *mv;
             let r = r as usize;
             let in_slot = in_port as usize * nvcs + in_vc as usize;
-            let flit = routers[r].pop_flit(in_slot);
-            routers[r].blocked[in_slot] = if routers[r].len[in_slot] > 0 {
+            let router = mat_mut(routers, r);
+            let flit = router.pop_flit(in_slot);
+            router.blocked[in_slot] = if router.len[in_slot] > 0 {
                 cycle
             } else {
                 NOT_BLOCKED
             };
             if flit.is_tail {
-                routers[r].route_port[in_slot] = NO_ROUTE;
+                router.route_port[in_slot] = NO_ROUTE;
             }
             router_flits[r] -= 1;
             // Return a credit upstream (network inputs only; NICs poll
             // injection space directly). The credit is an event for the
-            // upstream router: wake it so it can use the freed slot.
+            // upstream router: wake it so it can use the freed slot. The
+            // upstream router sent this flit, so it is materialized.
             let up = links.nbr[r * ports + in_port as usize];
             if up != u32::MAX {
                 let up = up as usize;
                 let up_slot = links.opp[in_port as usize] as usize * nvcs + in_vc as usize;
-                routers[up].out_credits[up_slot] += 1;
-                debug_assert!(routers[up].out_credits[up_slot] <= *buf_depth);
+                let up_router = mat_mut(routers, up);
+                up_router.out_credits[up_slot] += 1;
+                debug_assert!(up_router.out_credits[up_slot] <= *buf_depth);
                 active_bits[up >> 6] |= 1 << (up & 63);
+                active_summary[up >> 12] |= 1 << ((up >> 6) & 63);
             }
             if net_port[out_port as usize] {
                 let out_slot = out_port as usize * nvcs + out_vc as usize;
-                vc_busy[(r * ports + out_port as usize) * nvcs + out_vc as usize] += 1;
-                debug_assert!(routers[r].out_credits[out_slot] > 0);
-                routers[r].out_credits[out_slot] -= 1;
+                let router = mat_mut(routers, r);
+                router.vc_busy[out_slot] += 1;
+                debug_assert!(router.out_credits[out_slot] > 0);
+                router.out_credits[out_slot] -= 1;
                 if flit.is_tail {
-                    routers[r].release_out(out_slot);
+                    router.release_out(out_slot);
                 }
                 let dl = links.dateline[r * ports + out_port as usize];
                 if dl != 0 && flit.is_head() {
@@ -840,17 +1004,22 @@ impl Network {
                 let down = links.nbr[r * ports + out_port as usize] as usize;
                 debug_assert!(down != u32::MAX as usize, "allocated output implies the link exists");
                 let down_slot = links.opp[out_port as usize] as usize * nvcs + out_vc as usize;
-                routers[down].push_flit(down_slot, flit);
+                // Flit arrival: the second (and only other) router
+                // materialization point.
+                let down_router =
+                    materialize(&mut routers[down], free_pool, materialized, pristine);
+                down_router.push_flit(down_slot, flit);
                 // Arrival mark: the trailing sweep of the phased pipeline
                 // would see this flit (post-move occupancy) at any router
                 // it covers this cycle.
                 if cur_mask[down >> 6] >> (down & 63) & 1 == 1
-                    && routers[down].blocked[down_slot] == NOT_BLOCKED
+                    && down_router.blocked[down_slot] == NOT_BLOCKED
                 {
-                    routers[down].blocked[down_slot] = cycle;
+                    down_router.blocked[down_slot] = cycle;
                 }
                 router_flits[down] += 1;
                 active_bits[down >> 6] |= 1 << (down & 63);
+                active_summary[down >> 12] |= 1 << ((down >> 6) & 63);
             } else {
                 let nic = NicId(links.nic[r * ports + out_port as usize]);
                 debug_assert!(nic.0 != u32::MAX, "output is network or local");
@@ -875,7 +1044,24 @@ impl Network {
     /// and the per-router flit counters must agree with the buffers.
     #[cfg(debug_assertions)]
     fn skipped_router_check(&self, cycle: u64) {
-        for (r, router) in self.routers.iter().enumerate() {
+        // Wake-set invariant: a nonzero word is always covered by its
+        // summary bit (the drain relies on walking summary bits only).
+        for (wi, &w) in self.active_bits.iter().enumerate() {
+            debug_assert!(
+                w == 0 || self.active_summary[wi >> 6] >> (wi & 63) & 1 == 1,
+                "wake word {wi} set without its summary bit at cycle {cycle}"
+            );
+        }
+        for (r, chunk) in self.routers.iter().enumerate() {
+            let Some(router) = chunk.as_deref() else {
+                // An unmaterialized router has never held a flit (or was
+                // reset); it must be indistinguishable from pristine.
+                debug_assert_eq!(
+                    self.router_flits[r], 0,
+                    "router {r}: flits counted on an unmaterialized router at cycle {cycle}"
+                );
+                continue;
+            };
             debug_assert_eq!(
                 self.router_flits[r],
                 router.buffered_flits(),
@@ -954,7 +1140,7 @@ impl Network {
         if threshold == 0 || self.router_flits[r] == 0 {
             return;
         }
-        let router = &self.routers[r];
+        let router = mat(&self.routers, r);
         let mut occ = router.in_occ;
         while occ != 0 {
             let slot = occ.trailing_zeros() as usize;
@@ -1019,19 +1205,25 @@ impl Network {
         let nvcs = self.vcs as usize;
         let ports = self.links.ports;
         for r in 0..self.routers.len() {
+            // An unmaterialized router holds no flits and owns no output
+            // VCs — nothing to reclaim, nothing to release.
+            if self.routers[r].is_none() {
+                debug_assert_eq!(self.router_flits[r], 0);
+                continue;
+            }
             let mut removed_here = 0u32;
             if self.router_flits[r] > 0 {
-                let mut occ = self.routers[r].in_occ;
+                let mut occ = mat(&self.routers, r).in_occ;
                 while occ != 0 {
                     let slot = occ.trailing_zeros() as usize;
                     occ &= occ - 1;
                     // Locate the packet's contiguous run in this buffer.
-                    let len = self.routers[r].len[slot] as usize;
+                    let len = mat(&self.routers, r).len[slot] as usize;
                     let mut run_start = len;
                     let mut run_len = 0usize;
                     let mut had_head = false;
                     for k in 0..len {
-                        let f = self.routers[r].flit_at(slot, k);
+                        let f = mat(&self.routers, r).flit_at(slot, k);
                         if f.msg == h {
                             if run_len == 0 {
                                 run_start = k;
@@ -1049,10 +1241,11 @@ impl Network {
                         continue;
                     }
                     let front_was = run_start == 0;
-                    self.routers[r].remove_run(slot, run_start, run_len);
+                    let router = mat_mut(&mut self.routers, r);
+                    router.remove_run(slot, run_start, run_len);
                     if front_was {
-                        self.routers[r].route_port[slot] = NO_ROUTE;
-                        self.routers[r].blocked[slot] = NOT_BLOCKED;
+                        router.route_port[slot] = NO_ROUTE;
+                        router.blocked[slot] = NOT_BLOCKED;
                     }
                     flits_removed += run_len as u32;
                     removed_here += run_len as u32;
@@ -1067,8 +1260,9 @@ impl Network {
                     if self.net_port[p] {
                         let up = up as usize;
                         let up_slot = self.links.opp[p] as usize * nvcs + slot % nvcs;
-                        self.routers[up].out_credits[up_slot] += run_len as u32;
-                        debug_assert!(self.routers[up].out_credits[up_slot] <= self.buf_depth);
+                        let up_router = mat_mut(&mut self.routers, up);
+                        up_router.out_credits[up_slot] += run_len as u32;
+                        debug_assert!(up_router.out_credits[up_slot] <= self.buf_depth);
                         self.wake(up);
                     }
                 }
@@ -1078,12 +1272,13 @@ impl Network {
             // router it no longer buffers flits in — the wormhole spans
             // routers head to tail).
             let mut released = false;
-            let mut owned = self.routers[r].out_owned;
+            let mut owned = mat(&self.routers, r).out_owned;
             while owned != 0 {
                 let s = owned.trailing_zeros() as usize;
                 owned &= owned - 1;
-                if self.routers[r].out_owner[s] == h {
-                    self.routers[r].release_out(s);
+                let router = mat_mut(&mut self.routers, r);
+                if router.out_owner[s] == h {
+                    router.release_out(s);
                     released = true;
                 }
             }
@@ -1104,9 +1299,12 @@ impl Network {
     }
 
     /// Busy-cycle counter of one output virtual channel (network ports).
+    /// Unmaterialized routers never moved a flit: zero.
     pub fn vc_busy(&self, node: NodeId, port: PortId, vc: u8) -> u64 {
-        let ports = self.topo.ports_per_router();
-        self.vc_busy[(node.index() * ports + port.index()) * self.vcs as usize + vc as usize]
+        match self.routers[node.index()].as_deref() {
+            Some(router) => router.vc_busy[port.index() * self.vcs as usize + vc as usize],
+            None => 0,
+        }
     }
 
     /// Utilization statistics over all *network* virtual channels after
@@ -1151,14 +1349,23 @@ impl Network {
     /// resetting between measurement runs; not part of the modelled
     /// hardware).
     pub fn hard_reset(&mut self) {
-        let ports = self.topo.ports_per_router();
-        for r in &mut self.routers {
-            *r = Router::new(ports, self.vcs, self.buf_depth);
+        // Return every materialized chunk to the free pool (reset happens
+        // on the way back out, in [`materialize`]): the next measurement
+        // window re-materializes from the pool without allocating.
+        let Network {
+            routers, free_pool, ..
+        } = self;
+        for slot in routers.iter_mut() {
+            if let Some(chunk) = slot.take() {
+                free_pool.push(chunk);
+            }
         }
+        self.materialized = 0;
         self.packets = PacketTable::new();
-        self.vc_busy.iter_mut().for_each(|b| *b = 0);
         self.active_bits.iter_mut().for_each(|w| *w = 0);
+        self.active_summary.iter_mut().for_each(|w| *w = 0);
         self.cur_mask.iter_mut().for_each(|w| *w = 0);
+        self.cur_words.clear();
         self.worklist.clear();
         self.router_flits.iter_mut().for_each(|c| *c = 0);
         self.sleep_ok.iter_mut().for_each(|b| *b = false);
@@ -1272,10 +1479,9 @@ mod shadow {
     /// are reused across cycles via `clone_from`).
     #[derive(Default, Debug)]
     pub(super) struct Scratch {
-        routers: Vec<Router>,
+        routers: Vec<Option<Box<Router>>>,
         packets: PacketTable,
         counters: NetworkCounters,
-        vc_busy: Vec<u64>,
         router_flits: Vec<u32>,
         active_bits: Vec<u64>,
         pub(super) ej_log: Vec<EjEvent>,
@@ -1285,14 +1491,26 @@ mod shadow {
 
     impl Scratch {
         /// Capture the pre-cycle state of every worklist-relevant field.
+        /// (`Option<Box<Router>>::clone_from` reuses the chunk allocation
+        /// when both sides are materialized, so steady state stays
+        /// allocation-free.)
         pub(super) fn snapshot(&mut self, net: &Network) {
             self.routers.clone_from(&net.routers);
             self.packets.clone_from(&net.packets);
             self.counters = net.counters;
-            self.vc_busy.clone_from(&net.vc_busy);
             self.router_flits.clone_from(&net.router_flits);
             self.active_bits.clone_from(&net.active_bits);
             self.ej_log.clear();
+        }
+
+        /// Reference-side router access: the reference pipeline only
+        /// touches woken routers and their link neighbors, all of which
+        /// the snapshot holds materialized (or materializes on arrival in
+        /// [`Scratch::ref_apply_moves`], mirroring the real pass).
+        fn router_mut(&mut self, r: usize) -> &mut Router {
+            self.routers[r]
+                .as_deref_mut()
+                .expect("reference touched an unmaterialized router")
         }
 
         /// Run the phased reference pipeline on the snapshot and compare
@@ -1333,7 +1551,7 @@ mod shadow {
             for &r in &net.worklist {
                 let r = r as usize;
                 let node = NodeId(r as u32);
-                let router = &mut self.routers[r];
+                let router = self.router_mut(r);
                 router.sync_rr_alloc(cycle);
                 let total = router.ports() * nvcs;
                 let start = router.rr_alloc as usize % total;
@@ -1353,7 +1571,7 @@ mod shadow {
                     } else {
                         break;
                     };
-                    let router = &self.routers[r];
+                    let router = self.routers[r].as_deref().expect("woken router");
                     if router.route_port[idx] != NO_ROUTE {
                         continue;
                     }
@@ -1376,22 +1594,24 @@ mod shadow {
                         if let Some(local) = net.topo.port_local_index(c.port) {
                             let nic = net.topo.nic_at(node, local);
                             if ej.can_accept(nic, h, cycle) {
-                                self.routers[r].route_port[idx] = c.port.0;
-                                self.routers[r].route_vc[idx] = 0;
+                                let router = self.router_mut(r);
+                                router.route_port[idx] = c.port.0;
+                                router.route_vc[idx] = 0;
                                 break;
                             }
                         } else {
                             let out_slot = c.port.index() * nvcs + c.vc as usize;
-                            if self.routers[r].out_free(out_slot) {
-                                self.routers[r].own_out(out_slot, h);
-                                self.routers[r].route_port[idx] = c.port.0;
-                                self.routers[r].route_vc[idx] = c.vc;
+                            let router = self.router_mut(r);
+                            if router.out_free(out_slot) {
+                                router.own_out(out_slot, h);
+                                router.route_port[idx] = c.port.0;
+                                router.route_vc[idx] = c.vc;
                                 break;
                             }
                         }
                     }
                 }
-                let router = &mut self.routers[r];
+                let router = self.router_mut(r);
                 router.rr_alloc = router.rr_alloc.wrapping_add(1);
                 router.rr_cycle = cycle + 1;
             }
@@ -1404,7 +1624,7 @@ mod shadow {
             let nvcs = net.vcs as usize;
             for &r in &net.worklist {
                 let r = r as usize;
-                let router = &mut self.routers[r];
+                let router = self.routers[r].as_deref_mut().expect("woken router");
                 let total = router.ports() * nvcs;
                 let mut reqs: Vec<(usize, u8, u8)> = Vec::new();
                 let mut port_mask = 0u64;
@@ -1459,27 +1679,28 @@ mod shadow {
                 let r = r as usize;
                 let node = NodeId(r as u32);
                 let in_slot = in_port as usize * nvcs + in_vc as usize;
-                let flit = self.routers[r].pop_flit(in_slot);
-                self.routers[r].blocked[in_slot] = NOT_BLOCKED;
+                let router = self.router_mut(r);
+                let flit = router.pop_flit(in_slot);
+                router.blocked[in_slot] = NOT_BLOCKED;
                 if flit.is_tail {
-                    self.routers[r].route_port[in_slot] = NO_ROUTE;
+                    router.route_port[in_slot] = NO_ROUTE;
                 }
                 self.router_flits[r] -= 1;
                 if let Some((d, dir)) = net.topo.port_dim_dir(PortId(in_port)) {
                     let up = net.topo.neighbor(node, d, dir).expect("input link exists");
                     let upport = net.topo.port(d, dir.opposite());
                     let up_slot = upport.index() * nvcs + in_vc as usize;
-                    self.routers[up.index()].out_credits[up_slot] += 1;
+                    self.router_mut(up.index()).out_credits[up_slot] += 1;
                     self.active_bits[up.index() >> 6] |= 1 << (up.index() & 63);
                 }
                 let out = PortId(out_port);
                 if let Some((d2, dir2)) = net.topo.port_dim_dir(out) {
-                    let ports = net.topo.ports_per_router();
-                    self.vc_busy[(r * ports + out_port as usize) * nvcs + out_vc as usize] += 1;
                     let out_slot = out_port as usize * nvcs + out_vc as usize;
-                    self.routers[r].out_credits[out_slot] -= 1;
+                    let router = self.router_mut(r);
+                    router.vc_busy[out_slot] += 1;
+                    router.out_credits[out_slot] -= 1;
                     if flit.is_tail {
-                        self.routers[r].release_out(out_slot);
+                        router.release_out(out_slot);
                     }
                     if flit.is_head() && net.topo.crosses_dateline(node, d2, dir2) {
                         if let Some(st) = self.packets.get_mut(flit.msg) {
@@ -1489,7 +1710,12 @@ mod shadow {
                     let down = net.topo.neighbor(node, d2, dir2).expect("output link exists");
                     let dport = net.topo.port(d2, dir2.opposite());
                     let down_slot = dport.index() * nvcs + out_vc as usize;
-                    self.routers[down.index()].push_flit(down_slot, flit);
+                    // Mirror the real pass's arrival materialization: a
+                    // fresh chunk is pristine-identical whichever side
+                    // creates it.
+                    let down_router = self.routers[down.index()]
+                        .get_or_insert_with(|| Box::new(net.pristine.as_ref().clone()));
+                    down_router.push_flit(down_slot, flit);
                     self.router_flits[down.index()] += 1;
                     self.active_bits[down.index() >> 6] |= 1 << (down.index() & 63);
                 } else {
@@ -1511,7 +1737,7 @@ mod shadow {
         /// Reference phase 4: the trailing blocked-timer sweep.
         fn ref_blocked_sweep(&mut self, net: &Network, cycle: u64) {
             for &r in &net.worklist {
-                let router = &mut self.routers[r as usize];
+                let router = self.router_mut(r as usize);
                 let mut occ = router.in_occ;
                 while occ != 0 {
                     let idx = occ.trailing_zeros() as usize;
@@ -1533,7 +1759,6 @@ mod shadow {
                 self.router_flits, net.router_flits,
                 "shadow: per-router flit counts diverged at {cycle}"
             );
-            assert_eq!(self.vc_busy, net.vc_busy, "shadow: vc_busy diverged at {cycle}");
             assert_eq!(
                 self.active_bits, net.active_bits,
                 "shadow: wake sets diverged at {cycle}"
@@ -1542,7 +1767,17 @@ mod shadow {
                 self.packets == net.packets,
                 "shadow: packet tables diverged at {cycle}"
             );
-            for (r, (a, b)) in self.routers.iter().zip(&net.routers).enumerate() {
+            for (r, (sa, sb)) in self.routers.iter().zip(&net.routers).enumerate() {
+                let (a, b) = match (sa.as_deref(), sb.as_deref()) {
+                    (Some(a), Some(b)) => (a, b),
+                    (None, None) => continue,
+                    (a, b) => panic!(
+                        "shadow: router {r} materialization diverged at {cycle} \
+                         (reference {:?}, fused {:?})",
+                        a.map(|_| "materialized"),
+                        b.map(|_| "materialized"),
+                    ),
+                };
                 assert_eq!(a.in_occ, b.in_occ, "shadow: router {r} occupancy at {cycle}");
                 assert_eq!(a.head, b.head, "shadow: router {r} ring heads at {cycle}");
                 assert_eq!(a.len, b.len, "shadow: router {r} buffer lengths at {cycle}");
@@ -1572,6 +1807,7 @@ mod shadow {
                     );
                 }
                 assert_eq!(a.out_credits, b.out_credits, "shadow: router {r} credits at {cycle}");
+                assert_eq!(a.vc_busy, b.vc_busy, "shadow: router {r} vc_busy at {cycle}");
                 assert_eq!(a.rr_out, b.rr_out, "shadow: router {r} rr_out at {cycle}");
                 assert_eq!(a.rr_alloc, b.rr_alloc, "shadow: router {r} rr_alloc at {cycle}");
                 assert_eq!(a.rr_cycle, b.rr_cycle, "shadow: router {r} rr_cycle at {cycle}");

@@ -94,6 +94,10 @@ pub struct Router {
     /// Bumped every time an output VC owner is released (tail passage,
     /// extraction). Validity clock for [`Router::stall_epoch`].
     pub(crate) alloc_epoch: u64,
+    /// Busy cycles per output VC slot (network ports only are ever
+    /// incremented). Lives in the router chunk — not a network-wide dense
+    /// array — so a never-woken router contributes zero bytes.
+    pub(crate) vc_busy: Vec<u64>,
     nvcs: u8,
     depth: u16,
 }
@@ -129,9 +133,57 @@ impl Router {
             rr_cycle: 0,
             in_occ: 0,
             alloc_epoch: 0,
+            vc_busy: vec![0; slots],
             nvcs: vcs,
             depth,
         }
+    }
+
+    /// Restore every field to the freshly-constructed state without
+    /// releasing any allocation — the free-pool recycle path of the lazily
+    /// materialized network. A recycled chunk must be indistinguishable
+    /// from [`Router::new`]'s output (the debug shadow checker compares
+    /// whole arrays, dead buffer entries included), so the flit store is
+    /// refilled with the same placeholder pattern.
+    pub(crate) fn reset(&mut self) {
+        self.bufs.fill(Flit {
+            msg: MsgHandle::dangling(),
+            seq: 0,
+            is_tail: false,
+        });
+        self.head.fill(0);
+        self.len.fill(0);
+        self.route_port.fill(NO_ROUTE);
+        self.route_vc.fill(0);
+        self.blocked.fill(NOT_BLOCKED);
+        self.stall_epoch.fill(EPOCH_NONE);
+        self.out_owner.fill(MsgHandle::dangling());
+        self.out_credits.fill(self.depth as u32);
+        self.out_owned = 0;
+        self.rr_out.fill(0);
+        self.rr_alloc = 0;
+        self.rr_cycle = 0;
+        self.in_occ = 0;
+        self.alloc_epoch = 0;
+        self.vc_busy.fill(0);
+    }
+
+    /// Heap + inline bytes held by this router's state chunk — the unit
+    /// behind the `router_state_bytes` observability gauge.
+    pub fn state_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        (size_of::<Self>()
+            + self.bufs.capacity() * size_of::<Flit>()
+            + self.head.capacity() * size_of::<u16>()
+            + self.len.capacity() * size_of::<u16>()
+            + self.route_port.capacity()
+            + self.route_vc.capacity()
+            + self.blocked.capacity() * size_of::<u64>()
+            + self.stall_epoch.capacity() * size_of::<u64>()
+            + self.out_owner.capacity() * size_of::<MsgHandle>()
+            + self.out_credits.capacity() * size_of::<u32>()
+            + self.rr_out.capacity() * size_of::<u32>()
+            + self.vc_busy.capacity() * size_of::<u64>()) as u64
     }
 
     /// Append an arriving flit to slot `slot`. Panics on overflow —
@@ -358,6 +410,7 @@ impl Clone for Router {
             rr_cycle: self.rr_cycle,
             in_occ: self.in_occ,
             alloc_epoch: self.alloc_epoch,
+            vc_busy: self.vc_busy.clone(),
             nvcs: self.nvcs,
             depth: self.depth,
         }
@@ -382,6 +435,7 @@ impl Clone for Router {
         self.rr_cycle = source.rr_cycle;
         self.in_occ = source.in_occ;
         self.alloc_epoch = source.alloc_epoch;
+        self.vc_busy.clone_from(&source.vc_busy);
         self.nvcs = source.nvcs;
         self.depth = source.depth;
     }

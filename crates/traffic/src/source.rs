@@ -26,6 +26,18 @@ pub trait TrafficSource: Send {
     /// Total requests waiting in source queues.
     fn backlog(&self) -> usize;
 
+    /// Fill `out` (cleared first) with every NIC whose source queue is
+    /// non-empty, in ascending NIC order, and return `true`. The default
+    /// returns `false` with `out` untouched, meaning the source does not
+    /// track queue occupancy and the caller must poll every NIC's
+    /// [`TrafficSource::pending_head`] densely. An override must report
+    /// exactly the set the dense poll would find non-empty, so issue
+    /// order (and with it all downstream state) is bit-identical.
+    fn pending_sources(&self, out: &mut Vec<NicId>) -> bool {
+        let _ = out;
+        false
+    }
+
     /// Transactions generated so far.
     fn generated(&self) -> u64;
 

@@ -20,6 +20,13 @@ pub enum DestPattern {
     /// Transpose: node `i` sends to `(i * k + i / k) mod N` style partner
     /// (matrix-transpose permutation over a square node grid).
     Transpose,
+    /// Ring successor in NIC index order (`src + 1 mod N`): a
+    /// locality-preserving permutation whose hop count stays constant as
+    /// the network scales — the scale ladder's fixed-per-node-activity
+    /// pattern. (Uniform random traffic grows its average path length
+    /// with the radix, so the same per-node injection rate loads a large
+    /// torus far more heavily per link.)
+    Neighbor,
     /// Uniform random, except a `fraction` of requests target one hotspot
     /// node.
     Hotspot {
@@ -54,6 +61,16 @@ pub struct SyntheticTraffic {
     rng: StdRng,
     pending: Vec<VecDeque<MsgHandle>>,
     num_nics: u32,
+    /// Sparse-arrival event queue: `Some` holds `(next arrival cycle,
+    /// src)` entries, one per node, ordered so same-cycle arrivals pop in
+    /// ascending source order. `None` is the dense per-cycle Bernoulli
+    /// mode (one RNG draw per node per cycle — the original, golden-
+    /// pinned stream).
+    arrivals: Option<std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>>>,
+    /// Occupancy bitmap over `pending`: bit `i` set ⟺ queue `i` is
+    /// non-empty. Lets the simulator's issue loop visit only NICs with
+    /// queued requests instead of polling all of them every cycle.
+    pending_bits: Vec<u64>,
     /// Transactions generated so far.
     pub generated: u64,
 }
@@ -77,7 +94,54 @@ impl SyntheticTraffic {
             rng: StdRng::seed_from_u64(seed),
             pending: (0..num_nics).map(|_| VecDeque::new()).collect(),
             num_nics,
+            arrivals: None,
+            pending_bits: vec![0; (num_nics as usize).div_ceil(64)],
             generated: 0,
+        }
+    }
+
+    /// Queue one generated request at `src`, keeping the occupancy bitmap
+    /// in sync.
+    fn queue_pending(&mut self, src: u32, h: MsgHandle) {
+        self.pending[src as usize].push_back(h);
+        self.pending_bits[src as usize / 64] |= 1 << (src % 64);
+        self.generated += 1;
+    }
+
+    /// Switch to sparse event-driven arrivals: per-node inter-arrival
+    /// gaps are sampled geometrically (the same Bernoulli process, drawn
+    /// as waiting times), so generation costs O(arrivals) per cycle
+    /// instead of one RNG draw per node per cycle, and
+    /// [`next_arrival_cycle`](TrafficSource::next_arrival_cycle) becomes
+    /// exact — a quiescent stretch can be fast-forwarded even while
+    /// generation is on. The realized arrival *process* has the same
+    /// distribution as the dense mode but a different RNG stream, so
+    /// results are reproducible per mode, not across modes; golden-pinned
+    /// configurations keep the dense default.
+    pub fn sparse_arrivals(mut self) -> Self {
+        let mut heap = std::collections::BinaryHeap::with_capacity(self.num_nics as usize);
+        for src in 0..self.num_nics {
+            let gap = self.sample_gap();
+            heap.push(std::cmp::Reverse((gap, src)));
+        }
+        self.arrivals = Some(heap);
+        self
+    }
+
+    /// Cycles until the next arrival of one node's Bernoulli(`txn_rate`)
+    /// process: a geometric waiting time (0 = fires on the very next
+    /// opportunity).
+    fn sample_gap(&mut self) -> u64 {
+        if self.txn_rate >= 1.0 {
+            return 0;
+        }
+        let u: f64 = self.rng.random();
+        // ln(1-u) ∈ (-inf, 0]; ln(1-p) < 0. u ∈ [0, 1) keeps both finite.
+        let gap = ((1.0 - u).ln() / (1.0 - self.txn_rate).ln()).floor();
+        if gap >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            gap as u64
         }
     }
 
@@ -88,13 +152,38 @@ impl SyntheticTraffic {
 
     /// Generate this cycle's new requests into the per-node source queues.
     pub fn tick(&mut self, cycle: u64, ids: &mut IdAlloc, store: &mut MessageStore) {
+        if self.arrivals.is_some() {
+            // Pop every arrival due by now (ascending source order within
+            // a cycle); entries stranded in the past by a generation
+            // pause fire once immediately.
+            while let Some(&std::cmp::Reverse((due, src))) =
+                self.arrivals.as_ref().expect("checked above").peek()
+            {
+                if due > cycle {
+                    break;
+                }
+                self.arrivals.as_mut().expect("checked above").pop();
+                let msg = self.make_request(NicId(src), cycle, ids);
+                let h = store.insert(msg);
+                self.queue_pending(src, h);
+                let gap = self.sample_gap();
+                self.arrivals
+                    .as_mut()
+                    .expect("checked above")
+                    .push(std::cmp::Reverse((cycle + 1 + gap, src)));
+            }
+            return;
+        }
+        if self.txn_rate <= 0.0 {
+            return;
+        }
         for src in 0..self.num_nics {
             if self.rng.random::<f64>() >= self.txn_rate {
                 continue;
             }
             let msg = self.make_request(NicId(src), cycle, ids);
-            self.pending[src as usize].push_back(store.insert(msg));
-            self.generated += 1;
+            let h = store.insert(msg);
+            self.queue_pending(src, h);
         }
     }
 
@@ -152,6 +241,7 @@ impl SyntheticTraffic {
                 let d = x * k + y;
                 NicId(if d == src.0 || d >= n { (src.0 + 1) % n } else { d })
             }
+            DestPattern::Neighbor => NicId((src.0 + 1) % n),
             DestPattern::Hotspot { node, permille } => {
                 if self.rng.random_range(0..1000) < permille as u32 && node != src.0 {
                     NicId(node)
@@ -191,27 +281,51 @@ impl TrafficSource for SyntheticTraffic {
     }
 
     fn pop_pending(&mut self, nic: NicId) -> Option<MsgHandle> {
-        self.pending[nic.index()].pop_front()
+        let h = self.pending[nic.index()].pop_front();
+        if self.pending[nic.index()].is_empty() {
+            self.pending_bits[nic.index() / 64] &= !(1 << (nic.0 % 64));
+        }
+        h
     }
 
     fn backlog(&self) -> usize {
         self.pending.iter().map(VecDeque::len).sum()
     }
 
+    fn pending_sources(&self, out: &mut Vec<NicId>) -> bool {
+        out.clear();
+        for (w, &word) in self.pending_bits.iter().enumerate() {
+            let mut word = word;
+            while word != 0 {
+                out.push(NicId((w * 64) as u32 + word.trailing_zeros()));
+                word &= word - 1;
+            }
+        }
+        true
+    }
+
     fn generated(&self) -> u64 {
         self.generated
     }
 
-    /// With a positive rate the per-node Bernoulli draws happen every
-    /// cycle and their order is load-bearing (skipping a tick would shift
-    /// the RNG stream for every later draw), so the source must run at
-    /// `from`. At rate zero no draw can ever fire or influence anything,
-    /// so ticks may be skipped wholesale.
+    /// In dense mode with a positive rate the per-node Bernoulli draws
+    /// happen every cycle and their order is load-bearing (skipping a
+    /// tick would shift the RNG stream for every later draw), so the
+    /// source must run at `from`. At rate zero no draw can ever fire or
+    /// influence anything, so ticks may be skipped wholesale. Sparse mode
+    /// ([`SyntheticTraffic::sparse_arrivals`]) knows its next arrival
+    /// exactly.
     fn next_arrival_cycle(&self, from: u64) -> u64 {
         if self.txn_rate <= 0.0 {
-            u64::MAX
-        } else {
-            from
+            return u64::MAX;
+        }
+        match &self.arrivals {
+            // Sparse mode schedules arrivals ahead of time, so the next
+            // one is known exactly and idle stretches can be jumped.
+            Some(heap) => heap
+                .peek()
+                .map_or(u64::MAX, |&std::cmp::Reverse((due, _))| due.max(from)),
+            None => from,
         }
     }
 }

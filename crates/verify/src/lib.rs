@@ -48,7 +48,7 @@ use mdd_deadlock::ResourceLayout;
 use mdd_obs::{counter_add, CounterId};
 use mdd_protocol::{PatternSpec, QueueOrg};
 use mdd_routing::{Scheme, SchemeRouting};
-use mdd_topology::{RecoveryRing, Topology};
+use mdd_topology::{RecoveryRing, Topology, TopologyKind};
 
 /// Everything the static analysis needs to know about a configuration.
 ///
@@ -156,6 +156,85 @@ impl fmt::Display for Verdict {
 /// mechanism. Bumps the `verify_proven_free` / `verify_unsafe`
 /// observability counters for the terminal verdicts.
 pub fn verify(input: &VerifyInput<'_>) -> Verdict {
+    classify(input, input.topo)
+}
+
+/// Statically classify a configuration via the torus orbit quotient.
+///
+/// Torus routing here is *vertex-transitive*: the candidate set a scheme
+/// offers depends only on the offset to the destination (via
+/// [`MinimalHops`](mdd_topology::MinimalHops)), the packet's
+/// dateline-crossing mask, and the message type — never on absolute
+/// coordinates. Two torus configurations that agree per dimension on (a)
+/// whether any minimal offset can tie (even radix) and (b) whether a
+/// dateline can sit on a minimal path (radix ≥ 2) therefore produce CDGs
+/// with identical local dependency structure, and the escape-peel verdict
+/// is a property of that structure, not of the router count. So instead
+/// of enumerating every `(router, dateline-mask)` state of a 64×64 torus
+/// (~hundreds of millions of occupant classes), fold each dimension's
+/// radix down to the smallest radix with the same parity (capped at 8/9),
+/// verify the folded representative exhaustively, and replicate its
+/// verdict.
+///
+/// Two soundness guards:
+/// - the progressive-recovery ring coverage check runs against the *full*
+///   topology (it is O(routers), cheap at any size, and genuinely
+///   size-dependent);
+/// - in debug builds, configurations small enough to enumerate fully
+///   (≤ 256 routers) are cross-checked against [`verify`] and must agree.
+///
+/// Non-torus (mesh) topologies are not vertex-transitive — boundary
+/// routers see different candidate sets — so they fall back to the full
+/// enumeration unchanged.
+pub fn verify_quotiented(input: &VerifyInput<'_>) -> Verdict {
+    let topo = input.topo;
+    let folded_radix: Vec<u32> = (0..topo.dims()).map(|d| fold_radix(topo.radix(d))).collect();
+    let already_small = topo.kind() != TopologyKind::Torus
+        || (0..topo.dims()).all(|d| folded_radix[d] == topo.radix(d));
+    if already_small {
+        return classify(input, topo);
+    }
+    let folded = Topology::new(TopologyKind::Torus, &folded_radix, topo.bristle());
+    counter_add(
+        CounterId::VerifyOrbitReduction,
+        u64::from(topo.num_routers() - folded.num_routers()),
+    );
+    let folded_input = VerifyInput { topo: &folded, ..*input };
+    // Ring coverage (the PR branch) stays on the full topology.
+    let verdict = classify(&folded_input, topo);
+    #[cfg(debug_assertions)]
+    if topo.num_routers() <= 256 {
+        let full = classify(input, topo);
+        assert_eq!(
+            verdict.name(),
+            full.name(),
+            "orbit quotient diverged from full enumeration on {:?}",
+            (0..topo.dims()).map(|d| topo.radix(d)).collect::<Vec<_>>(),
+        );
+    }
+    verdict
+}
+
+/// Fold one dimension's radix to the smallest torus radix with the same
+/// local dependency structure: identical tie behavior (parity — even radii
+/// admit equidistant minimal directions, odd radii never do) and a
+/// dateline reachable on minimal paths. Radices ≤ 9 are already minimal
+/// enough to enumerate cheaply and are kept verbatim, which also keeps
+/// the quotient the identity on the paper's 8×8 baseline.
+fn fold_radix(k: u32) -> u32 {
+    if k <= 9 {
+        k
+    } else if k.is_multiple_of(2) {
+        8
+    } else {
+        9
+    }
+}
+
+/// The classification body shared by [`verify`] (ring checked on the
+/// input topology) and [`verify_quotiented`] (CDG built on the folded
+/// representative, ring checked on the full topology).
+fn classify(input: &VerifyInput<'_>, ring_topo: &Topology) -> Verdict {
     let base = cdg::build(input, cdg::MechanismCredit::None);
     let peel = analyze::peel(&base);
     if peel.all_safe {
@@ -201,10 +280,10 @@ pub fn verify(input: &VerifyInput<'_>) -> Verdict {
             // every router *and* every NIC (the paper's extension), so
             // both routing- and message-dependent cycles are rescuable
             // over the exclusive lane.
-            let ring = RecoveryRing::new(input.topo);
-            let routers_covered = ring.len() == input.topo.num_routers() as usize;
+            let ring = RecoveryRing::new(ring_topo);
+            let routers_covered = ring.len() == ring_topo.num_routers() as usize;
             let tour_covers_nics =
-                ring.tour_len() == ring.len() * (1 + input.topo.bristle() as usize);
+                ring.tour_len() == ring.len() * (1 + ring_topo.bristle() as usize);
             if routers_covered && tour_covers_nics {
                 Verdict::RecoverableCycles { witness }
             } else {

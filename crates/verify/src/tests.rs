@@ -1,4 +1,4 @@
-use crate::{verify, VerifyInput};
+use crate::{verify, verify_quotiented, VerifyInput};
 use mdd_protocol::PatternSpec;
 use mdd_routing::{Scheme, SchemeRouting, VcMap};
 use mdd_topology::{Topology, TopologyKind};
@@ -126,6 +126,63 @@ fn witness_renders_the_shared_trace_format() {
     for line in w.rendered.lines().skip(1).take(w.vertices.len() - 1) {
         assert!(line.trim_start().starts_with("->"), "bad line: {line}");
     }
+}
+
+#[test]
+fn verify_agreement_quotient_matches_full_enumeration() {
+    // The orbit quotient must agree with exhaustive enumeration wherever
+    // the latter is affordable: every scheme at 8×8 and 16×16. (8×8 is
+    // the identity quotient; 16×16 folds to 8×8 and is the first size
+    // where the quotient actually discards states.)
+    let cases: &[(Scheme, u8)] = &[
+        (SA, 8),
+        (SA, 7),
+        (Scheme::DeflectiveRecovery, 8),
+        (Scheme::ProgressiveRecovery, 4),
+    ];
+    for radix in [&[8u32, 8][..], &[16, 16][..]] {
+        for &(scheme, vcs) in cases {
+            let fx = Fixture::torus(radix, scheme, PatternSpec::pat271(), vcs);
+            let full = verify(&fx.input());
+            let quot = verify_quotiented(&fx.input());
+            assert_eq!(
+                quot.name(),
+                full.name(),
+                "quotient disagrees with full enumeration: {radix:?} {scheme:?} vcs={vcs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn quotiented_verifier_classifies_64x64_fast() {
+    // The scale-ladder acceptance bar: SA/DR/PR verdicts on a 64×64
+    // torus in under a second total, via the orbit quotient. The folded
+    // representative is 8×8, so each classification is milliseconds; the
+    // only O(N) work left is progressive recovery's ring-coverage tour.
+    let t0 = std::time::Instant::now();
+    let fx = Fixture::torus(&[64, 64], SA, PatternSpec::pat271(), 8);
+    assert!(verify_quotiented(&fx.input()).is_proven_free());
+    let fx = Fixture::torus(&[64, 64], Scheme::DeflectiveRecovery, PatternSpec::pat271(), 8);
+    assert_eq!(verify_quotiented(&fx.input()).name(), "RecoverableCycles");
+    let fx = Fixture::torus(&[64, 64], Scheme::ProgressiveRecovery, PatternSpec::pat271(), 4);
+    assert_eq!(verify_quotiented(&fx.input()).name(), "RecoverableCycles");
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(1),
+        "64×64 ladder verification took {:?}",
+        t0.elapsed()
+    );
+}
+
+#[test]
+fn quotiented_verifier_handles_3d_and_odd_radices() {
+    // 8×8×8 folds to itself (radix ≤ 9 is kept verbatim) and must still
+    // classify; an odd oversized radix folds to 9, keeping tie-freedom.
+    let fx = Fixture::torus(&[8, 8, 8], SA, PatternSpec::pat271(), 8);
+    assert!(verify_quotiented(&fx.input()).is_proven_free());
+    let fx = Fixture::torus(&[15, 15], SA, PatternSpec::pat271(), 8);
+    let v = verify_quotiented(&fx.input());
+    assert_eq!(v.name(), verify(&fx.input()).name());
 }
 
 #[test]
