@@ -123,6 +123,28 @@ set -e
 echo "$unsafe_out" | grep -q "verdict: Unsafe" || {
     echo "verify smoke: crippled SA should be Unsafe, got:"; echo "$unsafe_out"; exit 1; }
 
+echo "==> golden verdicts (mdd-analyze --verdicts is bit-for-bit reproducible)"
+GOLDEN_DIR=$(mktemp -d)
+trap 'rm -rf "$CACHE_DIR" "$DAEMON_DIR" "$GOLDEN_DIR"' EXIT
+./target/release/mdd-analyze --verdicts --out "$GOLDEN_DIR" >/dev/null
+diff -u results/verdicts.json "$GOLDEN_DIR/verdicts.json" || {
+    echo "golden verdicts: results/verdicts.json drifted from the analyzer;"
+    echo "rerun ./target/release/mdd-analyze --verdicts --out results and commit"
+    exit 1; }
+
+echo "==> fault-frontier smoke (full 16x16 single-link sweep, engine pool)"
+frontier_out=$(./target/release/mdd-analyze --frontier --topo 16x16 --out "$GOLDEN_DIR")
+echo "$frontier_out" | grep '^frontier: ' | sed 's/^/    /'
+# SA is the crippled-by-fault case: fault-free it is ProvenFree at 8 VCs,
+# and at least one single-link fault must degrade that verdict.
+echo "$frontier_out" | grep "^frontier: sa " | grep -Eq "[1-9][0-9]* degrading" || {
+    echo "frontier smoke: no verdict-degrading fault on the SA line"; exit 1; }
+# Every 512-fault scheme sweep must stay interactive: <10s per scheme.
+slow=$(echo "$frontier_out" | grep '^frontier: ' |
+    sed -E 's/.*\(([0-9.]+)s\)$/\1/' | awk '$1 >= 10.0')
+[ -z "$slow" ] || {
+    echo "frontier smoke: a scheme sweep blew the 10s budget: ${slow}s"; exit 1; }
+
 echo "==> scaling smoke (orbit-quotiented verifier at 64x64, ladder sweep point)"
 # The orbit quotient must classify a 4096-router torus interactively:
 # three verdicts in <1s each. The release binary is invoked directly

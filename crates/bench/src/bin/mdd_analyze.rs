@@ -1,0 +1,245 @@
+//! `mdd-analyze` — the static-analysis CLI: verdict tables, fault
+//! frontiers, and minimal-VC synthesis, no simulation anywhere.
+//!
+//! Modes (give exactly one):
+//!
+//! ```text
+//! --verdicts     classify the golden scheme x vcs x topology x pattern
+//!                matrix and write results/verdicts.json (the committed
+//!                copy is a CI golden: the stage re-runs this mode and
+//!                diffs bit-for-bit)
+//! --frontier     enumerate all single-link faults (plus --doubles N
+//!                sampled double-link faults) for the SA/DR/PR frontier
+//!                configurations, classify each fault point as
+//!                verdict-preserving or verdict-degrading through the
+//!                engine's worker pool, and write
+//!                results/fault_frontier.json
+//! --min-vc       binary-search the smallest per-link VC budget that
+//!                keeps each scheme statically safe (up to the 128-slot
+//!                router occupancy cap) and print the probe table
+//! ```
+//!
+//! Options:
+//!
+//! ```text
+//! --topo KxK[xK...]   restrict --frontier / --min-vc to one topology
+//!                     [frontier: 8x8 and 16x16; min-vc: 8x8]
+//! --pattern NAME      pattern for --min-vc [pat271]
+//! --doubles N         add N sampled double-link fault points [0]
+//! --seed N            sampling seed for --doubles [42]
+//! --out DIR           results directory [results]
+//! --jobs N            worker threads for the per-orbit re-verdicts
+//! ```
+//!
+//! The frontier sweep groups fault points by their translation orbit
+//! along the failed link's own dimension (`mdd_verify::fault_orbit_key`)
+//! and re-verifies one representative per orbit on the engine pool; in
+//! debug builds every replicated point is cross-checked against a full
+//! incremental re-verdict on topologies small enough to afford it.
+
+use mdd_bench::cli::{die, BenchCli};
+use mdd_core::{PatternSpec, Scheme, SimConfig};
+use mdd_stats::Table;
+use mdd_verify::{sampled_double_link_faults, single_link_faults, FaultClass};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn scheme_of(label: &str) -> Scheme {
+    match label {
+        "sa" => Scheme::StrictAvoidance {
+            shared_adaptive: false,
+        },
+        "sa+" => Scheme::StrictAvoidance {
+            shared_adaptive: true,
+        },
+        "dr" => Scheme::DeflectiveRecovery,
+        "pr" => Scheme::ProgressiveRecovery,
+        other => die(&format!("unknown scheme {other}")),
+    }
+}
+
+fn pattern_of(label: &str) -> PatternSpec {
+    match label {
+        "pat100" => PatternSpec::pat100(),
+        "pat721" => PatternSpec::pat721(),
+        "pat451" => PatternSpec::pat451(),
+        "pat271" => PatternSpec::pat271(),
+        "pat280" => PatternSpec::pat280(),
+        other => die(&format!("unknown pattern {other}")),
+    }
+}
+
+fn sim_cfg(scheme: &str, pattern: &str, vcs: u8, topo: &str) -> SimConfig {
+    let radix =
+        SimConfig::parse_topo(topo).unwrap_or_else(|e| die(&format!("bad topology spec: {e}")));
+    SimConfig::builder()
+        .scheme(scheme_of(scheme))
+        .pattern(pattern_of(pattern))
+        .vcs(vcs)
+        .radix(&radix)
+        .build_unchecked()
+}
+
+/// The golden verdict matrix: every scheme at the paper's interesting VC
+/// budgets, on the ladder's small rungs, for a one-net and a two-net
+/// pattern. Infeasible budgets classify via the degraded map they would
+/// force, exactly like `mddsim --verify`.
+fn verdicts(cli: &BenchCli) {
+    let mut json = String::from("{\n  \"verdicts\": [\n");
+    let mut table = Table::new(vec!["scheme", "pattern", "vcs", "topo", "verdict"]);
+    let mut first = true;
+    for topo in ["4x4", "8x8", "16x16"] {
+        for scheme in ["sa", "sa+", "dr", "pr"] {
+            for pattern in ["pat100", "pat271"] {
+                for vcs in [2u8, 4, 8] {
+                    let cfg = sim_cfg(scheme, pattern, vcs, topo);
+                    let verdict = mdd_core::verify_config(&cfg)
+                        .unwrap_or_else(|_| mdd_core::verify_config_degraded(&cfg));
+                    table.row(vec![
+                        scheme.into(),
+                        pattern.into(),
+                        vcs.to_string(),
+                        topo.into(),
+                        verdict.name().into(),
+                    ]);
+                    if !first {
+                        json.push_str(",\n");
+                    }
+                    first = false;
+                    let _ = write!(
+                        json,
+                        "    {{\"scheme\": \"{scheme}\", \"pattern\": \"{pattern}\", \
+                         \"vcs\": {vcs}, \"topo\": \"{topo}\", \"verdict\": \"{}\"}}",
+                        verdict.name()
+                    );
+                }
+            }
+        }
+    }
+    json.push_str("\n  ]\n}\n");
+    print!("{}", table.render());
+    cli.write_reported("verdicts.json", &json);
+}
+
+/// The frontier configurations: each scheme at the cheapest budget that
+/// is statically interesting (SA needs its full partition set to start
+/// `ProvenFree`; DR and PR are recoverable already at 4).
+const FRONTIER_CONFIGS: &[(&str, u8)] = &[("sa", 8), ("dr", 4), ("pr", 4)];
+
+fn frontier(cli: &BenchCli) {
+    let engine = cli.engine();
+    let doubles: usize = cli.parse_value("--doubles", 0);
+    let seed: u64 = cli.parse_value("--seed", 42);
+    let topos: Vec<&str> = match cli.value("--topo") {
+        Some(t) => vec![t],
+        None => vec!["8x8", "16x16"],
+    };
+    let mut json = String::from("{\n  \"configs\": [\n");
+    let mut first_cfg = true;
+    for topo in topos {
+        for &(scheme, vcs) in FRONTIER_CONFIGS {
+            let cfg = sim_cfg(scheme, "pat271", vcs, topo);
+            let analysis = mdd_core::analysis_config(&cfg)
+                .unwrap_or_else(|e| die(&format!("infeasible frontier config: {e}")));
+            let mut faults = single_link_faults(analysis.topo());
+            if doubles > 0 {
+                faults.extend(sampled_double_link_faults(analysis.topo(), doubles, seed));
+            }
+            let t0 = Instant::now();
+            let report = engine.fault_frontier(analysis, faults);
+            let secs = t0.elapsed().as_secs_f64();
+            println!(
+                "frontier: {scheme} pat271 vcs {vcs} {topo} -> base {} | {} points: \
+                 {} preserving, {} degrading ({secs:.2}s)",
+                report.base_verdict,
+                report.points.len(),
+                report.preserving,
+                report.degrading,
+            );
+            if !first_cfg {
+                json.push_str(",\n");
+            }
+            first_cfg = false;
+            let _ = write!(
+                json,
+                "    {{\"scheme\": \"{scheme}\", \"pattern\": \"pat271\", \"vcs\": {vcs}, \
+                 \"topo\": \"{topo}\",\n     \"base_verdict\": \"{}\", \"base_rank\": {}, \
+                 \"preserving\": {}, \"degrading\": {},\n     \"points\": [\n",
+                report.base_verdict, report.base_rank, report.preserving, report.degrading,
+            );
+            for (i, p) in report.points.iter().enumerate() {
+                let sep = if i + 1 == report.points.len() { "" } else { "," };
+                let _ = writeln!(
+                    json,
+                    "      {{\"fault\": \"{}\", \"verdict\": \"{}\", \"rank\": {}, \
+                     \"class\": \"{}\"}}{sep}",
+                    p.label,
+                    p.verdict,
+                    p.rank,
+                    match p.class {
+                        FaultClass::Preserving => "preserving",
+                        FaultClass::Degrading => "degrading",
+                    },
+                );
+            }
+            json.push_str("     ]}");
+        }
+    }
+    json.push_str("\n  ]\n}\n");
+    cli.write_reported("fault_frontier.json", &json);
+}
+
+fn min_vc(cli: &BenchCli) {
+    let topo = cli.value("--topo").unwrap_or("8x8");
+    let pattern = cli.value("--pattern").unwrap_or("pat271");
+    let mut table = Table::new(vec!["scheme", "pattern", "topo", "min safe vcs", "verdict", "probes"]);
+    for scheme in ["sa", "sa+", "dr", "pr"] {
+        let cfg = sim_cfg(scheme, pattern, 4, topo);
+        let report = mdd_core::min_safe_vcs(&cfg);
+        table.row(vec![
+            scheme.into(),
+            pattern.into(),
+            topo.into(),
+            report
+                .min_vcs
+                .map_or_else(|| "none".into(), |n| n.to_string()),
+            report
+                .verdict
+                .as_ref()
+                .map_or("Unsafe", mdd_core::Verdict::name)
+                .into(),
+            report
+                .probes
+                .iter()
+                .map(|(n, v)| format!("{n}:{v}"))
+                .collect::<Vec<_>>()
+                .join(" "),
+        ]);
+    }
+    print!("{}", table.render());
+}
+
+fn main() {
+    let cli = BenchCli::parse();
+    if cli.flag("--help") || cli.flag("-h") {
+        println!(
+            "{}",
+            include_str!("mdd_analyze.rs")
+                .lines()
+                .take_while(|l| l.starts_with("//!"))
+                .map(|l| l.trim_start_matches("//!").trim_start())
+                .filter(|l| !l.starts_with("```"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        return;
+    }
+    let modes =
+        [cli.flag("--verdicts"), cli.flag("--frontier"), cli.flag("--min-vc")];
+    match modes {
+        [true, false, false] => verdicts(&cli),
+        [false, true, false] => frontier(&cli),
+        [false, false, true] => min_vc(&cli),
+        _ => die("give exactly one of --verdicts, --frontier, --min-vc (see --help)"),
+    }
+}

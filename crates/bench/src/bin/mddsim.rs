@@ -33,6 +33,12 @@
 //!                              Unsafe (then 3). A VC budget infeasible
 //!                              for the scheme is verified against the
 //!                              degraded map it would force.
+//! --analyze                    like --verify, plus the minimal-VC
+//!                              synthesis diagnostic: prints the smallest
+//!                              per-link VC budget that makes the scheme
+//!                              statically safe (searching up to the
+//!                              128-slot router occupancy cap) and the
+//!                              probe trail. Same exit-status contract.
 //! ```
 //!
 //! Engine flags (shared with every bench binary):
@@ -168,7 +174,7 @@ fn main() {
         )
         .seed(cli.parse_value("--seed", 0x5eed))
         .queue_org(queue_org);
-    if cli.flag("--verify") {
+    if cli.flag("--verify") || cli.flag("--analyze") {
         // Static verification mode: classify, print, exit — no simulation.
         // Deliberately skips feasibility validation so infeasible VC
         // budgets can be explained via the degraded map.
@@ -181,7 +187,6 @@ fn main() {
             eprintln!("mddsim: {e}; verifying the degraded channel map it would force");
             mdd_core::verify_config_degraded(&cfg)
         });
-        write_obs_outputs(counters_out.as_deref(), None);
         println!(
             "config: scheme {} pattern {} vcs {} radix {} queue-org {:?}",
             scheme.label(),
@@ -194,6 +199,24 @@ fn main() {
         if let Some(w) = verdict.witness() {
             println!("witness cycle:\n{w}");
         }
+        if cli.flag("--analyze") {
+            // Minimal-VC synthesis: how cheap could this scheme get (or,
+            // when unsafe, how many VCs would fix it).
+            let report = mdd_core::min_safe_vcs(&cfg);
+            match (report.min_vcs, &report.verdict) {
+                (Some(n), Some(v)) => println!("min safe VCs: {n} (verdict {})", v.name()),
+                _ => println!(
+                    "min safe VCs: none within the 128-slot router occupancy cap"
+                ),
+            }
+            let trail: Vec<String> = report
+                .probes
+                .iter()
+                .map(|(n, v)| format!("{n}:{v}"))
+                .collect();
+            println!("probes: {}", trail.join(" "));
+        }
+        write_obs_outputs(counters_out.as_deref(), None);
         std::process::exit(if verdict.is_unsafe() { 3 } else { 0 });
     }
     let cfg = builder

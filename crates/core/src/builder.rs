@@ -85,6 +85,11 @@ pub enum ConfigError {
     StaticallyUnsafe {
         /// The rendered witness cycle (`mdd-verify`'s trace format).
         witness: String,
+        /// The smallest per-link VC budget that would make this
+        /// configuration safe, if one exists within the 128-slot router
+        /// occupancy cap (from the minimal-VC synthesis probe) — the
+        /// actionable half of the diagnostic.
+        min_safe_vcs: Option<u8>,
     },
 }
 
@@ -120,11 +125,21 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "applied load {load} is not a finite non-negative number")
             }
             ConfigError::Scheme(e) => write!(f, "{e}"),
-            ConfigError::StaticallyUnsafe { witness } => write!(
-                f,
-                "statically unsafe: a dependency cycle no configured mechanism \
-                 can drain:\n{witness}"
-            ),
+            ConfigError::StaticallyUnsafe { witness, min_safe_vcs } => {
+                write!(
+                    f,
+                    "statically unsafe: a dependency cycle no configured mechanism \
+                     can drain:\n{witness}"
+                )?;
+                match min_safe_vcs {
+                    Some(n) => write!(f, "hint: {n} VCs per link would make this scheme safe"),
+                    None => write!(
+                        f,
+                        "hint: no VC budget within the 128-slot router occupancy cap \
+                         makes this scheme safe"
+                    ),
+                }
+            }
         }
     }
 }
@@ -452,6 +467,7 @@ impl SimConfigBuilder {
             if let mdd_verify::Verdict::Unsafe { witness } = verdict {
                 return Err(ConfigError::StaticallyUnsafe {
                     witness: witness.rendered,
+                    min_safe_vcs: crate::preflight::min_safe_vcs(&self.cfg).min_vcs,
                 });
             }
         }

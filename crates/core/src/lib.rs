@@ -35,7 +35,7 @@ mod validate;
 
 pub use builder::{ConfigError, SimConfigBuilder};
 pub use config::{SimConfig, SimResult};
-pub use preflight::{verify_config, verify_config_degraded};
+pub use preflight::{analysis_config, min_safe_vcs, verify_config, verify_config_degraded};
 pub use recovery::{EpisodeOrigin, EpisodeRecord, PrRecovery};
 pub use sim::Simulator;
 pub use sweep::{default_loads, run_curve_checked, run_point};

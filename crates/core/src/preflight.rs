@@ -12,7 +12,7 @@
 use crate::config::SimConfig;
 use mdd_routing::{SchemeConfigError, SchemeRouting, VcMap};
 use mdd_topology::{Topology, TopologyKind};
-use mdd_verify::{Verdict, VerifyInput};
+use mdd_verify::{AnalysisConfig, MinVcReport, Verdict, VerifyInput};
 
 /// Statically classify `cfg`, or fail with the same feasibility error the
 /// simulator constructor would raise (too few VCs and the like).
@@ -33,13 +33,54 @@ pub fn verify_config_degraded(cfg: &SimConfig) -> Verdict {
     verify_with_map(cfg, map)
 }
 
-fn verify_with_map(cfg: &SimConfig, map: VcMap) -> Verdict {
+/// The topology `Simulator::new` would construct for `cfg`.
+///
+/// [`Simulator::new`]: crate::Simulator::new
+fn topology_of(cfg: &SimConfig) -> Topology {
     let kind = if cfg.mesh {
         TopologyKind::Mesh
     } else {
         TopologyKind::Torus
     };
-    let topo = Topology::new(kind, &cfg.radix, cfg.bristle);
+    Topology::new(kind, &cfg.radix, cfg.bristle)
+}
+
+/// Bundle `cfg` into the analysis engine's owned [`AnalysisConfig`] —
+/// the entry point for incremental re-verdicts and fault-frontier
+/// sweeps over a simulator configuration. Fails exactly when
+/// [`verify_config`] would (infeasible VC budget for the scheme).
+pub fn analysis_config(cfg: &SimConfig) -> Result<AnalysisConfig, SchemeConfigError> {
+    let escape = if cfg.mesh { 1 } else { 2 };
+    let map = VcMap::build(cfg.scheme, cfg.pattern.protocol(), cfg.vcs, escape)?;
+    Ok(AnalysisConfig::new(
+        topology_of(cfg),
+        cfg.scheme,
+        SchemeRouting::new(map),
+        (*cfg.pattern).clone(),
+        cfg.effective_queue_org(),
+    ))
+}
+
+/// Probe for the smallest per-link VC budget that makes `cfg`'s scheme
+/// statically safe on its topology and pattern, searching `1..=max`
+/// where `max` is the largest budget the 128-slot router occupancy
+/// masks admit (`(2·dims + bristle) · vcs ≤ 128`). The configuration's
+/// own `vcs` value does not bound the search — this is the diagnostic
+/// behind the strict builder's "how many VCs would fix it" hint.
+pub fn min_safe_vcs(cfg: &SimConfig) -> MinVcReport {
+    let ports = 2 * cfg.radix.len() + cfg.bristle as usize;
+    let max = (128 / ports).min(u8::MAX as usize) as u8;
+    mdd_verify::min_safe_vcs(
+        &topology_of(cfg),
+        cfg.scheme,
+        &cfg.pattern,
+        cfg.effective_queue_org(),
+        max,
+    )
+}
+
+fn verify_with_map(cfg: &SimConfig, map: VcMap) -> Verdict {
+    let topo = topology_of(cfg);
     let routing = SchemeRouting::new(map);
     // Quotiented entry point: identical to `verify` at the paper's sizes
     // (the fold is the identity up to radix 9), sub-second at 64×64+.

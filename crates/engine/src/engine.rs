@@ -7,7 +7,9 @@ use crate::job::Job;
 use mdd_core::{SchemeConfigError, SimConfig, SimResult, Simulator};
 use mdd_obs::CounterId;
 use mdd_stats::BnfCurve;
-use mdd_verify::Verdict;
+use mdd_verify::{
+    fault_orbit_key, AnalysisConfig, BaseAnalysis, FaultOutcome, FaultSet, FrontierReport, Verdict,
+};
 use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -93,21 +95,6 @@ impl Engine {
         self.inner.pool.stats()
     }
 
-    /// Cap the number of worker threads of the process-global pool (the
-    /// pool engines built without [`EngineBuilder::jobs`] share). Only
-    /// effective before the global pool first runs; `0` restores the
-    /// machine default.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use Engine::builder().jobs(n) — a per-engine pool honors the cap unconditionally"
-    )]
-    pub fn set_jobs(n: usize) {
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(n)
-            .build_global()
-            .expect("the rayon shim's build_global cannot fail");
-    }
-
     /// Submit one labelled load sweep of `base` over `loads`: the batch
     /// [`Job::points`] expands to, streamed back through the returned
     /// handle as points complete.
@@ -189,25 +176,57 @@ impl Engine {
         }
     }
 
-    /// Run one labelled load sweep to completion.
-    #[deprecated(since = "0.2.0", note = "use Engine::submit_sweep(..).wait()")]
-    pub fn run_sweep(&self, base: &SimConfig, loads: &[f64], label: &str) -> SweepReport {
-        self.submit_sweep(base, loads, label).wait()
-    }
+    /// Classify a fault sweep on this engine's worker pool: build the
+    /// base analysis once, group the fault points by
+    /// [`fault_orbit_key`], re-verify one representative per orbit as a
+    /// pool task, and replicate each orbit's outcome to its members in
+    /// the original enumeration order. Equivalent to
+    /// [`mdd_verify::classify_fault_points`] (both funnel through
+    /// [`FrontierReport::assemble`] and its debug cross-check), with the
+    /// per-orbit re-verdicts running in parallel.
+    pub fn fault_frontier(&self, cfg: AnalysisConfig, faults: Vec<FaultSet>) -> FrontierReport {
+        let base = Arc::new(BaseAnalysis::analyze(cfg));
+        let mut keys: Vec<String> = Vec::new();
+        let mut reps: Vec<FaultSet> = Vec::new();
+        let orbit_of: Vec<usize> = faults
+            .iter()
+            .map(|f| {
+                let key = fault_orbit_key(base.config().topo(), f);
+                keys.iter().position(|k| *k == key).unwrap_or_else(|| {
+                    keys.push(key);
+                    reps.push(f.clone());
+                    keys.len() - 1
+                })
+            })
+            .collect();
 
-    /// Run a batch of jobs to completion.
-    #[deprecated(since = "0.2.0", note = "use Engine::submit(..).wait()")]
-    pub fn run_jobs(&self, jobs: Vec<Job>) -> SweepReport {
-        self.submit(jobs).wait()
-    }
-
-    /// Run a batch with a caller-supplied runner to completion.
-    #[deprecated(since = "0.2.0", note = "use Engine::submit_with(..).wait()")]
-    pub fn run_jobs_with<F>(&self, jobs: Vec<Job>, runner: F) -> SweepReport
-    where
-        F: Fn(&Job) -> Result<SimResult, SchemeConfigError> + Send + Sync + 'static,
-    {
-        self.submit_with(jobs, runner).wait()
+        let (tx, rx) = mpsc::channel();
+        let num_orbits = reps.len();
+        for (i, rep) in reps.into_iter().enumerate() {
+            let base = Arc::clone(&base);
+            let tx = tx.clone();
+            self.inner.pool.spawn(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(|| base.reverify_outcome(&rep)));
+                let _ = tx.send((i, outcome));
+            });
+        }
+        drop(tx);
+        let mut outcomes: Vec<Option<FaultOutcome>> = vec![None; num_orbits];
+        for (i, outcome) in rx {
+            match outcome {
+                Ok(o) => outcomes[i] = Some(o),
+                Err(payload) => panic!(
+                    "fault-frontier re-verdict panicked: {}",
+                    panic_message(payload.as_ref())
+                ),
+            }
+        }
+        let evaluated: Vec<(FaultSet, FaultOutcome)> = faults
+            .into_iter()
+            .zip(orbit_of)
+            .map(|(f, oi)| (f, outcomes[oi].expect("every orbit was evaluated")))
+            .collect();
+        FrontierReport::assemble(&base, evaluated)
     }
 }
 

@@ -113,16 +113,31 @@ fn cached_and_simulated_points_interleave_without_reordering_the_curve() {
     assert_eq!(curve_bits(&reference), curve_bits(&report));
 }
 
-/// The deprecated batch wrappers must keep returning exactly what the
-/// streaming API assembles, for the one release they survive.
+/// The pool-parallel fault frontier must classify exactly like the
+/// sequential sweep in `mdd-verify`, point for point, at any worker
+/// count — orbit grouping plus parallel re-verdicts is a pure
+/// performance transformation.
 #[test]
-#[allow(deprecated)]
-fn batch_wrappers_match_streaming_results() {
-    let loads = [0.05, 0.10];
-    let engine = Engine::new();
-    let streamed = engine.submit_sweep(&small_cfg(), &loads, "PR").wait();
-    let batch = engine.run_sweep(&small_cfg(), &loads, "PR");
-    assert_eq!(curve_bits(&streamed), curve_bits(&batch));
-    let batch = engine.run_jobs(Job::points(&small_cfg(), &loads, "PR"));
-    assert_eq!(curve_bits(&streamed), curve_bits(&batch));
+fn fault_frontier_matches_sequential_classification() {
+    use mdd_verify::{classify_fault_points, single_link_faults, BaseAnalysis};
+
+    let analysis = mdd_core::analysis_config(&small_cfg()).expect("small_cfg is feasible");
+    let faults = single_link_faults(analysis.topo());
+
+    let sequential = {
+        let base = BaseAnalysis::analyze(analysis.clone());
+        classify_fault_points(&base, faults.clone())
+    };
+
+    for workers in [1, 4] {
+        let engine = Engine::builder().jobs(workers).build().expect("engine");
+        let pooled = engine.fault_frontier(analysis.clone(), faults.clone());
+        assert_eq!(pooled.base_verdict, sequential.base_verdict);
+        assert_eq!(pooled.preserving, sequential.preserving);
+        assert_eq!(pooled.degrading, sequential.degrading);
+        assert_eq!(pooled.points.len(), sequential.points.len());
+        for (p, s) in pooled.points.iter().zip(&sequential.points) {
+            assert_eq!((p.label.as_str(), p.verdict, p.rank), (s.label.as_str(), s.verdict, s.rank));
+        }
+    }
 }

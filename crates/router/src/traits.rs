@@ -41,6 +41,17 @@ pub trait Routing {
     /// The virtual channels on which a packet of `pkt`'s type may be
     /// injected into the network.
     fn injection_vcs(&self, pkt: &PacketState, out: &mut Vec<u8>);
+
+    /// Can this routing function's candidates for type `mtype` ever
+    /// depend on `PacketState::crossed_dateline`? Defaults to `true`
+    /// (conservative). Implementations that provably never consult the
+    /// dateline mask for a type (e.g. a fully adaptive VC map with no
+    /// dateline-classed escape set) may return `false`, which lets the
+    /// static analyzer collapse its per-mask state split for that type.
+    fn dateline_sensitive(&self, mtype: mdd_protocol::MsgType) -> bool {
+        let _ = mtype;
+        true
+    }
 }
 
 /// Endpoint-side hooks invoked by [`crate::Network::step`].

@@ -113,4 +113,11 @@ impl Routing for SchemeRouting {
             out.push(e0);
         }
     }
+
+    /// The dateline mask is consulted exactly when the type has more than
+    /// one dateline-classed escape channel (see `candidates`); fully
+    /// adaptive maps (PR) and single-escape maps (meshes) never read it.
+    fn dateline_sensitive(&self, mtype: mdd_protocol::MsgType) -> bool {
+        self.map.for_type(mtype).escape.len() > 1
+    }
 }

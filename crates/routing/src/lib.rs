@@ -22,10 +22,12 @@
 
 #![warn(missing_docs)]
 
+mod degraded;
 mod function;
 mod scheme;
 mod vcmap;
 
+pub use degraded::DegradedRouting;
 pub use function::SchemeRouting;
 pub use scheme::{Scheme, SchemeConfigError};
 pub use vcmap::{TypeVcs, VcMap};

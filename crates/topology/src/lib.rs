@@ -26,12 +26,14 @@
 
 mod capacity;
 mod coord;
+mod fault;
 mod geometry;
 mod ring;
 mod torus;
 
 pub use capacity::CapacityReport;
 pub use coord::{Coord, NicId, NodeId};
+pub use fault::{single_link_faults, FaultSet, UNREACHABLE};
 pub use geometry::{Direction, HopGeometry, MinimalHops, MAX_DIMS};
 pub use ring::{RecoveryRing, TourStop};
 pub use torus::{PortId, Topology, TopologyKind};

@@ -28,22 +28,45 @@ pub(crate) struct PeelOutcome {
 
 /// Run the escape-peel fixpoint over `cdg`.
 pub(crate) fn peel(cdg: &StaticCdg<'_>) -> PeelOutcome {
-    let nv = cdg.vertex_classes.len();
-    let nc = cdg.kind.len();
+    peel_with(cdg, &[])
+}
 
-    // Reverse index: candidate vertex -> classes OR-waiting on it.
-    let mut rev: Vec<Vec<u32>> = vec![Vec::new(); nv];
-    for (c, cs) in cdg.cands.iter().enumerate() {
-        for &v in cs {
-            rev[v as usize].push(c as u32);
+/// Run the peel with extra OR-wait candidate edges `(class, vertex)`
+/// overlaid on the graph — the deflection-credited pass reuses the one
+/// assembled graph this way instead of assembling a second copy.
+pub(crate) fn peel_with(cdg: &StaticCdg<'_>, extra: &[(u32, u32)]) -> PeelOutcome {
+    let nv = cdg.num_vertices();
+    let nc = cdg.num_classes();
+
+    // Reverse index (CSR): candidate vertex -> classes OR-waiting on it.
+    let mut rev_off: Vec<u32> = vec![0; nv + 1];
+    for c in 0..nc as u32 {
+        for &v in cdg.cands(c) {
+            rev_off[v as usize + 1] += 1;
         }
+    }
+    for &(_, v) in extra {
+        rev_off[v as usize + 1] += 1;
+    }
+    for i in 1..rev_off.len() {
+        rev_off[i] += rev_off[i - 1];
+    }
+    let mut fill = rev_off.clone();
+    let mut rev: Vec<u32> = vec![0; rev_off[nv] as usize];
+    for c in 0..nc as u32 {
+        for &v in cdg.cands(c) {
+            rev[fill[v as usize] as usize] = c;
+            fill[v as usize] += 1;
+        }
+    }
+    for &(c, v) in extra {
+        rev[fill[v as usize] as usize] = c;
+        fill[v as usize] += 1;
     }
 
     let mut class_safe = cdg.sink.clone();
-    let mut remaining: Vec<u32> = cdg
-        .vertex_classes
-        .iter()
-        .map(|cs| cs.len() as u32)
+    let mut remaining: Vec<u32> = (0..nv)
+        .map(|v| cdg.classes_at(v as u32).len() as u32)
         .collect();
     let mut vertex_safe = vec![false; nv];
 
@@ -59,7 +82,7 @@ pub(crate) fn peel(cdg: &StaticCdg<'_>) -> PeelOutcome {
 
     loop {
         while let Some(c) = cwork.pop() {
-            for &m in &cdg.members[c as usize] {
+            for &m in cdg.members(c) {
                 let m = m as usize;
                 remaining[m] -= 1;
                 if remaining[m] == 0 {
@@ -71,7 +94,8 @@ pub(crate) fn peel(cdg: &StaticCdg<'_>) -> PeelOutcome {
         match vwork.pop() {
             None => break,
             Some(v) => {
-                for &c in &rev[v as usize] {
+                let (a, b) = (rev_off[v as usize], rev_off[v as usize + 1]);
+                for &c in &rev[a as usize..b as usize] {
                     if !class_safe[c as usize] {
                         class_safe[c as usize] = true;
                         cwork.push(c);
@@ -97,20 +121,41 @@ pub(crate) fn peel(cdg: &StaticCdg<'_>) -> PeelOutcome {
 /// is rendered through the shared [`ResourceLayout`] trace format with
 /// one occupant note per resource.
 pub(crate) fn witness(cdg: &StaticCdg<'_>, outcome: &PeelOutcome) -> Option<CycleWitness> {
-    let nv = cdg.vertex_classes.len();
+    witness_with(cdg, outcome, &[])
+}
+
+/// Witness extraction over the residue of [`peel_with`]: the same extra
+/// OR-wait edges must shape the residual graph, or the cycle shown could
+/// be one the overlaid peel already discharged.
+pub(crate) fn witness_with(
+    cdg: &StaticCdg<'_>,
+    outcome: &PeelOutcome,
+    extra: &[(u32, u32)],
+) -> Option<CycleWitness> {
+    let nv = cdg.num_vertices();
     let mut g = WaitForGraph::new(nv);
     for v in 0..nv {
         if outcome.vertex_safe[v] {
             continue;
         }
-        for &c in &cdg.vertex_classes[v] {
+        for &c in cdg.classes_at(v as u32) {
             if outcome.class_safe[c as usize] {
                 continue;
             }
-            for &w in &cdg.cands[c as usize] {
+            for &w in cdg.cands(c) {
                 if !outcome.vertex_safe[w as usize] {
                     g.add_edge(v as u32, w);
                 }
+            }
+        }
+    }
+    for &(c, w) in extra {
+        if outcome.class_safe[c as usize] || outcome.vertex_safe[w as usize] {
+            continue;
+        }
+        for &v in cdg.members(c) {
+            if !outcome.vertex_safe[v as usize] {
+                g.add_edge(v, w);
             }
         }
     }
@@ -123,7 +168,7 @@ pub(crate) fn witness(cdg: &StaticCdg<'_>, outcome: &PeelOutcome) -> Option<Cycl
         let notes: Vec<String> = cycle
             .iter()
             .map(|&v| {
-                cdg.vertex_classes[v as usize]
+                cdg.classes_at(v)
                     .iter()
                     .find(|&&c| !outcome.class_safe[c as usize])
                     .map_or_else(String::new, |&c| cdg.note(c))

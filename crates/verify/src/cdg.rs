@@ -16,6 +16,13 @@
 //! can produce at run time — including the dateline-class escape
 //! structure that makes Duato-style peeling succeed.
 //!
+//! Construction is *segmented*: each (type, destination) sweep produces an
+//! independent [`Segment`] with local class ids, and [`assemble`]
+//! concatenates segments into a [`StaticCdg`]. Segments are the unit of
+//! incremental reuse — a fault set that provably cannot change a
+//! destination's candidate structure lets the incremental verifier splice
+//! the base segment in byte-for-byte (see `crate::incremental`).
+//!
 //! Deflective-recovery preallocation is modelled faithfully: message
 //! types whose every chain occurrence is covered by an input-queue
 //! earmark (terminating replies at their requester, return replies at
@@ -31,25 +38,10 @@ use mdd_protocol::{
 };
 use mdd_router::{PacketState, RouteCandidate, Routing};
 use mdd_routing::Scheme;
-use mdd_topology::{NicId, NodeId};
-
-/// How much of the scheme's recovery mechanism the dependency graph may
-/// take credit for.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub(crate) enum MechanismCredit {
-    /// Pure avoidance semantics: service, routing and preallocation only.
-    /// A complete peel under this graph is a deadlock-freedom proof.
-    None,
-    /// Additionally credit deflective recovery: a blocked head whose
-    /// subordinate is a request may alternatively be converted into a
-    /// backoff reply (waits on the backoff type's output queue). A
-    /// complete peel under this graph means every base-graph cycle is
-    /// deflectable.
-    Deflection,
-}
+use mdd_topology::{FaultSet, NicId, NodeId};
 
 /// One way a resource vertex can be occupied, for witness rendering.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum ClassKind {
     /// A packet in a router input VC (or being injected on a local port).
     Packet {
@@ -85,7 +77,58 @@ pub(crate) enum ClassKind {
     },
 }
 
+/// An independently-built slice of the static CDG: classes with *local*
+/// ids (0-based within the segment), candidate vertices in the shared
+/// [`ResourceLayout`] numbering, and (local class, vertex) memberships.
+///
+/// Candidates and memberships are stored flat (CSR for the candidates,
+/// class-sorted pairs for the memberships), per-class sorted and
+/// deduplicated by [`Segment::finalize`]. Flat storage keeps the segment
+/// cache allocation-light and makes [`assemble`] a pure concatenation —
+/// the assembly used to clone one `Vec` per class and dominated the
+/// degraded re-verdict wall time once a few hundred thousand classes were
+/// live.
+///
+/// Equality is derived and byte-exact, which is what the incremental
+/// verifier's debug cross-check leans on: a reused segment must be
+/// *identical* to what a from-scratch degraded build would have produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Segment {
+    /// Class descriptors, by local class id.
+    pub kind: Vec<ClassKind>,
+    /// Per-class unconditional-escape flag.
+    pub sink: Vec<bool>,
+    /// CSR offsets into `cands`, length `kind.len() + 1`.
+    pub cands_off: Vec<u32>,
+    /// Flat OR-wait candidate vertices, grouped by class.
+    pub cands: Vec<u32>,
+    /// (local class, vertex) occupancy pairs, sorted and deduplicated.
+    pub membership: Vec<(u32, u32)>,
+    /// Deflection-credit overlay: extra `(local class, candidate vertex)`
+    /// OR-wait edges the graph gains when deflective recovery is credited
+    /// (a blocked head whose subordinate is a request may instead convert
+    /// into a backoff reply and wait on its output queue). Kept out of
+    /// `cands` so one assembled graph serves both peels.
+    pub deflection_extra: Vec<(u32, u32)>,
+}
+
+impl Default for Segment {
+    fn default() -> Self {
+        Segment {
+            kind: Vec::new(),
+            sink: Vec::new(),
+            cands_off: vec![0],
+            cands: Vec::new(),
+            membership: Vec::new(),
+            deflection_extra: Vec::new(),
+        }
+    }
+}
+
 /// The static CDG: occupant classes over the shared resource vertex set.
+/// All per-class / per-vertex lists are CSR-flattened; use the accessor
+/// methods.
+#[derive(Debug)]
 pub(crate) struct StaticCdg<'a> {
     pub layout: ResourceLayout,
     pub input: VerifyInput<'a>,
@@ -94,12 +137,55 @@ pub(crate) struct StaticCdg<'a> {
     /// True when the class has an unconditional escape (guaranteed
     /// consumption / terminating sink): it is safe by itself.
     pub sink: Vec<bool>,
-    /// OR-wait candidate vertices per class (deduplicated).
-    pub cands: Vec<Vec<u32>>,
-    /// Vertices each class can occupy (deduplicated).
-    pub members: Vec<Vec<u32>>,
-    /// Classes that can occupy each vertex (deduplicated).
-    pub vertex_classes: Vec<Vec<u32>>,
+    /// CSR offsets into `cands`, length `num_classes() + 1`.
+    cands_off: Vec<u32>,
+    /// Flat OR-wait candidate vertices, grouped by class (deduplicated).
+    cands: Vec<u32>,
+    /// CSR offsets into `members`, length `num_classes() + 1`.
+    members_off: Vec<u32>,
+    /// Flat vertices each class can occupy (deduplicated).
+    members: Vec<u32>,
+    /// CSR offsets into `vclasses`, length `num_vertices() + 1`.
+    vclasses_off: Vec<u32>,
+    /// Flat classes that can occupy each vertex (deduplicated).
+    vclasses: Vec<u32>,
+    /// Deflection-credit overlay edges `(class, candidate vertex)`, in the
+    /// global class numbering (see [`Segment::deflection_extra`]). The
+    /// credited peel is the base peel with these OR-wait edges added.
+    pub deflection_extra: Vec<(u32, u32)>,
+}
+
+impl StaticCdg<'_> {
+    /// Number of occupant classes.
+    pub fn num_classes(&self) -> usize {
+        self.kind.len()
+    }
+
+    /// Number of resource vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vclasses_off.len() - 1
+    }
+
+    /// OR-wait candidate vertices of `class`.
+    pub fn cands(&self, class: u32) -> &[u32] {
+        let (a, b) = (self.cands_off[class as usize], self.cands_off[class as usize + 1]);
+        &self.cands[a as usize..b as usize]
+    }
+
+    /// Vertices `class` can occupy.
+    pub fn members(&self, class: u32) -> &[u32] {
+        let (a, b) = (self.members_off[class as usize], self.members_off[class as usize + 1]);
+        &self.members[a as usize..b as usize]
+    }
+
+    /// Classes that can occupy `vertex`.
+    pub fn classes_at(&self, vertex: u32) -> &[u32] {
+        let (a, b) = (
+            self.vclasses_off[vertex as usize],
+            self.vclasses_off[vertex as usize + 1],
+        );
+        &self.vclasses[a as usize..b as usize]
+    }
 }
 
 impl StaticCdg<'_> {
@@ -142,7 +228,7 @@ impl StaticCdg<'_> {
 /// delivered to the requester; a non-terminating reply claims the slot
 /// preallocated at its grandparent's service provided it returns to the
 /// servicing node.
-fn guaranteed_ejection(input: &VerifyInput<'_>) -> Vec<bool> {
+pub(crate) fn guaranteed_ejection(input: &VerifyInput<'_>) -> Vec<bool> {
     let proto = input.pattern.protocol();
     let n = proto.num_types();
     let mut out = vec![false; n];
@@ -186,54 +272,38 @@ fn active_shapes<'i>(input: &VerifyInput<'i>) -> impl Iterator<Item = ShapeId> +
         .filter(move |&sid| pattern.weight(sid) > 0.0)
 }
 
-/// Build the static CDG for `input` under `credit`.
-pub(crate) fn build<'a>(input: &VerifyInput<'a>, credit: MechanismCredit) -> StaticCdg<'a> {
-    let topo = input.topo;
+/// Message types that can appear in the network: every type of an active
+/// chain, plus — under deflective recovery only — the backoff type (it is
+/// generated exclusively by deflection, so including it under SA/PR would
+/// fabricate dependencies that cannot occur).
+pub(crate) fn net_types(input: &VerifyInput<'_>) -> Vec<MsgType> {
     let proto = input.pattern.protocol();
-    let org = input.queue_org;
-    let routing = input.routing;
-    let layout = crate::layout_for(input);
-    let nv = layout.num_vertices();
-    assert!(topo.dims() <= 8, "dateline masks are one bit per dimension");
-
-    let dr = matches!(input.scheme, Scheme::DeflectiveRecovery);
-    let bkf = proto.backoff_type();
-
-    // Message types that can appear in the network: every type of an
-    // active chain, plus — under deflective recovery only — the backoff
-    // type (it is generated exclusively by deflection, so including it
-    // under SA/PR would fabricate dependencies that cannot occur).
-    let mut chain_types: Vec<MsgType> = Vec::new();
+    let mut types: Vec<MsgType> = Vec::new();
     for sid in active_shapes(input) {
         let shape = input.pattern.shape(sid);
         for pos in 0..shape.len() {
             let t = shape.mtype(pos);
-            if !chain_types.contains(&t) {
-                chain_types.push(t);
+            if !types.contains(&t) {
+                types.push(t);
             }
         }
     }
-    let mut net_types = chain_types.clone();
-    if dr {
-        if let Some(b) = bkf {
-            if !net_types.contains(&b) {
-                net_types.push(b);
+    if matches!(input.scheme, Scheme::DeflectiveRecovery) {
+        if let Some(b) = proto.backoff_type() {
+            if !types.contains(&b) {
+                types.push(b);
             }
         }
     }
+    types
+}
 
-    let guaranteed = guaranteed_ejection(input);
-
-    let mut kind: Vec<ClassKind> = Vec::new();
-    let mut sink: Vec<bool> = Vec::new();
-    let mut cands: Vec<Vec<u32>> = Vec::new();
-    let mut membership: Vec<(u32, u32)> = Vec::new(); // (class, vertex)
-
-    // A scratch message so the routing trait can be driven without a
-    // simulator: only the packet-state fields matter.
-    let mut scratch_store = MessageStore::new();
+/// A scratch message store so the routing trait can be driven without a
+/// simulator: only the packet-state fields matter.
+fn scratch_packet(t: MsgType) -> (MessageStore, PacketState) {
+    let mut store = MessageStore::new();
     let mut ids = IdAlloc::new();
-    let scratch = scratch_store.insert(Message {
+    let scratch = store.insert(Message {
         id: ids.next_msg(),
         txn: TransactionId(0),
         mtype: MsgType(0),
@@ -250,113 +320,168 @@ pub(crate) fn build<'a>(input: &VerifyInput<'a>, credit: MechanismCredit) -> Sta
         rescued: false,
         sharers: 0,
     });
+    let pkt = PacketState {
+        msg: scratch,
+        mtype: t,
+        src: NicId(0),
+        dst: NicId(0),
+        dst_router: NodeId(0),
+        crossed_dateline: 0,
+        injected_at: 0,
+    };
+    (store, pkt)
+}
 
-    // --- Router-VC classes: BFS per (type, destination) over
-    // --- (router, dateline mask) states driving the real routing function.
+/// Router-VC classes for one (message type, destination NIC): the BFS per
+/// `(router, dateline mask)` state driving `routing`'s real candidate
+/// function. `routing` is the scheme's base function for a pristine
+/// analysis, or a fault-steered `DegradedRouting` for a degraded one.
+///
+/// Under faults, endpoints on failed routers neither generate nor receive
+/// traffic: a destination on a failed router yields an empty segment, and
+/// sources on failed routers are not seeded. A reachable state whose
+/// candidate set comes back *empty* (stranded mid-route by the fault set)
+/// is kept as a non-sink class with no candidates — the classifier turns
+/// it into an `Unsafe` verdict.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn packet_segment(
+    input: &VerifyInput<'_>,
+    routing: &dyn Routing,
+    layout: &ResourceLayout,
+    t: MsgType,
+    dst: NicId,
+    guaranteed_t: bool,
+    faults: Option<&FaultSet>,
+    size_hint: Option<&Segment>,
+) -> Segment {
+    let topo = input.topo;
+    let proto = input.pattern.protocol();
+    assert!(topo.dims() <= 8, "dateline masks are one bit per dimension");
+    let qi = input.queue_org.queue_index(proto, t);
+    let dst_router = topo.nic_router(dst);
+    let mut seg = Segment::default();
+    if faults.is_some_and(|f| f.router_down(dst_router)) {
+        return seg;
+    }
+    // A degraded rebuild lands within a few classes of the base segment
+    // it replaces; reserving the base's sizes up front removes the growth
+    // reallocations that otherwise dominate a full-sweep rebuild.
+    if let Some(h) = size_hint {
+        seg.kind.reserve(h.kind.len() + 8);
+        seg.sink.reserve(h.sink.len() + 8);
+        seg.membership.reserve(h.membership.len() + 16);
+    }
+
+    let (_store, mut pkt) = scratch_packet(t);
+    let mut inj_buf: Vec<u8> = Vec::new();
+    routing.injection_vcs(&pkt, &mut inj_buf);
+    pkt.dst = dst;
+    pkt.dst_router = dst_router;
+
     let nr = topo.num_routers() as usize;
-    let masks = 1usize << topo.dims();
+    // When the routing function can never consult the dateline mask for
+    // this type (no multi-class escape set: PR's fully adaptive map, any
+    // mesh map), states differing only in mask have identical candidate
+    // structure — fold them into one class instead of sweeping `2^dims`
+    // copies of every router.
+    let masks = if routing.dateline_sensitive(t) {
+        1usize << topo.dims()
+    } else {
+        1
+    };
     let mut state_class: Vec<u32> = vec![u32::MAX; nr * masks];
     let mut stack: Vec<(NodeId, u8)> = Vec::new();
     let mut rc_buf: Vec<RouteCandidate> = Vec::new();
-    let mut inj_buf: Vec<u8> = Vec::new();
+    let mut cand_pairs: Vec<(u32, u32)> =
+        Vec::with_capacity(size_hint.map_or(0, |h| h.cands.len() + 16));
 
-    for &t in &net_types {
-        let qi = org.queue_index(proto, t);
-        let mut pkt = PacketState {
-            msg: scratch,
-            mtype: t,
-            src: NicId(0),
-            dst: NicId(0),
-            dst_router: NodeId(0),
-            crossed_dateline: 0,
-            injected_at: 0,
-        };
-        inj_buf.clear();
-        routing.injection_vcs(&pkt, &mut inj_buf);
+    // Seed: injections from every other endpoint, occupying the
+    // local-port VCs the routing function admits at injection.
+    for src in topo.nics() {
+        if src == dst {
+            continue;
+        }
+        let r = topo.nic_router(src);
+        if faults.is_some_and(|f| f.router_down(r)) {
+            continue;
+        }
+        let c = intern_state(&mut state_class, &mut stack, &mut seg, masks, r, 0, t, dst);
+        let lp = topo.local_port(topo.nic_local_index(src));
+        for &v in &inj_buf {
+            seg.membership.push((c, layout.vc_vertex(r, lp, v)));
+        }
+    }
 
-        for dst in topo.nics() {
-            let dst_router = topo.nic_router(dst);
-            pkt.dst = dst;
-            pkt.dst_router = dst_router;
-            state_class.fill(u32::MAX);
-            stack.clear();
-
-            // Seed: injections from every other endpoint, occupying the
-            // local-port VCs the routing function admits at injection.
-            for src in topo.nics() {
-                if src == dst {
-                    continue;
+    while let Some((node, mask)) = stack.pop() {
+        let c = state_class[node.index() * masks + mask as usize];
+        pkt.crossed_dateline = mask;
+        rc_buf.clear();
+        routing.candidates(topo, node, &pkt, 0, &mut rc_buf);
+        for rc in &rc_buf {
+            match topo.port_dim_dir(rc.port) {
+                Some((d, dir)) => {
+                    let down = topo.neighbor(node, d, dir).expect("link exists");
+                    let dport = topo.port(d, dir.opposite());
+                    let mask2 = if masks > 1 && topo.crosses_dateline(node, d, dir) {
+                        mask | (1 << d)
+                    } else {
+                        mask
+                    };
+                    let vtx = layout.vc_vertex(down, dport, rc.vc);
+                    cand_pairs.push((c, vtx));
+                    let c2 = intern_state(
+                        &mut state_class,
+                        &mut stack,
+                        &mut seg,
+                        masks,
+                        down,
+                        mask2,
+                        t,
+                        dst,
+                    );
+                    seg.membership.push((c2, vtx));
                 }
-                let r = topo.nic_router(src);
-                let c = intern_state(
-                    &mut state_class,
-                    &mut stack,
-                    &mut kind,
-                    &mut sink,
-                    &mut cands,
-                    masks,
-                    r,
-                    0,
-                    t,
-                    dst,
-                );
-                let lp = topo.local_port(topo.nic_local_index(src));
-                for &v in &inj_buf {
-                    membership.push((c, layout.vc_vertex(r, lp, v)));
-                }
-            }
-
-            while let Some((node, mask)) = stack.pop() {
-                let c = state_class[node.index() * masks + mask as usize];
-                pkt.crossed_dateline = mask;
-                rc_buf.clear();
-                routing.candidates(topo, node, &pkt, 0, &mut rc_buf);
-                for rc in &rc_buf {
-                    match topo.port_dim_dir(rc.port) {
-                        Some((d, dir)) => {
-                            let down = topo.neighbor(node, d, dir).expect("link exists");
-                            let dport = topo.port(d, dir.opposite());
-                            let mask2 = if topo.crosses_dateline(node, d, dir) {
-                                mask | (1 << d)
-                            } else {
-                                mask
-                            };
-                            let vtx = layout.vc_vertex(down, dport, rc.vc);
-                            cands[c as usize].push(vtx);
-                            let c2 = intern_state(
-                                &mut state_class,
-                                &mut stack,
-                                &mut kind,
-                                &mut sink,
-                                &mut cands,
-                                masks,
-                                down,
-                                mask2,
-                                t,
-                                dst,
-                            );
-                            membership.push((c2, vtx));
-                        }
-                        None => {
-                            // Ejection at the destination router: either
-                            // consumption is guaranteed by an earmark
-                            // (sink) or the packet waits on the
-                            // destination input queue.
-                            if guaranteed[t.index()] {
-                                sink[c as usize] = true;
-                            } else {
-                                cands[c as usize].push(layout.in_queue_vertex(dst, qi));
-                            }
-                        }
+                None => {
+                    // Ejection at the destination router: either
+                    // consumption is guaranteed by an earmark (sink) or
+                    // the packet waits on the destination input queue.
+                    if guaranteed_t {
+                        seg.sink[c as usize] = true;
+                    } else {
+                        cand_pairs.push((c, layout.in_queue_vertex(dst, qi)));
                     }
                 }
             }
         }
     }
+    seg.finalize(cand_pairs);
+    seg
+}
 
-    // --- Endpoint input-queue classes: the paper's `≺` edges. A
-    // --- non-terminating, non-final head waits on its subordinate's
-    // --- output queue; terminating heads sink (no class needed).
+/// Endpoint classes: the paper's `≺` edges (chain heads in input queues
+/// waiting on their subordinate's output queue, plus DR's earmark
+/// AND-waits) followed by output-queue injection waits. Endpoints on
+/// failed routers are skipped — they neither serve nor generate traffic.
+/// Deflective recovery's credit edges are returned alongside as the
+/// segment's `deflection_extra` overlay rather than baked into `cands`.
+pub(crate) fn endpoint_segment(
+    input: &VerifyInput<'_>,
+    layout: &ResourceLayout,
+    faults: Option<&FaultSet>,
+) -> Segment {
+    let topo = input.topo;
+    let proto = input.pattern.protocol();
+    let org = input.queue_org;
+    let dr = matches!(input.scheme, Scheme::DeflectiveRecovery);
+    let bkf = proto.backoff_type();
+    let mut seg = Segment::default();
+    let mut cand_pairs: Vec<(u32, u32)> = Vec::new();
+    let nic_down =
+        |nic: NicId| faults.is_some_and(|f| f.router_down(topo.nic_router(nic)));
+
+    // --- Endpoint input-queue classes. A non-terminating, non-final head
+    // --- waits on its subordinate's output queue; terminating heads sink
+    // --- (no class needed).
     for sid in active_shapes(input) {
         let shape = input.pattern.shape(sid);
         for pos in 0..shape.len() {
@@ -367,41 +492,30 @@ pub(crate) fn build<'a>(input: &VerifyInput<'a>, credit: MechanismCredit) -> Sta
             let sub = shape.mtype(pos + 1);
             let qi = org.queue_index(proto, t);
             let sub_q = org.queue_index(proto, sub);
-            let deflectable = credit == MechanismCredit::Deflection
-                && dr
-                && proto.kind(sub) == MsgKind::Request;
+            let deflectable = dr && proto.kind(sub) == MsgKind::Request;
             for nic in topo.nics() {
+                if nic_down(nic) {
+                    continue;
+                }
                 let vtx = layout.in_queue_vertex(nic, qi);
-                let mut cs = vec![layout.out_queue_vertex(nic, sub_q)];
+                let c = seg.push_class(ClassKind::InHead { shape: sid, pos });
+                cand_pairs.push((c, layout.out_queue_vertex(nic, sub_q)));
                 if deflectable {
                     if let Some(b) = bkf {
-                        cs.push(layout.out_queue_vertex(nic, org.queue_index(proto, b)));
+                        seg.deflection_extra
+                            .push((c, layout.out_queue_vertex(nic, org.queue_index(proto, b))));
                     }
                 }
-                let c = push_class(
-                    &mut kind,
-                    &mut sink,
-                    &mut cands,
-                    ClassKind::InHead { shape: sid, pos },
-                    false,
-                    cs,
-                );
-                membership.push((c, vtx));
+                seg.membership.push((c, vtx));
                 // Deflective recovery's return-reply earmark: servicing
                 // additionally needs a preallocatable slot in the return
                 // reply's own input queue (an AND-wait, hence a second
                 // class on the same vertex).
                 if dr && pos + 2 < shape.len() {
                     let ret_q = org.queue_index(proto, shape.mtype(pos + 2));
-                    let c2 = push_class(
-                        &mut kind,
-                        &mut sink,
-                        &mut cands,
-                        ClassKind::EarmarkWait { shape: sid, pos },
-                        false,
-                        vec![layout.in_queue_vertex(nic, ret_q)],
-                    );
-                    membership.push((c2, vtx));
+                    let c2 = seg.push_class(ClassKind::EarmarkWait { shape: sid, pos });
+                    cand_pairs.push((c2, layout.in_queue_vertex(nic, ret_q)));
+                    seg.membership.push((c2, vtx));
                 }
             }
         }
@@ -411,83 +525,167 @@ pub(crate) fn build<'a>(input: &VerifyInput<'a>, credit: MechanismCredit) -> Sta
     // --- injection. One class per admissible injection VC (AND-composed:
     // --- packetization may bind any one of them, so the queue is only
     // --- guaranteed to drain when each admissible channel drains).
-    let mut out_types = chain_types;
-    if dr {
-        if let Some(b) = bkf {
-            if !out_types.contains(&b) {
-                out_types.push(b);
-            }
-        }
-    }
-    for &t in &out_types {
-        let pkt = PacketState {
-            msg: scratch,
-            mtype: t,
-            src: NicId(0),
-            dst: NicId(0),
-            dst_router: NodeId(0),
-            crossed_dateline: 0,
-            injected_at: 0,
-        };
+    let mut inj_buf: Vec<u8> = Vec::new();
+    for t in net_types(input) {
+        let (_store, pkt) = scratch_packet(t);
         inj_buf.clear();
-        routing.injection_vcs(&pkt, &mut inj_buf);
+        input.routing.injection_vcs(&pkt, &mut inj_buf);
         let oq = org.queue_index(proto, t);
         for nic in topo.nics() {
+            if nic_down(nic) {
+                continue;
+            }
             let r = topo.nic_router(nic);
             let lp = topo.local_port(topo.nic_local_index(nic));
             let vtx = layout.out_queue_vertex(nic, oq);
             for &v in &inj_buf {
-                let c = push_class(
-                    &mut kind,
-                    &mut sink,
-                    &mut cands,
-                    ClassKind::OutHead { mtype: t, vc: v },
-                    false,
-                    vec![layout.vc_vertex(r, lp, v)],
-                );
-                membership.push((c, vtx));
+                let c = seg.push_class(ClassKind::OutHead { mtype: t, vc: v });
+                cand_pairs.push((c, layout.vc_vertex(r, lp, v)));
+                seg.membership.push((c, vtx));
             }
         }
     }
+    seg.finalize(cand_pairs);
+    seg
+}
 
-    // --- Finalize: dedupe candidate sets and memberships.
-    for cs in &mut cands {
-        cs.sort_unstable();
-        cs.dedup();
+/// Concatenate segments (local class ids shifted onto one global
+/// numbering, in segment order) and finalize the dedicated occupancy
+/// indexes. The result is identical to building the whole graph in one
+/// pass as long as the segments are supplied in the canonical order:
+/// packet segments type-major/destination-minor, then the endpoint
+/// segment.
+pub(crate) fn assemble<'a, 'i>(
+    input: &VerifyInput<'a>,
+    segments: impl IntoIterator<Item = &'i Segment>,
+) -> StaticCdg<'a> {
+    let layout = crate::layout_for(input);
+    let nv = layout.num_vertices();
+    let segments: Vec<&Segment> = segments.into_iter().collect();
+    let total_classes: usize = segments.iter().map(|s| s.kind.len()).sum();
+    let total_cands: usize = segments.iter().map(|s| s.cands.len()).sum();
+    let total_members: usize = segments.iter().map(|s| s.membership.len()).sum();
+    let mut kind: Vec<ClassKind> = Vec::with_capacity(total_classes);
+    let mut sink: Vec<bool> = Vec::with_capacity(total_classes);
+    let mut cands_off: Vec<u32> = Vec::with_capacity(total_classes + 1);
+    cands_off.push(0);
+    let mut cands: Vec<u32> = Vec::with_capacity(total_cands);
+    let mut membership: Vec<(u32, u32)> = Vec::with_capacity(total_members);
+    let mut deflection_extra: Vec<(u32, u32)> = Vec::new();
+    for seg in segments {
+        let off = kind.len() as u32;
+        kind.extend_from_slice(&seg.kind);
+        sink.extend_from_slice(&seg.sink);
+        let cbase = *cands_off.last().expect("offsets start at 0");
+        cands_off.extend(seg.cands_off[1..].iter().map(|&o| cbase + o));
+        cands.extend_from_slice(&seg.cands);
+        // Finalized segments carry sorted, deduplicated memberships, and
+        // class ids are disjoint across segments, so plain concatenation
+        // with the offset shift keeps the global pair list class-major
+        // sorted with no duplicates.
+        membership.extend(seg.membership.iter().map(|&(c, v)| (off + c, v)));
+        deflection_extra.extend(seg.deflection_extra.iter().map(|&(c, v)| (off + c, v)));
     }
-    membership.sort_unstable();
-    membership.dedup();
-    let mut members: Vec<Vec<u32>> = vec![Vec::new(); kind.len()];
-    let mut vertex_classes: Vec<Vec<u32>> = vec![Vec::new(); nv];
-    for (c, v) in membership {
-        members[c as usize].push(v);
-        vertex_classes[v as usize].push(c);
+    debug_assert!(membership.windows(2).all(|w| w[0] < w[1]));
+    let mut members_off: Vec<u32> = vec![0; kind.len() + 1];
+    for &(c, _) in &membership {
+        members_off[c as usize + 1] += 1;
     }
-
+    for i in 1..members_off.len() {
+        members_off[i] += members_off[i - 1];
+    }
+    let members: Vec<u32> = membership.iter().map(|&(_, v)| v).collect();
+    let mut vclasses_off: Vec<u32> = vec![0; nv + 1];
+    for &(_, v) in &membership {
+        vclasses_off[v as usize + 1] += 1;
+    }
+    for i in 1..vclasses_off.len() {
+        vclasses_off[i] += vclasses_off[i - 1];
+    }
+    // Filling in pair order (class-ascending) leaves each vertex's class
+    // list sorted, matching the per-class candidate ordering above.
+    let mut fill = vclasses_off.clone();
+    let mut vclasses: Vec<u32> = vec![0; membership.len()];
+    for &(c, v) in &membership {
+        vclasses[fill[v as usize] as usize] = c;
+        fill[v as usize] += 1;
+    }
     StaticCdg {
         layout,
         input: *input,
         kind,
         sink,
+        cands_off,
         cands,
+        members_off,
         members,
-        vertex_classes,
+        vclasses_off,
+        vclasses,
+        deflection_extra,
     }
 }
 
-fn push_class(
-    kind: &mut Vec<ClassKind>,
-    sink: &mut Vec<bool>,
-    cands: &mut Vec<Vec<u32>>,
-    k: ClassKind,
-    snk: bool,
-    cs: Vec<u32>,
-) -> u32 {
-    let id = kind.len() as u32;
-    kind.push(k);
-    sink.push(snk);
-    cands.push(cs);
-    id
+/// Derive the packet segment of message type `to_t` from the segment of a
+/// *routing-interchangeable* type for the same destination: identical
+/// `TypeVcs` (so the BFS visits the same states and emits the same
+/// candidate VCs) and identical guaranteed-ejection status. The derived
+/// segment differs from `seg` only in the type recorded in its class
+/// descriptors and — when `eject` is `Some((old, new))` — in the
+/// destination input-queue vertex its ejection classes wait on. The
+/// incremental verifier uses this to skip the second BFS per destination
+/// under PR's uniform fully adaptive map; `verify_faulted` never does, so
+/// the debug cross-checks validate every derivation against an honest
+/// from-scratch build.
+pub(crate) fn retype_segment(seg: &Segment, to_t: MsgType, eject: Option<(u32, u32)>) -> Segment {
+    let mut out = seg.clone();
+    for k in &mut out.kind {
+        if let ClassKind::Packet { mtype, .. } = k {
+            *mtype = to_t;
+        }
+    }
+    if let Some((old_ej, new_ej)) = eject {
+        if old_ej != new_ej {
+            for c in 0..out.kind.len() {
+                let (a, b) = (out.cands_off[c] as usize, out.cands_off[c + 1] as usize);
+                let range = &mut out.cands[a..b];
+                if let Some(slot) = range.iter_mut().find(|v| **v == old_ej) {
+                    *slot = new_ej;
+                    // Queue vertices never collide with VC vertices, so
+                    // re-sorting restores the per-class invariant without
+                    // introducing duplicates.
+                    range.sort_unstable();
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Segment {
+    fn push_class(&mut self, k: ClassKind) -> u32 {
+        let id = self.kind.len() as u32;
+        self.kind.push(k);
+        self.sink.push(false);
+        id
+    }
+
+    /// Build the candidate CSR from the `(class, vertex)` pairs
+    /// accumulated during construction and sort/dedup the membership.
+    /// Called exactly once, after the last class is pushed.
+    fn finalize(&mut self, mut cand_pairs: Vec<(u32, u32)>) {
+        cand_pairs.sort_unstable();
+        cand_pairs.dedup();
+        self.cands_off = vec![0; self.kind.len() + 1];
+        for &(c, _) in &cand_pairs {
+            self.cands_off[c as usize + 1] += 1;
+        }
+        for i in 1..self.cands_off.len() {
+            self.cands_off[i] += self.cands_off[i - 1];
+        }
+        self.cands = cand_pairs.into_iter().map(|(_, v)| v).collect();
+        self.membership.sort_unstable();
+        self.membership.dedup();
+    }
 }
 
 /// Get-or-create the packet class for BFS state `(node, mask)`; newly
@@ -496,9 +694,7 @@ fn push_class(
 fn intern_state(
     state_class: &mut [u32],
     stack: &mut Vec<(NodeId, u8)>,
-    kind: &mut Vec<ClassKind>,
-    sink: &mut Vec<bool>,
-    cands: &mut Vec<Vec<u32>>,
+    seg: &mut Segment,
     masks: usize,
     node: NodeId,
     mask: u8,
@@ -507,14 +703,7 @@ fn intern_state(
 ) -> u32 {
     let slot = node.index() * masks + mask as usize;
     if state_class[slot] == u32::MAX {
-        let c = push_class(
-            kind,
-            sink,
-            cands,
-            ClassKind::Packet { mtype, dst, mask },
-            false,
-            Vec::new(),
-        );
+        let c = seg.push_class(ClassKind::Packet { mtype, dst, mask });
         state_class[slot] = c;
         stack.push((node, mask));
     }

@@ -41,6 +41,9 @@
 
 mod analyze;
 mod cdg;
+mod frontier;
+mod incremental;
+mod synthesis;
 
 use std::fmt;
 
@@ -48,7 +51,19 @@ use mdd_deadlock::ResourceLayout;
 use mdd_obs::{counter_add, CounterId};
 use mdd_protocol::{PatternSpec, QueueOrg};
 use mdd_routing::{Scheme, SchemeRouting};
-use mdd_topology::{RecoveryRing, Topology, TopologyKind};
+use mdd_topology::{Direction, RecoveryRing, Topology, TopologyKind, UNREACHABLE};
+
+pub use frontier::{
+    classify_fault_points, fault_orbit_key, fault_rank, sampled_double_link_faults, FaultClass,
+    FaultPoint,
+    FrontierReport,
+};
+pub use incremental::{verify_faulted, AnalysisConfig, BaseAnalysis, FaultOutcome};
+pub use synthesis::{min_safe_vcs, MinVcReport};
+
+// Re-exported so fault-sweep callers (the engine, the analysis CLI) can
+// name fault sets without a direct topology dependency.
+pub use mdd_topology::{single_link_faults, FaultSet};
 
 /// Everything the static analysis needs to know about a configuration.
 ///
@@ -140,6 +155,17 @@ impl Verdict {
     /// True for [`Verdict::Unsafe`].
     pub fn is_unsafe(&self) -> bool {
         matches!(self, Verdict::Unsafe { .. })
+    }
+
+    /// Safety rank for comparisons across perturbed configurations:
+    /// `Unsafe` < `RecoverableCycles` < `ProvenFree`. A fault point is
+    /// *verdict-degrading* exactly when it lowers the rank.
+    pub fn rank(&self) -> u8 {
+        match self {
+            Verdict::Unsafe { .. } => 0,
+            Verdict::RecoverableCycles { .. } => 1,
+            Verdict::ProvenFree => 2,
+        }
     }
 }
 
@@ -233,16 +259,62 @@ fn fold_radix(k: u32) -> u32 {
 
 /// The classification body shared by [`verify`] (ring checked on the
 /// input topology) and [`verify_quotiented`] (CDG built on the folded
-/// representative, ring checked on the full topology).
+/// representative, ring checked on the full topology). Packet segments
+/// are built once and shared between the base and the deflection-credited
+/// graph (the credit only changes endpoint classes).
 fn classify(input: &VerifyInput<'_>, ring_topo: &Topology) -> Verdict {
-    let base = cdg::build(input, cdg::MechanismCredit::None);
-    let peel = analyze::peel(&base);
+    let layout = layout_for(input);
+    let guaranteed = cdg::guaranteed_ejection(input);
+    let packet: Vec<cdg::Segment> = cdg::net_types(input)
+        .into_iter()
+        .flat_map(|t| {
+            input.topo.nics().map(move |dst| (t, dst)).collect::<Vec<_>>()
+        })
+        .map(|(t, dst)| {
+            cdg::packet_segment(
+                input,
+                input.routing,
+                &layout,
+                t,
+                dst,
+                guaranteed[t.index()],
+                None,
+                None,
+            )
+        })
+        .collect();
+    let endpoint = cdg::endpoint_segment(input, &layout, None);
+    let graph = cdg::assemble(input, packet.iter().chain(std::iter::once(&endpoint)));
+    classify_graph(input, ring_topo, None, &graph)
+}
+
+/// Classify an assembled CDG: the shared verdict logic for the pristine
+/// path ([`classify`]) and the degraded paths (`incremental`). Deflective
+/// recovery's credited pass re-peels the *same* graph with its
+/// `deflection_extra` OR-wait overlay instead of assembling a second
+/// copy.
+fn classify_graph(
+    input: &VerifyInput<'_>,
+    ring_topo: &Topology,
+    faults: Option<&FaultSet>,
+    graph: &cdg::StaticCdg<'_>,
+) -> Verdict {
+    // A stranded occupant — a non-sink class that can hold a resource but
+    // has *no* admissible wait candidate — wedges its channel permanently
+    // regardless of scheme: no drain mechanism can conjure a live route.
+    // (Only degraded topologies produce these; a pristine routing function
+    // always offers at least the escape channel.)
+    if let Some(witness) = strand_witness(graph) {
+        counter_add(CounterId::VerifyUnsafe, 1);
+        return Verdict::Unsafe { witness };
+    }
+    let peel = analyze::peel(graph);
     if peel.all_safe {
         counter_add(CounterId::VerifyProvenFree, 1);
         return Verdict::ProvenFree;
     }
-    let witness = analyze::witness(&base, &peel)
-        .expect("an unsafe residue always contains a cycle");
+    let witness = analyze::witness(graph, &peel)
+        .expect("a strand-free unsafe residue always contains a cycle");
 
     match input.scheme {
         Scheme::StrictAvoidance { .. } => {
@@ -263,13 +335,12 @@ fn classify(input: &VerifyInput<'_>, ring_topo: &Topology) -> Verdict {
             // the backoff type's output queue (which drains through the
             // statically safe reply network). If everything now peels,
             // every residual cycle of the base graph is deflectable.
-            let credited = cdg::build(input, cdg::MechanismCredit::Deflection);
-            let peel2 = analyze::peel(&credited);
+            let peel2 = analyze::peel_with(graph, &graph.deflection_extra);
             if peel2.all_safe {
                 Verdict::RecoverableCycles { witness }
             } else {
-                let witness = analyze::witness(&credited, &peel2)
-                    .expect("an unsafe residue always contains a cycle");
+                let witness = analyze::witness_with(graph, &peel2, &graph.deflection_extra)
+                    .expect("a strand-free unsafe residue always contains a cycle");
                 counter_add(CounterId::VerifyUnsafe, 1);
                 Verdict::Unsafe { witness }
             }
@@ -279,12 +350,9 @@ fn classify(input: &VerifyInput<'_>, ring_topo: &Topology) -> Verdict {
             // circulating token can reach: check the recovery ring tours
             // every router *and* every NIC (the paper's extension), so
             // both routing- and message-dependent cycles are rescuable
-            // over the exclusive lane.
-            let ring = RecoveryRing::new(ring_topo);
-            let routers_covered = ring.len() == ring_topo.num_routers() as usize;
-            let tour_covers_nics =
-                ring.tour_len() == ring.len() * (1 + ring_topo.bristle() as usize);
-            if routers_covered && tour_covers_nics {
+            // over the exclusive lane. Under faults the lane must also
+            // still be walkable: see [`pr_ring_intact`].
+            if pr_ring_intact(ring_topo, faults) {
                 Verdict::RecoverableCycles { witness }
             } else {
                 counter_add(CounterId::VerifyUnsafe, 1);
@@ -292,6 +360,70 @@ fn classify(input: &VerifyInput<'_>, ring_topo: &Topology) -> Verdict {
             }
         }
     }
+}
+
+/// Find a stranded occupant class: non-sink, occupiable, with an empty
+/// OR-wait candidate set (the degraded routing offered no admissible
+/// hop). Rendered as a single-resource witness rather than a cycle.
+fn strand_witness(graph: &cdg::StaticCdg<'_>) -> Option<CycleWitness> {
+    let c = (0..graph.num_classes() as u32)
+        .find(|&c| !graph.sink[c as usize] && graph.cands(c).is_empty() && !graph.members(c).is_empty())?;
+    let v = graph.members(c)[0];
+    let rendered = format!(
+        "  {} [{}]\n  (stranded: no live route to its destination over the degraded topology)\n",
+        graph.layout.describe(v),
+        graph.note(c),
+    );
+    Some(CycleWitness { vertices: vec![v], rendered })
+}
+
+/// Progressive recovery's lane check, fault-aware. The recovery ring must
+/// tour every router and NIC, and — under faults — every consecutive pair
+/// of the snake order must still be joined: physically adjacent pairs by
+/// their own live link (the lane VC rides that exact channel), the
+/// closing wrap-around pair by any live path (the token is re-homed over
+/// the network). A failed router always breaks the tour.
+fn pr_ring_intact(ring_topo: &Topology, faults: Option<&FaultSet>) -> bool {
+    let ring = RecoveryRing::new(ring_topo);
+    let routers_covered = ring.len() == ring_topo.num_routers() as usize;
+    let tour_covers_nics = ring.tour_len() == ring.len() * (1 + ring_topo.bristle() as usize);
+    if !(routers_covered && tour_covers_nics) {
+        return false;
+    }
+    let Some(f) = faults else { return true };
+    if f.is_empty() {
+        return true;
+    }
+    if f.num_failed_routers() > 0 {
+        return false;
+    }
+    let n = ring.len();
+    for i in 0..n {
+        let a = ring.at(i);
+        let b = ring.at(i + 1);
+        let mut direct = None;
+        'find: for d in 0..ring_topo.dims() {
+            for dir in [Direction::Plus, Direction::Minus] {
+                if ring_topo.neighbor(a, d, dir) == Some(b) {
+                    direct = Some((d, dir));
+                    break 'find;
+                }
+            }
+        }
+        match direct {
+            Some((d, dir)) => {
+                if f.link_down(a, d, dir) {
+                    return false;
+                }
+            }
+            None => {
+                if f.distance_field(ring_topo, b)[a.index()] == UNREACHABLE {
+                    return false;
+                }
+            }
+        }
+    }
+    true
 }
 
 /// The shared vertex layout for `input`'s configuration (identical to the

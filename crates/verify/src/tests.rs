@@ -26,6 +26,27 @@ impl Fixture {
         }
     }
 
+    fn mesh(radix: &[u32], scheme: Scheme, pattern: PatternSpec, vcs: u8) -> Self {
+        let topo = Topology::new(TopologyKind::Mesh, radix, 1);
+        let map = VcMap::build_degraded(scheme, pattern.protocol(), vcs, 1);
+        Fixture {
+            topo,
+            routing: SchemeRouting::new(map),
+            pattern,
+            scheme,
+        }
+    }
+
+    fn base(&self) -> crate::BaseAnalysis {
+        crate::BaseAnalysis::analyze(crate::AnalysisConfig::new(
+            self.topo.clone(),
+            self.scheme,
+            self.routing.clone(),
+            self.pattern.clone(),
+            self.scheme.default_queue_org(),
+        ))
+    }
+
     fn input(&self) -> VerifyInput<'_> {
         VerifyInput {
             topo: &self.topo,
@@ -197,3 +218,290 @@ fn verdict_accessors_are_consistent() {
     assert_eq!(bad.name(), "Unsafe");
     assert!(!bad.is_proven_free());
 }
+
+#[test]
+#[ignore]
+fn timing_full_16x16() {
+    for (scheme, vcs) in [(Scheme::StrictAvoidance { shared_adaptive: false }, 8), (Scheme::DeflectiveRecovery, 8), (Scheme::ProgressiveRecovery, 4)] {
+        let fx = Fixture::torus(&[16, 16], scheme, PatternSpec::pat271(), vcs);
+        let t0 = std::time::Instant::now();
+        let v = verify(&fx.input());
+        println!("{scheme:?} vcs{vcs} 16x16 full: {:?} -> {}", t0.elapsed(), v.name());
+        let t0 = std::time::Instant::now();
+        let v = verify(&fx.input());
+        println!("{scheme:?} vcs{vcs} 16x16 full(2): {:?} -> {}", t0.elapsed(), v.name());
+    }
+}
+
+#[test]
+#[ignore]
+fn orbit_invariance_experiment() {
+    use crate::{fault_orbit_key, AnalysisConfig, BaseAnalysis};
+    use mdd_topology::single_link_faults;
+    for (scheme, vcs) in [
+        (Scheme::StrictAvoidance { shared_adaptive: false }, 8),
+        (Scheme::StrictAvoidance { shared_adaptive: false }, 7),
+        (Scheme::DeflectiveRecovery, 8),
+        (Scheme::DeflectiveRecovery, 4),
+        (Scheme::ProgressiveRecovery, 4),
+    ] {
+        let fx = Fixture::torus(&[8, 8], scheme, PatternSpec::pat271(), vcs);
+        let base = BaseAnalysis::analyze(AnalysisConfig::new(
+            fx.topo.clone(),
+            scheme,
+            fx.routing.clone(),
+            PatternSpec::pat271(),
+            fx.input().queue_org,
+        ));
+        let t0 = std::time::Instant::now();
+        let mut by_dim: std::collections::BTreeMap<String, Vec<(String, &'static str)>> =
+            Default::default();
+        for f in single_link_faults(&fx.topo) {
+            let v = base.reverify(&f);
+            let key = fault_orbit_key(&fx.topo, &f);
+            by_dim.entry(key).or_default().push((f.label(), v.name()));
+        }
+        println!(
+            "{scheme:?} vcs{vcs} 8x8 base={} elapsed={:?}",
+            base.base_verdict().name(),
+            t0.elapsed()
+        );
+        for (key, vs) in &by_dim {
+            let names: std::collections::BTreeSet<_> = vs.iter().map(|(_, n)| *n).collect();
+            println!("  orbit {key}: {} faults, verdicts {names:?}", vs.len());
+            if names.len() > 1 {
+                for (l, n) in vs {
+                    println!("    {l}: {n}");
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-aware incremental analysis
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reverify_matches_from_scratch_on_torus_faults() {
+    // Every reverify below runs the debug cross-check against the
+    // from-scratch degraded build internally; this test exercises it
+    // across schemes and fault shapes.
+    use mdd_topology::{Direction, FaultSet};
+    for (scheme, vcs) in [(SA, 8), (Scheme::DeflectiveRecovery, 4), (Scheme::ProgressiveRecovery, 4)]
+    {
+        let fx = Fixture::torus(&[4, 4], scheme, PatternSpec::pat271(), vcs);
+        let base = fx.base();
+        // Single link, double link, router fault.
+        let mut single = FaultSet::new(&fx.topo);
+        single.fail_link(&fx.topo, mdd_topology::NodeId(5), 0, Direction::Plus);
+        let mut double = single.clone();
+        double.fail_link(&fx.topo, mdd_topology::NodeId(10), 1, Direction::Minus);
+        let mut router = FaultSet::new(&fx.topo);
+        router.fail_router(&fx.topo, mdd_topology::NodeId(7));
+        for f in [&single, &double, &router] {
+            let v = base.reverify(f);
+            assert_eq!(v.name(), crate::verify_faulted(&fx.input(), f).name());
+        }
+        // Empty fault set returns the base verdict verbatim.
+        let empty = FaultSet::new(&fx.topo);
+        assert_eq!(base.reverify(&empty), *base.base_verdict());
+    }
+}
+
+#[test]
+fn incremental_reuse_bumps_counter() {
+    // Only an odd-radix torus has destinations toward which a failed
+    // link is minimally unproductive in *both* directions (wrap ties):
+    // column x=3 of a 5x5 torus for a link at x=0. Meshes and even-radix
+    // tori have no such destinations, so their link faults rebuild
+    // everything (the documented graceful degradation).
+    use mdd_obs::{counters_snapshot, CounterId};
+    use mdd_topology::{Direction, FaultSet, NodeId};
+    mdd_obs::install(0);
+    let fx = Fixture::torus(&[5, 5], SA, PatternSpec::pat100(), 4);
+    let base = fx.base();
+    let mut f = FaultSet::new(&fx.topo);
+    f.fail_link(&fx.topo, NodeId(0), 0, Direction::Plus);
+    let before = counters_snapshot().get(CounterId::AnalyzeIncrementalHits);
+    let _ = base.reverify(&f);
+    let after = counters_snapshot().get(CounterId::AnalyzeIncrementalHits);
+    assert!(
+        after > before + 1,
+        "expected packet-segment reuse beyond the endpoint segment ({before} -> {after})"
+    );
+    mdd_obs::uninstall();
+}
+
+#[test]
+fn isolated_router_strands_all_schemes() {
+    // Cut both links of a 2x2 mesh corner: traffic to that endpoint is
+    // undeliverable, which is Unsafe under every scheme (no drain
+    // mechanism can conjure a live route).
+    use mdd_topology::{Direction, FaultSet, NodeId};
+    for (scheme, vcs) in [(SA, 8), (Scheme::DeflectiveRecovery, 4), (Scheme::ProgressiveRecovery, 4)]
+    {
+        let fx = Fixture::mesh(&[2, 2], scheme, PatternSpec::pat100(), vcs);
+        let base = fx.base();
+        let mut f = FaultSet::new(&fx.topo);
+        f.fail_link(&fx.topo, NodeId(0), 0, Direction::Plus);
+        f.fail_link(&fx.topo, NodeId(0), 1, Direction::Plus);
+        let v = base.reverify(&f);
+        assert!(v.is_unsafe(), "{scheme:?}: stranded endpoint must be Unsafe, got {v}");
+        let w = v.witness().expect("strand verdict carries a witness");
+        assert!(w.rendered.contains("stranded"), "witness: {}", w.rendered);
+    }
+}
+
+#[test]
+fn quotient_mesh_fallback_agrees_with_full_enumeration() {
+    // Satellite: non-torus input must take the full-enumeration route in
+    // verify_quotiented and agree with verify() exactly — even at sizes
+    // where a torus would have been folded.
+    for radix in [[4u32, 4], [12, 4]] {
+        for (scheme, vcs) in [(SA, 8), (Scheme::DeflectiveRecovery, 4)] {
+            let fx = Fixture::mesh(&radix, scheme, PatternSpec::pat271(), vcs);
+            let quotiented = verify_quotiented(&fx.input());
+            let full = verify(&fx.input());
+            assert_eq!(quotiented.name(), full.name(), "{scheme:?} mesh {radix:?}");
+            assert_eq!(
+                quotiented.witness().map(|w| &w.rendered),
+                full.witness().map(|w| &w.rendered),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault frontier
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sa_frontier_finds_degrading_faults() {
+    use mdd_topology::single_link_faults;
+    let fx = Fixture::torus(&[4, 4], SA, PatternSpec::pat271(), 8);
+    let base = fx.base();
+    assert!(base.base_verdict().is_proven_free());
+    let report = crate::classify_fault_points(&base, single_link_faults(&fx.topo));
+    assert_eq!(report.points.len(), 32);
+    assert_eq!(report.base_verdict, "ProvenFree");
+    assert!(
+        report.degrading >= 1,
+        "crippling a ProvenFree SA config must degrade somewhere"
+    );
+    assert_eq!(report.preserving + report.degrading, report.points.len());
+    let json = report.to_json();
+    assert!(json.contains("\"points\""), "json: {json}");
+}
+
+#[test]
+fn pr_frontier_ring_faults_are_position_dependent() {
+    // PR's recovery-lane check is the one *position-dependent* mechanism
+    // check: wrap-around links sit off the boustrophedon snake and keep
+    // the lane walkable, while in-row links break it. The orbit
+    // memoization must therefore split on ring liveness — this is what
+    // the debug cross-check in FrontierReport::assemble enforces.
+    use mdd_topology::single_link_faults;
+    let fx = Fixture::torus(&[4, 4], Scheme::ProgressiveRecovery, PatternSpec::pat271(), 4);
+    let base = fx.base();
+    let report = crate::classify_fault_points(&base, single_link_faults(&fx.topo));
+    assert!(report.degrading >= 1);
+    assert!(
+        report.preserving >= 1,
+        "off-snake wrap links must preserve PR's verdict"
+    );
+}
+
+#[test]
+fn double_link_sampling_is_deterministic_and_classifiable() {
+    let fx = Fixture::torus(&[4, 4], SA, PatternSpec::pat271(), 8);
+    let base = fx.base();
+    let a = crate::sampled_double_link_faults(&fx.topo, 5, 42);
+    let b = crate::sampled_double_link_faults(&fx.topo, 5, 42);
+    assert_eq!(a.len(), 5);
+    assert_eq!(
+        a.iter().map(mdd_topology::FaultSet::label).collect::<Vec<_>>(),
+        b.iter().map(mdd_topology::FaultSet::label).collect::<Vec<_>>(),
+    );
+    assert!(a.iter().all(|f| f.num_failed_links() == 2));
+    let report = crate::classify_fault_points(&base, a);
+    assert_eq!(report.points.len(), 5);
+}
+
+// ---------------------------------------------------------------------------
+// Minimal-VC synthesis
+// ---------------------------------------------------------------------------
+
+#[test]
+fn min_safe_vcs_finds_sa_partition_boundary() {
+    // SA with pat271 needs one 2-VC escape partition per message type:
+    // 8 VCs exactly. The probes at 7 and below are Unsafe.
+    let fx = Fixture::torus(&[4, 4], SA, PatternSpec::pat271(), 8);
+    let org = SA.default_queue_org();
+    let report = crate::min_safe_vcs(&fx.topo, SA, &fx.pattern, org, 8);
+    assert_eq!(report.min_vcs, Some(8), "probes: {:?}", report.probes);
+    // Exhaustively confirm against a linear scan.
+    for vcs in 1..8u8 {
+        let probe = crate::min_safe_vcs(&fx.topo, SA, &fx.pattern, org, vcs);
+        assert_eq!(probe.min_vcs, None, "vcs {vcs} should be unsafe");
+    }
+}
+
+#[test]
+fn min_safe_vcs_schemes_are_cheaper_than_sa() {
+    let fx = Fixture::torus(&[4, 4], SA, PatternSpec::pat271(), 8);
+    let sa = crate::min_safe_vcs(&fx.topo, SA, &fx.pattern, SA.default_queue_org(), 8);
+    let dr = crate::min_safe_vcs(
+        &fx.topo,
+        Scheme::DeflectiveRecovery,
+        &fx.pattern,
+        Scheme::DeflectiveRecovery.default_queue_org(),
+        8,
+    );
+    let pr = crate::min_safe_vcs(
+        &fx.topo,
+        Scheme::ProgressiveRecovery,
+        &fx.pattern,
+        Scheme::ProgressiveRecovery.default_queue_org(),
+        8,
+    );
+    let (sa_min, dr_min, pr_min) = (sa.min_vcs.unwrap(), dr.min_vcs.unwrap(), pr.min_vcs.unwrap());
+    assert!(dr_min <= sa_min, "DR {dr_min} vs SA {sa_min}");
+    assert!(pr_min <= sa_min, "PR {pr_min} vs SA {sa_min}");
+}
+
+#[test]
+#[ignore]
+fn fault_experiment_4x4() {
+    use mdd_topology::single_link_faults;
+    for (scheme, vcs) in [(SA, 8u8), (Scheme::DeflectiveRecovery, 4), (Scheme::ProgressiveRecovery, 4)] {
+        let fx = Fixture::torus(&[4, 4], scheme, PatternSpec::pat271(), vcs);
+        let base = fx.base();
+        println!("== {scheme:?} base {}", base.base_verdict().name());
+        for f in single_link_faults(&fx.topo) {
+            let v = crate::verify_faulted(&fx.input(), &f);
+            let key = crate::fault_orbit_key(&fx.topo, &f);
+            println!("  {:14} {:20} orbit {}", f.label(), v.name(), key);
+        }
+    }
+}
+
+#[test]
+#[ignore]
+fn timing_outcomes_16x16() {
+    use mdd_topology::{Direction, FaultSet, NodeId};
+    use std::time::Instant;
+    for (scheme, vcs) in [(SA, 8u8), (Scheme::DeflectiveRecovery, 8), (Scheme::ProgressiveRecovery, 4)] {
+        let fx = Fixture::torus(&[16, 16], scheme, PatternSpec::pat271(), vcs);
+        let t0 = Instant::now();
+        let base = fx.base();
+        let t_base = t0.elapsed();
+        let mut f = FaultSet::new(&fx.topo);
+        f.fail_link(&fx.topo, NodeId(17), 0, Direction::Plus);
+        let t1 = Instant::now();
+        let o = base.reverify_outcome(&f);
+        let t_out = t1.elapsed();
+        println!("{scheme:?} vcs{vcs}: base {:?} in {t_base:?}; outcome {o:?} in {t_out:?}", base.base_verdict().name());
+    }
+}
+

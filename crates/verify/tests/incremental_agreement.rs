@@ -1,0 +1,145 @@
+//! Incremental re-verdicts agree with from-scratch degraded analysis.
+//!
+//! The acceptance property for the incremental analyzer: for any
+//! configuration and any fault set, [`BaseAnalysis::reverify`] (which
+//! splices cached clean segments around rebuilt dirty ones, and derives
+//! routing-interchangeable message types by relabeling) must produce the
+//! same verdict *and the same rendered witness* as [`verify_faulted`],
+//! which rebuilds every segment of the degraded CDG from scratch and
+//! never derives anything. `verify_faulted` is the honest oracle; any
+//! splice, orbit, dateline-mask, or retype bug shows up here.
+//!
+//! Configurations deliberately include infeasible VC budgets (via
+//! [`VcMap::build_degraded`], e.g. SA at 2 VCs), because the fault
+//! frontier and `mddsim --verify` both analyze such degraded maps.
+
+use mdd_protocol::{PatternSpec, QueueOrg};
+use mdd_routing::{Scheme, SchemeRouting, VcMap};
+use mdd_topology::{Direction, FaultSet, NodeId, Topology, TopologyKind};
+use mdd_verify::{verify_faulted, AnalysisConfig, BaseAnalysis};
+use proptest::prelude::*;
+
+const SCHEMES: [Scheme; 4] = [
+    Scheme::StrictAvoidance { shared_adaptive: false },
+    Scheme::StrictAvoidance { shared_adaptive: true },
+    Scheme::DeflectiveRecovery,
+    Scheme::ProgressiveRecovery,
+];
+
+const QUEUE_ORGS: [QueueOrg; 3] = [QueueOrg::Shared, QueueOrg::PerNetwork, QueueOrg::PerType];
+
+fn topology(idx: usize) -> Topology {
+    match idx {
+        0 => Topology::new(TopologyKind::Torus, &[4, 4], 1),
+        1 => Topology::new(TopologyKind::Mesh, &[4, 4], 1),
+        // Odd radix: minimal paths are unique in each dimension, so some
+        // destinations stay clean under a link fault and reverify really
+        // splices cached segments instead of rebuilding everything.
+        2 => Topology::new(TopologyKind::Torus, &[5, 5], 1),
+        _ => Topology::new(TopologyKind::Torus, &[8, 8], 1),
+    }
+}
+
+fn config(topo_idx: usize, scheme_idx: usize, vcs: u8, pat_idx: usize, org_idx: usize) -> AnalysisConfig {
+    let topo = topology(topo_idx);
+    let scheme = SCHEMES[scheme_idx];
+    let pattern = if pat_idx == 0 { PatternSpec::pat100() } else { PatternSpec::pat271() };
+    let escape = if topo.kind() == TopologyKind::Mesh { 1 } else { 2 };
+    // build_degraded never fails for vcs > 0: infeasible budgets get the
+    // best map the budget allows, which is exactly what --verify falls
+    // back to and what the fault frontier sweeps.
+    let map = VcMap::build_degraded(scheme, pattern.protocol(), vcs, escape);
+    AnalysisConfig::new(topo, scheme, SchemeRouting::new(map), pattern, QUEUE_ORGS[org_idx])
+}
+
+fn fault_set(topo: &Topology, links: &[(usize, usize, usize)], router: Option<usize>) -> FaultSet {
+    let nr = topo.num_routers() as usize;
+    let mut f = FaultSet::new(topo);
+    for &(node, d, dir_bit) in links {
+        let dir = if dir_bit == 0 { Direction::Plus } else { Direction::Minus };
+        f.fail_link(topo, NodeId((node % nr) as u32), d % topo.dims(), dir);
+    }
+    if let Some(r) = router {
+        f.fail_router(topo, NodeId((r % nr) as u32));
+    }
+    f
+}
+
+fn assert_agreement(cfg: &AnalysisConfig, base: &BaseAnalysis, faults: &FaultSet) -> Result<(), TestCaseError> {
+    let incremental = base.reverify(faults);
+    let scratch = verify_faulted(&cfg.input(), faults);
+    let label = format!(
+        "scheme {:?} topo {:?} {}x{} vcs {} faults [{}]",
+        cfg.scheme(),
+        cfg.topo().kind(),
+        cfg.topo().radix(0),
+        cfg.topo().radix(1),
+        cfg.input().routing.map().num_vcs(),
+        faults.label(),
+    );
+    prop_assert_eq!(incremental.name(), scratch.name(), "verdict diverged: {}", label);
+    prop_assert_eq!(
+        incremental.witness().map(|w| w.rendered.clone()),
+        scratch.witness().map(|w| w.rendered.clone()),
+        "witness diverged: {}",
+        label
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn incremental_reverify_matches_from_scratch(
+        topo_idx in 0usize..4,
+        scheme_idx in 0usize..4,
+        vcs_idx in 0usize..3,
+        pat_idx in 0usize..2,
+        org_idx in 0usize..3,
+        links in proptest::collection::vec((0usize..64, 0usize..2, 0usize..2), 0..3),
+        router in 0usize..64,
+        fail_a_router in 0usize..2,
+    ) {
+        let vcs = [2u8, 4, 8][vcs_idx];
+        let cfg = config(topo_idx, scheme_idx, vcs, pat_idx, org_idx);
+        let faults = fault_set(cfg.topo(), &links, (fail_a_router == 1).then_some(router));
+        let base = BaseAnalysis::analyze(cfg.clone());
+        assert_agreement(&cfg, &base, &faults)?;
+    }
+}
+
+/// The 16x16 requirement, pinned deterministically: one base analysis,
+/// re-verdicted under a link fault, a router fault, and a compound fault.
+/// At 256 routers the debug-build internal cross-check inside `reverify`
+/// fires too, so in debug each fault is checked twice against the oracle.
+#[test]
+fn sixteen_by_sixteen_reverify_matches_from_scratch() {
+    let topo = Topology::new(TopologyKind::Torus, &[16, 16], 1);
+    let scheme = Scheme::StrictAvoidance { shared_adaptive: false };
+    let pattern = PatternSpec::pat271();
+    let map = VcMap::build_degraded(scheme, pattern.protocol(), 8, 2);
+    let cfg =
+        AnalysisConfig::new(topo, scheme, SchemeRouting::new(map), pattern, QueueOrg::PerType);
+    let base = BaseAnalysis::analyze(cfg.clone());
+
+    let mut link = FaultSet::new(cfg.topo());
+    link.fail_link(cfg.topo(), NodeId(37), 1, Direction::Plus);
+    let mut router = FaultSet::new(cfg.topo());
+    router.fail_router(cfg.topo(), NodeId(200));
+    let mut compound = FaultSet::new(cfg.topo());
+    compound.fail_link(cfg.topo(), NodeId(0), 0, Direction::Minus);
+    compound.fail_router(cfg.topo(), NodeId(129));
+
+    for faults in [&link, &router, &compound] {
+        let incremental = base.reverify(faults);
+        let scratch = verify_faulted(&cfg.input(), faults);
+        assert_eq!(incremental.name(), scratch.name(), "faults [{}]", faults.label());
+        assert_eq!(
+            incremental.witness().map(|w| &w.rendered),
+            scratch.witness().map(|w| &w.rendered),
+            "faults [{}]",
+            faults.label()
+        );
+    }
+}
