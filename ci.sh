@@ -55,8 +55,39 @@ set -e
 [ "$jobs0_status" -eq 2 ] || {
     echo "jobs equivalence: --jobs 0 should exit 2, got $jobs0_status"; exit 1; }
 
+echo "==> --shards equivalence (one run bit-identical across shard counts)"
+# Unlike --jobs (which farms out whole points), --shards parallelizes
+# inside a single run — and the cache key deliberately ignores it, so
+# the comparison MUST bypass the cache or the second run would be served
+# from the first's entries and the check would be vacuous.
+# 16x16 (four wake-set words), so shard boundaries fall inside the torus
+# and cross-shard mailbox traffic is actually exercised.
+shards_sweep() { # n
+    cargo run -q -p mdd-bench --release --bin mddsim -- \
+        --scheme pr --pattern pat271 --vcs 4 --radix 16x16 \
+        --sweep 0.10:0.30:3 --warmup 100 --measure 300 \
+        --no-cache --shards "$1" 2>/dev/null
+}
+shards1=$(shards_sweep 1)
+shards4=$(shards_sweep 4)
+[ "$shards1" = "$shards4" ] || {
+    echo "shards equivalence: --shards 1 and --shards 4 disagree:"
+    diff <(echo "$shards1") <(echo "$shards4") || true; exit 1; }
+# --shards 0 must be rejected at the flag, like --jobs 0.
+set +e
+cargo run -q -p mdd-bench --release --bin mddsim -- \
+    --scheme pr --pattern pat271 --vcs 4 --radix 16x16 \
+    --sweep 0.10:0.30:3 --warmup 100 --measure 300 --shards 0 >/dev/null 2>&1
+shards0_status=$?
+set -e
+[ "$shards0_status" -eq 2 ] || {
+    echo "shards equivalence: --shards 0 should exit 2, got $shards0_status"; exit 1; }
+
 echo "==> pool scaling perf gate (self-skips below 4 cores)"
 cargo test -q -p mdd-engine --release --test perf -- --ignored
+
+echo "==> shard scaling perf gate (self-skips below 4 cores)"
+cargo test -q -p mdd-sim --release --test shard_perf -- --ignored
 
 echo "==> mddsimd sweep service smoke"
 DAEMON_DIR=$(mktemp -d)
@@ -197,6 +228,12 @@ for topo in 8x8 16x16 64x64 8x8x8; do
         echo "hotpath smoke: output is missing size-ladder rung $topo:"
         cat "$smoke_json"; exit 1; }
 done
+# The shards block must time the 64x64 saturated rung at every count.
+for shards in 1 2 4; do
+    grep -q "\"shards\": $shards" "$smoke_json" || {
+        echo "hotpath smoke: output is missing shards=$shards rung:"
+        cat "$smoke_json"; exit 1; }
+done
 # At low load the activity scheduler must actually be skipping work.
 if grep "\"load\": 0.05" "$smoke_json" | grep -Eq '"router_ticks_skipped": 0[,}]'; then
     echo "hotpath smoke: a low-load run skipped no router ticks:"
@@ -216,8 +253,11 @@ echo "==> hot-path throughput floors at load 0.30"
 # machine busy enough to land a *faster* build below its predecessor's
 # floor is mismeasuring everything else in this script too.
 floor_check() { # scheme floor
+    # Exclude "topo"-keyed entries: the size-ladder and shards blocks
+    # also run at their own loads and must not leak into the 8x8 floor.
     local cps
-    cps=$(grep "\"scheme\": \"$1\"" "$smoke_json" | grep '"load": 0.30' |
+    cps=$(grep "\"scheme\": \"$1\"" "$smoke_json" | grep -v '"topo"' |
+        grep '"load": 0.30' |
         sed -E 's/.*"cycles_per_sec": ([0-9.]+).*/\1/')
     [ -n "$cps" ] || {
         echo "hotpath floor: no $1@0.30 entry in $smoke_json"; exit 1; }

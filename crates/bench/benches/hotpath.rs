@@ -7,7 +7,8 @@
 //! (approaching saturation — the dense-scan worst case). Besides the
 //! criterion timing lines, the binary measures cycles/sec directly and
 //! writes every rung, its wall time, and the activity-skip counters as
-//! JSON for the perf trajectory:
+//! JSON for the perf trajectory, plus a `shards` block timing the 64x64
+//! saturated rung at shards 1/2/4 (single-run scaling):
 //!
 //! * `HOTPATH_OUT=<path>` — where to write the JSON (default
 //!   `BENCH_hotpath.json` in the current directory);
@@ -189,14 +190,50 @@ fn write_json() {
              \"router_ratio_vs_8x8\": {node_ratio:.1}}}"
         ));
     }
+    // Sharded single-run scaling: the 64x64 saturated rung at shards
+    // 1/2/4. Results are bit-identical at any shard count (enforced by
+    // tests/sharding.rs and the ci.sh smoke), so this block measures
+    // pure execution-strategy cost: the speedup column is what intra-run
+    // parallelism buys on this host. On a single-core machine shards > 1
+    // only adds mailbox/barrier overhead — the entries still get written
+    // so the trajectory records that cost honestly.
+    let shard_cycles = if quick() { 300 } else { 1_500 };
+    let mut shard_entries = Vec::new();
+    let mut shards1_cost: Option<f64> = None;
+    for shards in [1u32, 2, 4] {
+        let mut cfg = SimConfig::paper_default(
+            Scheme::ProgressiveRecovery,
+            PatternSpec::pat271(),
+            4,
+            0.30,
+        );
+        cfg.radix = vec![64, 64];
+        cfg.shards = shards;
+        cfg.obs_sample_every = 4_096;
+        cfg.warmup = 0;
+        cfg.measure = 0;
+        let mut sim = Simulator::new(cfg).expect("shard rung config is feasible");
+        sim.run_cycles(if quick() { 200 } else { 1_000 });
+        let (cps, wall) = cycles_per_sec(&mut sim, shard_cycles, reps);
+        let base = *shards1_cost.get_or_insert(cps);
+        let speedup = cps / base;
+        println!("hotpath/shards pr@0.30 64x64 shards={shards}: {cps:.0} cycles/sec (x{speedup:.2} vs shards=1)");
+        shard_entries.push(format!(
+            "  {{\"topo\": \"64x64\", \"scheme\": \"pr\", \"load\": 0.30, \
+             \"shards\": {shards}, \"cycles_per_sec\": {cps:.1}, \
+             \"wall_secs\": {wall:.4}, \"speedup_vs_shards1\": {speedup:.3}}}"
+        ));
+    }
     mdd_obs::uninstall();
     let out = hotpath_out();
     let json = format!(
         "{{\"bench\": \"hotpath\", \"topology\": \"8x8 torus\", \"vcs\": 4, \
          \"loads\": [0.05, 0.30, 0.55], \"results\": [\n{}\n],\n\
-         \"ladder\": [\n{}\n]}}\n",
+         \"ladder\": [\n{}\n],\n\
+         \"shards\": [\n{}\n]}}\n",
         entries.join(",\n"),
-        ladder.join(",\n")
+        ladder.join(",\n"),
+        shard_entries.join(",\n")
     );
     std::fs::write(&out, json).expect("write BENCH_hotpath.json");
     println!("wrote {}", out.display());

@@ -45,6 +45,10 @@
 //!
 //! ```text
 //! --jobs N                     cap simulation worker threads
+//! --shards N                   execution shards inside each run [1]
+//!                              (bit-identical results at any N; use
+//!                              --jobs for across-point parallelism and
+//!                              --shards to speed up one big run)
 //! --no-cache                   disable the persistent result cache
 //! --cache-dir DIR              cache location [results/cache]
 //! ```
@@ -173,6 +177,7 @@ fn main() {
             cli.parse_value("--measure", 30_000),
         )
         .seed(cli.parse_value("--seed", 0x5eed))
+        .shards(cli.shards)
         .queue_org(queue_org);
     if cli.flag("--verify") || cli.flag("--analyze") {
         // Static verification mode: classify, print, exit — no simulation.

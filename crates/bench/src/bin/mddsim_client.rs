@@ -5,7 +5,7 @@
 //!               [--scheme sa|sa+|dr|pr] [--pattern pat100|pat721|pat451|pat271|pat280]
 //!               [--vcs N] [--radix AxB | --topo AxB[xC]] [--bristle N]
 //!               [--queue-org shared|pernet|pertype]
-//!               [--warmup N] [--measure N] [--seed N]
+//!               [--warmup N] [--measure N] [--seed N] [--shards N]
 //! mddsim-client [--socket PATH] status
 //! mddsim-client [--socket PATH] cancel JOB
 //! mddsim-client [--socket PATH] shutdown
@@ -206,6 +206,13 @@ fn spec_from_flags(value: &dyn Fn(&str) -> Option<String>) -> SweepSpec {
     }
     if let Some(v) = value("--seed") {
         spec.seed = v.parse().unwrap_or_else(|_| die("bad --seed"));
+    }
+    if let Some(v) = value("--shards") {
+        spec.shards = match v.parse() {
+            Ok(0) => die("--shards needs at least one shard (got 0)"),
+            Ok(n) => n,
+            Err(_) => die("bad --shards"),
+        };
     }
     spec
 }

@@ -8,6 +8,8 @@
 //! --out DIR          results directory [results]
 //! --jobs N           simulation worker threads, N >= 1
 //!                    [default: machine parallelism]
+//! --shards N         execution shards inside each single run, N >= 1
+//!                    (bit-identical results at any N) [default: 1]
 //! --no-cache         disable the persistent result cache
 //! --cache-dir DIR    cache location [<out>/cache]
 //! ```
@@ -34,6 +36,14 @@ pub struct BenchCli {
     /// Worker-thread count (`--jobs`; `None` = machine parallelism).
     /// `--jobs 0` is rejected at parse time — there is no pool to run on.
     pub jobs: Option<usize>,
+    /// Execution shards inside each single run (`--shards`, default 1).
+    /// `--shards 0` is rejected at parse time, mirroring `--jobs 0`
+    /// (and [`ConfigError::ZeroShards`] guards hand-built configs).
+    /// Orthogonal to `--jobs`: jobs parallelize *across* sweep points,
+    /// shards parallelize *inside* one run, bit-identically.
+    ///
+    /// [`ConfigError::ZeroShards`]: mdd_core::ConfigError::ZeroShards
+    pub shards: u32,
     /// True when `--no-cache` was given.
     pub no_cache: bool,
     /// Result-cache directory (`--cache-dir`, default `<out>/cache`).
@@ -69,12 +79,18 @@ impl BenchCli {
             Ok(n) => n,
             Err(_) => die(&format!("bad --jobs: {v}")),
         });
+        let shards = value("--shards").map_or(1, |v| match v.parse() {
+            Ok(0) => die("--shards needs at least one shard (got 0); omit the flag for the sequential default"),
+            Ok(n) => n,
+            Err(_) => die(&format!("bad --shards: {v}")),
+        });
         let cache_dir = value("--cache-dir").map_or_else(|| out_dir.join("cache"), PathBuf::from);
         BenchCli {
             smoke,
             scale,
             out_dir,
             jobs,
+            shards,
             no_cache: flag("--no-cache"),
             cache_dir,
             args,

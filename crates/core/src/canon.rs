@@ -11,7 +11,9 @@
 //! pattern, timing parameters, seed, windows, load and the CWG oracle
 //! period — and deliberately excludes `obs_sample_every`, which only
 //! controls observability gauge sampling and cannot affect a
-//! [`SimResult`](crate::SimResult)'s measured fields.
+//! [`SimResult`](crate::SimResult)'s measured fields, and `shards`,
+//! which picks an execution strategy whose results are bit-identical at
+//! any shard count (so cached points are valid across shard settings).
 //!
 //! The encoding is a fixed-order `key=value` line list: construction
 //! order of the config (builder setter order, struct literal order)

@@ -75,6 +75,12 @@ pub struct SimConfig {
     /// Only active while the global `mdd-obs` layer is installed; event
     /// tracing and monotonic counters are unaffected by it.
     pub obs_sample_every: u64,
+    /// Execution shards for the network phase of each cycle (default 1 =
+    /// fully sequential). Results are bit-identical at any shard count —
+    /// sharding is an execution strategy, not a model parameter — so this
+    /// field is deliberately *excluded* from
+    /// [`SimConfig::canonical_string`] and the result-cache key.
+    pub shards: u32,
 }
 
 impl SimConfig {
@@ -105,6 +111,7 @@ impl SimConfig {
             load,
             cwg_interval: None,
             obs_sample_every: 64,
+            shards: 1,
         }
     }
 

@@ -33,3 +33,39 @@ impl EjectControl for NicArray<'_> {
         self.sched.set(nic.index(), 0);
     }
 }
+
+/// One shard's slice of the NIC array for the sharded network step.
+///
+/// Each shard owns the NICs of its router range exclusively (`nics` is a
+/// disjoint sub-slice; `base` is its first global NIC index), so the
+/// ejection callbacks run lock-free in parallel. The one shared structure
+/// — the idle-skip schedule — cannot be written from worker threads, so
+/// packet-delivery wakes are *deferred*: indices are recorded in
+/// `sched_sets` and the simulator applies them (in shard order, then
+/// record order) after the network step returns. Exact because nothing
+/// reads the schedule during the network phase, at most one packet
+/// completes per NIC per cycle, and `set(i, 0)` is idempotent.
+pub(crate) struct NicShard<'a> {
+    pub store: &'a MessageStore,
+    pub nics: &'a mut [Nic],
+    /// Global NIC index of `nics[0]`.
+    pub base: u32,
+    /// Global NIC indices whose schedule entry must be zeroed at the
+    /// barrier (one per completed packet delivery, in delivery order).
+    pub sched_sets: Vec<u32>,
+}
+
+impl EjectControl for NicShard<'_> {
+    fn can_accept(&mut self, nic: NicId, msg: MsgHandle, _cycle: u64) -> bool {
+        self.nics[nic.index() - self.base as usize].can_accept(self.store.get(msg))
+    }
+
+    fn deliver_flit(&mut self, nic: NicId, _msg: MsgHandle, _cycle: u64) {
+        self.nics[nic.index() - self.base as usize].on_flit();
+    }
+
+    fn deliver_packet(&mut self, nic: NicId, msg: MsgHandle, _injected_at: u64, _cycle: u64) {
+        self.nics[nic.index() - self.base as usize].on_packet(msg, self.store.get(msg));
+        self.sched_sets.push(nic.index() as u32);
+    }
+}

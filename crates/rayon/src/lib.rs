@@ -463,6 +463,34 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
     }
 }
 
+/// Run `f` once per item of `work` on scoped worker threads, returning
+/// the results in input order.
+///
+/// Unlike `run_indexed` this spawns exactly one worker per item (minus
+/// one: the first item runs on the calling thread), with no stealing or
+/// splitting — the shape wanted by gang-scheduled phases such as the
+/// sharded network cycle, where each item *is* one shard and the caller
+/// provides the partition. Items may borrow from the caller's stack
+/// (`std::thread::scope` underneath). A panic in any task propagates to
+/// the caller after the scope joins.
+pub fn scope_map<C: Send, T: Send>(work: Vec<C>, f: impl Fn(C) -> T + Sync) -> Vec<T> {
+    let mut work = work;
+    if work.len() <= 1 {
+        return work.into_iter().map(f).collect();
+    }
+    let first = work.remove(0);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = work.into_iter().map(|c| scope.spawn(move || f(c))).collect();
+        let mut out = Vec::with_capacity(handles.len() + 1);
+        out.push(f(first));
+        for h in handles {
+            out.push(h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
+        }
+        out
+    })
+}
+
 /// Evaluate `f(0..n)` with work-stealing scheduling and return the
 /// results in index order.
 ///

@@ -280,6 +280,11 @@ pub struct Network {
     /// per-pass clearing.
     sw_req_head: [u16; 64],
     sw_req_next: [u16; 128],
+    /// Per-shard scratch for [`Network::step_sharded`] (empty until the
+    /// first sharded step): candidate/move buffers, switch-request
+    /// chains and outgoing mailboxes, kept across cycles so the sharded
+    /// steady state allocates nothing.
+    shard_scratch: Vec<ShardScratch>,
     #[cfg(debug_assertions)]
     shadow: shadow::Scratch,
 }
@@ -337,6 +342,7 @@ impl Network {
             sleep_stalls: vec![0; n],
             sw_req_head: [u16::MAX; 64],
             sw_req_next: [u16::MAX; 128],
+            shard_scratch: Vec::new(),
             #[cfg(debug_assertions)]
             shadow: shadow::Scratch::default(),
         }
@@ -532,33 +538,7 @@ impl Network {
     /// with a reference four-phase implementation on a snapshot and
     /// compare the end states.
     pub fn step(&mut self, cycle: u64, routing: &dyn Routing, ej: &mut dyn EjectControl) {
-        self.worklist.clear();
-        // Clear the previous cycle's arrival mask sparsely (only the words
-        // it actually wrote), then drain the two-level wake set: summary
-        // words ascending, group words within each ascending, bits within
-        // each word ascending — the dense 0..N router order, touching only
-        // populated words.
-        for &wi in &self.cur_words {
-            self.cur_mask[wi as usize] = 0;
-        }
-        self.cur_words.clear();
-        for si in 0..self.active_summary.len() {
-            let mut sw = std::mem::take(&mut self.active_summary[si]);
-            while sw != 0 {
-                let wi = si * 64 + sw.trailing_zeros() as usize;
-                sw &= sw - 1;
-                let w = std::mem::take(&mut self.active_bits[wi]);
-                debug_assert_ne!(w, 0, "summary bit over an empty wake word");
-                self.cur_mask[wi] = w;
-                self.cur_words.push(wi as u32);
-                let base = (wi * 64) as u32;
-                let mut bits = w;
-                while bits != 0 {
-                    self.worklist.push(base + bits.trailing_zeros());
-                    bits &= bits - 1;
-                }
-            }
-        }
+        self.drain_wake_set();
         mdd_obs::counter_add(
             CounterId::RouterTicksSkipped,
             (self.routers.len() - self.worklist.len()) as u64,
@@ -590,6 +570,37 @@ impl Network {
             let r = self.worklist[wi] as usize;
             if self.router_busy(r) && !self.sleep_ok[r] {
                 self.wake(r);
+            }
+        }
+    }
+
+    /// Clear the previous cycle's arrival mask sparsely (only the words
+    /// it actually wrote), then drain the two-level wake set: summary
+    /// words ascending, group words within each ascending, bits within
+    /// each word ascending — the dense 0..N router order, touching only
+    /// populated words. Shared by [`Network::step`] and
+    /// [`Network::step_sharded`], so both execute the same worklist.
+    fn drain_wake_set(&mut self) {
+        self.worklist.clear();
+        for &wi in &self.cur_words {
+            self.cur_mask[wi as usize] = 0;
+        }
+        self.cur_words.clear();
+        for si in 0..self.active_summary.len() {
+            let mut sw = std::mem::take(&mut self.active_summary[si]);
+            while sw != 0 {
+                let wi = si * 64 + sw.trailing_zeros() as usize;
+                sw &= sw - 1;
+                let w = std::mem::take(&mut self.active_bits[wi]);
+                debug_assert_ne!(w, 0, "summary bit over an empty wake word");
+                self.cur_mask[wi] = w;
+                self.cur_words.push(wi as u32);
+                let base = (wi * 64) as u32;
+                let mut bits = w;
+                while bits != 0 {
+                    self.worklist.push(base + bits.trailing_zeros());
+                    bits &= bits - 1;
+                }
             }
         }
     }
@@ -1376,11 +1387,851 @@ impl Network {
 }
 
 /// Per-cycle observability deltas, published in one batch.
-#[derive(Default)]
+#[derive(Default, Debug)]
 struct ObsDeltas {
     allocs: u64,
     stalls: u64,
     burst_flits: u64,
+}
+
+/// Partition of the router index space into contiguous shard ranges for
+/// [`Network::step_sharded`].
+///
+/// Every interior boundary is a multiple of 64 (a whole wake-set word),
+/// so the per-shard `active_bits` slices never share a word and shards
+/// can set wake bits for their own routers without synchronization. On
+/// networks smaller than `shards * 64` routers, trailing shards own
+/// empty ranges — degenerate but valid (their workers return
+/// immediately), so shard-count-invariance tests cover small topologies
+/// too.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// `shards + 1` range boundaries: shard `s` owns `[bounds[s],
+    /// bounds[s+1])`.
+    bounds: Vec<u32>,
+    /// Uniform shard width in routers (a multiple of 64); the last shard
+    /// absorbs the remainder.
+    stride: u32,
+}
+
+impl ShardPlan {
+    /// Split `num_routers` routers into `shards` contiguous ranges of
+    /// whole wake-set words.
+    pub fn new(num_routers: u32, shards: u32) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        let words = (num_routers as usize).div_ceil(64);
+        let wps = words.div_ceil(shards as usize).max(1);
+        let stride = (wps * 64) as u32;
+        let bounds = (0..=shards as u64)
+            .map(|s| (s * u64::from(stride)).min(u64::from(num_routers)) as u32)
+            .collect();
+        ShardPlan { bounds, stride }
+    }
+
+    /// Number of shards (trailing ones may own empty ranges on small
+    /// networks).
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Router range `[lo, hi)` owned by shard `s`.
+    #[inline]
+    pub fn range(&self, s: usize) -> (u32, u32) {
+        (self.bounds[s], self.bounds[s + 1])
+    }
+
+    /// The shard owning router `r`.
+    #[inline]
+    pub fn shard_of(&self, r: u32) -> usize {
+        ((r / self.stride) as usize).min(self.shards() - 1)
+    }
+
+    /// Total routers covered (== the network's router count).
+    #[inline]
+    pub fn num_routers(&self) -> u32 {
+        self.bounds[self.shards()]
+    }
+}
+
+/// One cross-shard side effect of a granted move, buffered into the
+/// destination shard's mailbox during the parallel phase and applied by
+/// the coordinator at the cycle barrier. Each `(router, slot)` cell
+/// receives at most one credit and at most one arrival per cycle (one
+/// grant per output port, 1:1 link wiring), so in-cycle effects touch
+/// disjoint state and deferred application converges to the same
+/// physical representation the sequential interleaving produces; the
+/// fixed (src, dst) drain order makes the schedule deterministic
+/// independent of worker timing.
+#[derive(Clone, Copy, Debug)]
+enum CrossEffect {
+    /// Credit return to an upstream router owned by another shard (plus
+    /// the implied wake).
+    Credit {
+        /// Upstream router (global index).
+        router: u32,
+        /// Its flat output-VC slot.
+        slot: u16,
+    },
+    /// Flit arrival at a downstream router owned by another shard (plus
+    /// the implied wake, arrival-side blocked mark and, if needed,
+    /// chunk materialization from the coordinator's pool).
+    Arrival {
+        /// Downstream router (global index).
+        router: u32,
+        /// Its flat input-VC slot.
+        slot: u16,
+        /// The flit traversing the link.
+        flit: Flit,
+    },
+}
+
+/// Deferred [`PacketTable`] mutation recorded by a shard (the table is
+/// shared read-only during the parallel phase so every shard's
+/// allocation pass observes start-of-cycle routing state, exactly as
+/// the sequential schedule's all-passes-before-all-applies does).
+/// Applied at the barrier in (shard, move) order — which, because
+/// shards are ascending contiguous ranges and each shard's move list is
+/// router-ascending, is the sequential traversal's own order.
+#[derive(Clone, Copy, Debug)]
+enum PkEvent {
+    /// A head flit crossed a dateline link: OR `mask` into the packet's
+    /// `crossed_dateline` bits.
+    Dateline { msg: MsgHandle, mask: u8 },
+    /// A tail flit ejected: remove the packet from the table.
+    Delivered { msg: MsgHandle },
+}
+
+/// Per-shard reusable scratch plus the per-cycle outputs a shard hands
+/// back to the coordinator at the barrier.
+#[derive(Debug)]
+struct ShardScratch {
+    cand: Vec<RouteCandidate>,
+    moves: Vec<Move>,
+    req_head: [u16; 64],
+    req_next: [u16; 128],
+    /// Outgoing mailboxes, indexed by destination shard.
+    mail: Vec<Vec<CrossEffect>>,
+    /// Deferred packet-table events, in move order.
+    pk: Vec<PkEvent>,
+    /// This cycle's transport-counter delta.
+    counters: NetworkCounters,
+    /// This cycle's observability delta.
+    obs: ObsDeltas,
+    /// Moves granted this cycle (the `flits_routed` contribution).
+    moves_routed: u64,
+    /// Router chunks materialized by intra-shard arrivals this cycle.
+    materialized: u32,
+}
+
+impl Default for ShardScratch {
+    fn default() -> Self {
+        ShardScratch {
+            cand: Vec::with_capacity(64),
+            moves: Vec::with_capacity(256),
+            req_head: [u16::MAX; 64],
+            req_next: [u16::MAX; 128],
+            mail: Vec::new(),
+            pk: Vec::new(),
+            counters: NetworkCounters::default(),
+            obs: ObsDeltas::default(),
+            moves_routed: 0,
+            materialized: 0,
+        }
+    }
+}
+
+/// Read-only network state shared by every shard during the parallel
+/// phase. `packets` and `cur_mask` are frozen for the whole phase:
+/// packet-table mutations are deferred as [`PkEvent`]s and the arrival
+/// mask was fully built by the wake-set drain.
+struct StepShared<'a> {
+    topo: &'a Topology,
+    vcs: u8,
+    buf_depth: u32,
+    net_port: &'a [bool],
+    links: &'a Links,
+    pristine: &'a Router,
+    packets: &'a PacketTable,
+    cur_mask: &'a [u64],
+    plan: &'a ShardPlan,
+}
+
+/// One shard's mutable view of the network: disjoint slices of every
+/// per-router array (router indices offset by `lo`, wake words by
+/// `word_base`), its slice of the ascending worklist, its endpoint
+/// controller and its scratch.
+struct ShardTask<'a, E> {
+    lo: u32,
+    hi: u32,
+    word_base: usize,
+    routers: &'a mut [Option<Box<Router>>],
+    router_flits: &'a mut [u32],
+    sleep_ok: &'a mut [bool],
+    last_pass: &'a mut [u64],
+    sleep_stalls: &'a mut [u32],
+    active_bits: &'a mut [u64],
+    worklist: &'a [u32],
+    ej: &'a mut E,
+    sc: ShardScratch,
+}
+
+/// One shard's whole cycle: fused passes over its worklist slice, then
+/// application of its own moves ([`shard_apply_moves`]). Mirrors
+/// [`Network::step_inner`] restricted to the shard's router range.
+fn run_shard<E: EjectControl>(
+    mut t: ShardTask<'_, E>,
+    sh: &StepShared<'_>,
+    cycle: u64,
+    routing: &dyn Routing,
+) -> ShardScratch {
+    for wi in 0..t.worklist.len() {
+        let r = t.worklist[wi] as usize;
+        shard_router_pass(&mut t, sh, r, cycle, routing);
+    }
+    t.sc.moves_routed = t.sc.moves.len() as u64;
+    shard_apply_moves(&mut t, sh, cycle);
+    t.sc
+}
+
+/// The shard-local port of [`Network::fused_router_pass`]: identical
+/// decision logic over the shard's slices (`li = r - lo` addresses
+/// them; the rr hint and the emitted moves keep global coordinates, so
+/// every pseudo-random and round-robin decision matches the sequential
+/// pass bit for bit).
+fn shard_router_pass<E: EjectControl>(
+    t: &mut ShardTask<'_, E>,
+    sh: &StepShared<'_>,
+    r: usize,
+    cycle: u64,
+    routing: &dyn Routing,
+) {
+    let li = r - t.lo as usize;
+    let node = NodeId(r as u32);
+    let nvcs = sh.vcs as usize;
+    let gap = cycle.saturating_sub(t.last_pass[li]);
+    if gap > 1 {
+        t.sc.obs.stalls += (gap - 1) * t.sleep_stalls[li] as u64;
+    }
+    t.last_pass[li] = cycle;
+    let mut pass_stalls = 0u32;
+    let mut dst_head = false;
+    let moves_before = t.sc.moves.len();
+    let mut port_mask = 0u64;
+    let mut pend = [0u8; 128];
+    let mut npend = 0usize;
+    let total;
+    {
+        let router = mat_mut(t.routers, li);
+        router.sync_rr_alloc(cycle);
+        let nports = router.ports();
+        total = nports * nvcs;
+        debug_assert!(nports <= 64);
+        let start = router.rr_alloc as usize % total;
+        let occ = router.in_occ;
+        let low = occ & ((1u128 << start) - 1);
+        let mut high = occ ^ low;
+        let mut rest = low;
+        loop {
+            let idx = if high != 0 {
+                let i = high.trailing_zeros() as usize;
+                high &= high - 1;
+                i
+            } else if rest != 0 {
+                let i = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                i
+            } else {
+                break;
+            };
+            if router.blocked[idx] == NOT_BLOCKED {
+                router.blocked[idx] = cycle;
+            }
+            let q = router.route_port[idx];
+            if q != NO_ROUTE {
+                port_mask |= 1 << q;
+                t.sc.req_next[idx] = t.sc.req_head[q as usize];
+                t.sc.req_head[q as usize] = ((idx / nvcs) << 8) as u16 | idx as u16;
+            } else if router.front_flit(idx).expect("occupied slot").is_head() {
+                if router.stall_epoch[idx] == router.alloc_epoch {
+                    t.sc.obs.stalls += 1;
+                    pass_stalls += 1;
+                } else {
+                    pend[npend] = idx as u8;
+                    npend += 1;
+                }
+            }
+        }
+        router.rr_alloc = router.rr_alloc.wrapping_add(1);
+        router.rr_cycle = cycle + 1;
+    }
+    for &slot in &pend[..npend] {
+        let idx = slot as usize;
+        let h = mat(t.routers, li)
+            .front_flit(idx)
+            .expect("occupied slot")
+            .msg;
+        match shard_alloc_slot(t, sh, r, node, idx, h, cycle, routing) {
+            AllocOutcome::Granted => {
+                let q = mat(t.routers, li).route_port[idx];
+                debug_assert_ne!(q, NO_ROUTE);
+                port_mask |= 1 << q;
+                t.sc.req_next[idx] = t.sc.req_head[q as usize];
+                t.sc.req_head[q as usize] = ((idx / nvcs) << 8) as u16 | idx as u16;
+            }
+            AllocOutcome::StalledTransit => pass_stalls += 1,
+            AllocOutcome::StalledAtDst => {
+                pass_stalls += 1;
+                dst_head = true;
+            }
+        }
+    }
+    {
+        let router = mat_mut(t.routers, li);
+        let mut in_used = 0u64;
+        while port_mask != 0 {
+            let q = port_mask.trailing_zeros() as usize;
+            port_mask &= port_mask - 1;
+            let rr = router.rr_out[q] as usize % total;
+            let is_net = sh.net_port[q];
+            let mut best: Option<(usize, usize, usize)> = None;
+            let mut contenders = 0u32;
+            let mut cur = t.sc.req_head[q];
+            t.sc.req_head[q] = u16::MAX;
+            while cur != u16::MAX {
+                let idx = (cur & 0xff) as usize;
+                let p = (cur >> 8) as usize;
+                cur = t.sc.req_next[idx];
+                if in_used & (1 << p) != 0 {
+                    continue;
+                }
+                if is_net
+                    && router.out_credits[q * nvcs + router.route_vc[idx] as usize] == 0
+                {
+                    continue;
+                }
+                contenders += 1;
+                let mut rank = idx + total - rr;
+                if rank >= total {
+                    rank -= total;
+                }
+                if best.is_none_or(|(b, _, _)| rank < b) {
+                    best = Some((rank, idx, p));
+                }
+            }
+            if let Some((_, idx, p)) = best {
+                in_used |= 1 << p;
+                router.rr_out[q] = if idx + 1 == total { 0 } else { (idx + 1) as u32 };
+                if contenders == 1
+                    && !router.front_flit(idx).expect("requester has a flit").is_head()
+                {
+                    t.sc.obs.burst_flits += 1;
+                }
+                t.sc.moves.push(Move {
+                    router: r as u32,
+                    in_port: p as u8,
+                    in_vc: (idx - p * nvcs) as u8,
+                    out_port: q as u8,
+                    out_vc: router.route_vc[idx],
+                });
+            }
+        }
+    }
+    let stalled = !dst_head && t.sc.moves.len() == moves_before;
+    t.sleep_ok[li] = stalled;
+    t.sleep_stalls[li] = if stalled { pass_stalls } else { 0 };
+}
+
+/// The shard-local port of [`Network::alloc_slot`]. Reads the shared
+/// start-of-cycle packet table; all mutations stay within the shard's
+/// router slice (a head's candidates are output VCs of the router it
+/// waits at).
+#[allow(clippy::too_many_arguments)]
+fn shard_alloc_slot<E: EjectControl>(
+    t: &mut ShardTask<'_, E>,
+    sh: &StepShared<'_>,
+    r: usize,
+    node: NodeId,
+    idx: usize,
+    h: MsgHandle,
+    cycle: u64,
+    routing: &dyn Routing,
+) -> AllocOutcome {
+    let li = r - t.lo as usize;
+    let nvcs = sh.vcs as usize;
+    let Some(pkt) = sh.packets.get(h).copied() else {
+        debug_assert!(false, "flit in network without a registered packet");
+        return AllocOutcome::Granted;
+    };
+    t.sc.cand.clear();
+    let hint = cycle
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((r as u64) << 8)
+        .wrapping_add(idx as u64);
+    routing.candidates(sh.topo, node, &pkt, hint, &mut t.sc.cand);
+    debug_assert!(
+        !t.sc.cand.is_empty(),
+        "routing function returned no candidates for {h:?} at {node}"
+    );
+    let mut granted = false;
+    for ci in 0..t.sc.cand.len() {
+        let c = t.sc.cand[ci];
+        if let Some(local) = sh.topo.port_local_index(c.port) {
+            debug_assert_eq!(
+                node, pkt.dst_router,
+                "local candidate away from destination router"
+            );
+            let nic = sh.topo.nic_at(node, local);
+            if t.ej.can_accept(nic, h, cycle) {
+                let router = mat_mut(t.routers, li);
+                router.route_port[idx] = c.port.0;
+                router.route_vc[idx] = 0;
+                granted = true;
+                break;
+            }
+        } else {
+            let out_slot = c.port.index() * nvcs + c.vc as usize;
+            let router = mat_mut(t.routers, li);
+            if router.out_free(out_slot) {
+                router.own_out(out_slot, h);
+                router.route_port[idx] = c.port.0;
+                router.route_vc[idx] = c.vc;
+                granted = true;
+                break;
+            }
+        }
+    }
+    if granted {
+        t.sc.obs.allocs += 1;
+        AllocOutcome::Granted
+    } else {
+        t.sc.obs.stalls += 1;
+        if pkt.dst_router != node {
+            let router = mat_mut(t.routers, li);
+            router.stall_epoch[idx] = router.alloc_epoch;
+            AllocOutcome::StalledTransit
+        } else {
+            AllocOutcome::StalledAtDst
+        }
+    }
+}
+
+/// The shard-local port of [`Network::apply_moves`]: in-range effects
+/// apply directly (identical to the sequential traversal phase);
+/// out-of-range credit returns and flit arrivals go to the destination
+/// shard's mailbox, and packet-table mutations are recorded as
+/// [`PkEvent`]s — both applied by the coordinator at the barrier.
+fn shard_apply_moves<E: EjectControl>(
+    t: &mut ShardTask<'_, E>,
+    sh: &StepShared<'_>,
+    cycle: u64,
+) {
+    let nvcs = sh.vcs as usize;
+    let ports = sh.links.ports;
+    let lo = t.lo as usize;
+    let hi = t.hi as usize;
+    for mi in 0..t.sc.moves.len() {
+        let Move {
+            router: r,
+            in_port,
+            in_vc,
+            out_port,
+            out_vc,
+        } = t.sc.moves[mi];
+        let r = r as usize;
+        let li = r - lo;
+        let in_slot = in_port as usize * nvcs + in_vc as usize;
+        let router = mat_mut(t.routers, li);
+        let flit = router.pop_flit(in_slot);
+        router.blocked[in_slot] = if router.len[in_slot] > 0 {
+            cycle
+        } else {
+            NOT_BLOCKED
+        };
+        if flit.is_tail {
+            router.route_port[in_slot] = NO_ROUTE;
+        }
+        t.router_flits[li] -= 1;
+        let up = sh.links.nbr[r * ports + in_port as usize];
+        if up != u32::MAX {
+            let upu = up as usize;
+            let up_slot = sh.links.opp[in_port as usize] as usize * nvcs + in_vc as usize;
+            if (lo..hi).contains(&upu) {
+                let up_router = mat_mut(t.routers, upu - lo);
+                up_router.out_credits[up_slot] += 1;
+                debug_assert!(up_router.out_credits[up_slot] <= sh.buf_depth);
+                t.active_bits[(upu >> 6) - t.word_base] |= 1 << (upu & 63);
+            } else {
+                t.sc.mail[sh.plan.shard_of(up)].push(CrossEffect::Credit {
+                    router: up,
+                    slot: up_slot as u16,
+                });
+            }
+        }
+        if sh.net_port[out_port as usize] {
+            let out_slot = out_port as usize * nvcs + out_vc as usize;
+            let router = mat_mut(t.routers, li);
+            router.vc_busy[out_slot] += 1;
+            debug_assert!(router.out_credits[out_slot] > 0);
+            router.out_credits[out_slot] -= 1;
+            if flit.is_tail {
+                router.release_out(out_slot);
+            }
+            let dl = sh.links.dateline[r * ports + out_port as usize];
+            if dl != 0 && flit.is_head() {
+                t.sc.pk.push(PkEvent::Dateline {
+                    msg: flit.msg,
+                    mask: dl,
+                });
+            }
+            let down = sh.links.nbr[r * ports + out_port as usize] as usize;
+            debug_assert!(
+                down != u32::MAX as usize,
+                "allocated output implies the link exists"
+            );
+            let down_slot = sh.links.opp[out_port as usize] as usize * nvcs + out_vc as usize;
+            if (lo..hi).contains(&down) {
+                // Intra-shard arrival: materialize by cloning the
+                // pristine template. The recycle pool stays with the
+                // coordinator — a fresh clone is state-identical to a
+                // reset pool chunk, so only the allocation cost differs
+                // (a deliberate concession; the frontier itself matches
+                // the sequential schedule exactly).
+                let slot = &mut t.routers[down - lo];
+                if slot.is_none() {
+                    t.sc.materialized += 1;
+                    *slot = Some(Box::new(sh.pristine.clone()));
+                }
+                let down_router = slot.as_deref_mut().expect("just materialized");
+                down_router.push_flit(down_slot, flit);
+                if sh.cur_mask[down >> 6] >> (down & 63) & 1 == 1
+                    && down_router.blocked[down_slot] == NOT_BLOCKED
+                {
+                    down_router.blocked[down_slot] = cycle;
+                }
+                t.router_flits[down - lo] += 1;
+                t.active_bits[(down >> 6) - t.word_base] |= 1 << (down & 63);
+            } else {
+                t.sc.mail[sh.plan.shard_of(down as u32)].push(CrossEffect::Arrival {
+                    router: down as u32,
+                    slot: down_slot as u16,
+                    flit,
+                });
+            }
+        } else {
+            let nic = NicId(sh.links.nic[r * ports + out_port as usize]);
+            debug_assert!(nic.0 != u32::MAX, "output is network or local");
+            if flit.is_tail {
+                let st = sh
+                    .packets
+                    .get(flit.msg)
+                    .expect("delivered packet must be registered");
+                t.sc.counters.packets_delivered += 1;
+                t.ej.deliver_packet(nic, st.msg, st.injected_at, cycle);
+                t.sc.pk.push(PkEvent::Delivered { msg: flit.msg });
+            } else {
+                t.ej.deliver_flit(nic, flit.msg, cycle);
+            }
+            t.sc.counters.flits_delivered += 1;
+        }
+        t.sc.counters.flits_moved += 1;
+    }
+    t.sc.moves.clear();
+}
+
+impl Network {
+    /// Advance the network one cycle with the per-cycle work partitioned
+    /// across `plan.shards()` scoped worker threads — bit-identical to
+    /// [`Network::step`] at any shard count.
+    ///
+    /// Each shard runs the fused pass over its slice of the worklist,
+    /// then applies its own moves; effects landing in another shard's
+    /// router range (credit returns, flit arrivals, wakes) are buffered
+    /// into per-(src, dst) mailboxes and drained at the cycle barrier in
+    /// fixed (src, dst) order, and packet-table mutations are deferred
+    /// the same way. `ejs[s]` is shard `s`'s endpoint controller;
+    /// ejection for a router always lands in its owning shard's
+    /// controller, so controllers never race. In debug builds the cycle
+    /// is validated against the phased reference pipeline exactly like
+    /// the sequential step, with the per-shard endpoint logs merged in
+    /// the sequential schedule's order.
+    pub fn step_sharded<E: EjectControl + Send>(
+        &mut self,
+        cycle: u64,
+        routing: &(dyn Routing + Sync),
+        plan: &ShardPlan,
+        ejs: &mut [E],
+    ) {
+        assert_eq!(ejs.len(), plan.shards(), "one endpoint controller per shard");
+        assert_eq!(
+            plan.num_routers() as usize,
+            self.routers.len(),
+            "shard plan covers a different network"
+        );
+        self.drain_wake_set();
+        mdd_obs::counter_add(
+            CounterId::RouterTicksSkipped,
+            (self.routers.len() - self.worklist.len()) as u64,
+        );
+        mdd_obs::counter_add(CounterId::FusedPassRouters, self.worklist.len() as u64);
+        #[cfg(not(debug_assertions))]
+        self.run_shards(cycle, routing, plan, ejs);
+        #[cfg(debug_assertions)]
+        {
+            self.skipped_router_check(cycle);
+            let mut scratch = std::mem::take(&mut self.shadow);
+            scratch.snapshot(self);
+            let mut recs: Vec<shadow::ShardRecordEj<&mut E>> =
+                ejs.iter_mut().map(shadow::ShardRecordEj::new).collect();
+            self.run_shards(cycle, routing, plan, &mut recs);
+            // Merge the per-shard endpoint logs into the sequential
+            // schedule's order: every shard's allocation pass precedes
+            // every shard's traversal in the reference, and shards are
+            // ascending contiguous router ranges — so all accepts in
+            // shard order, then all deliveries in shard order, is
+            // exactly the reference's call sequence.
+            scratch.ej_log.clear();
+            for rec in &recs {
+                scratch.ej_log.extend_from_slice(&rec.accepts);
+            }
+            for rec in &recs {
+                scratch.ej_log.extend_from_slice(&rec.delivers);
+            }
+            scratch.run_reference_and_compare(self, cycle, routing);
+            self.shadow = scratch;
+        }
+        // Re-arm, identical to the sequential step.
+        for wi in 0..self.worklist.len() {
+            let r = self.worklist[wi] as usize;
+            if self.router_busy(r) && !self.sleep_ok[r] {
+                self.wake(r);
+            }
+        }
+        // Shard passes set their own `active_bits` words directly without
+        // touching the shared summary level (a summary word spans up to
+        // 4096 routers and may straddle shard bounds). Rebuild it from
+        // the words — exact, because in both schedules a summary bit is
+        // set iff one of its covered words is nonzero.
+        for sw in &mut self.active_summary {
+            *sw = 0;
+        }
+        for (wi, &w) in self.active_bits.iter().enumerate() {
+            if w != 0 {
+                self.active_summary[wi >> 6] |= 1 << (wi & 63);
+            }
+        }
+    }
+
+    /// The parallel phase plus barrier drain of one sharded cycle.
+    fn run_shards<E: EjectControl + Send>(
+        &mut self,
+        cycle: u64,
+        routing: &(dyn Routing + Sync),
+        plan: &ShardPlan,
+        ejs: &mut [E],
+    ) {
+        let nshards = plan.shards();
+        let total_words = self.active_bits.len();
+        let mut scratch = std::mem::take(&mut self.shard_scratch);
+        scratch.resize_with(nshards, ShardScratch::default);
+        for sc in &mut scratch {
+            sc.mail.resize_with(nshards, Vec::new);
+            sc.counters = NetworkCounters::default();
+            sc.obs = ObsDeltas::default();
+            sc.moves_routed = 0;
+            sc.materialized = 0;
+        }
+        let mut outs;
+        {
+            let Network {
+                topo,
+                vcs,
+                buf_depth,
+                net_port,
+                links,
+                pristine,
+                packets,
+                cur_mask,
+                routers,
+                router_flits,
+                sleep_ok,
+                last_pass,
+                sleep_stalls,
+                active_bits,
+                worklist,
+                ..
+            } = &mut *self;
+            let shared = StepShared {
+                topo: &*topo,
+                vcs: *vcs,
+                buf_depth: *buf_depth,
+                net_port: &*net_port,
+                links: &*links,
+                pristine,
+                packets: &*packets,
+                cur_mask: &*cur_mask,
+                plan,
+            };
+            let mut tasks: Vec<ShardTask<'_, E>> = Vec::with_capacity(nshards);
+            let mut routers_rest: &mut [Option<Box<Router>>] = routers;
+            let mut flits_rest: &mut [u32] = router_flits;
+            let mut sleep_rest: &mut [bool] = sleep_ok;
+            let mut pass_rest: &mut [u64] = last_pass;
+            let mut stall_rest: &mut [u32] = sleep_stalls;
+            let mut bits_rest: &mut [u64] = active_bits;
+            let mut wl_rest: &[u32] = worklist;
+            let mut ejs_rest: &mut [E] = ejs;
+            let mut sc_it = scratch.into_iter();
+            let mut word_lo = 0usize;
+            for s in 0..nshards {
+                let (lo, hi) = plan.range(s);
+                let cnt = (hi - lo) as usize;
+                // Interior bounds are either stride-aligned (whole words)
+                // or clamped to `num_routers` mid-word; in the clamped
+                // case every later shard is empty, so the covering word
+                // belongs to this shard and rounding *up* is safe.
+                let word_hi = if s + 1 == nshards {
+                    total_words
+                } else {
+                    (hi as usize).div_ceil(64).min(total_words)
+                };
+                let (a, b) = std::mem::take(&mut routers_rest).split_at_mut(cnt);
+                routers_rest = b;
+                let (f, b) = std::mem::take(&mut flits_rest).split_at_mut(cnt);
+                flits_rest = b;
+                let (so, b) = std::mem::take(&mut sleep_rest).split_at_mut(cnt);
+                sleep_rest = b;
+                let (lp, b) = std::mem::take(&mut pass_rest).split_at_mut(cnt);
+                pass_rest = b;
+                let (ss, b) = std::mem::take(&mut stall_rest).split_at_mut(cnt);
+                stall_rest = b;
+                let (bits, b) =
+                    std::mem::take(&mut bits_rest).split_at_mut(word_hi - word_lo);
+                bits_rest = b;
+                let (ej, b) = std::mem::take(&mut ejs_rest)
+                    .split_first_mut()
+                    .expect("one endpoint controller per shard");
+                ejs_rest = b;
+                let split = wl_rest.partition_point(|&r| r < hi);
+                let (wl, b) = wl_rest.split_at(split);
+                wl_rest = b;
+                tasks.push(ShardTask {
+                    lo,
+                    hi,
+                    word_base: word_lo,
+                    routers: a,
+                    router_flits: f,
+                    sleep_ok: so,
+                    last_pass: lp,
+                    sleep_stalls: ss,
+                    active_bits: bits,
+                    worklist: wl,
+                    ej,
+                    sc: sc_it.next().expect("scratch sized to shard count"),
+                });
+                word_lo = word_hi;
+            }
+            outs = rayon::scope_map(tasks, |t| run_shard(t, &shared, cycle, routing));
+        }
+        // Barrier. Mailboxes drain in fixed (src, dst) order; every
+        // effect touches a distinct (router, slot) cell this cycle, so
+        // the order is belt-and-braces determinism, not a correctness
+        // requirement.
+        let buf_depth = self.buf_depth;
+        let mut mailbox_effects = 0u64;
+        for out in &mut outs {
+            for dst in 0..nshards {
+                let mut effects = std::mem::take(&mut out.mail[dst]);
+                mailbox_effects += effects.len() as u64;
+                for eff in &effects {
+                    match *eff {
+                        CrossEffect::Credit { router, slot } => {
+                            let r = router as usize;
+                            let up_router = mat_mut(&mut self.routers, r);
+                            up_router.out_credits[slot as usize] += 1;
+                            debug_assert!(up_router.out_credits[slot as usize] <= buf_depth);
+                            self.wake(r);
+                        }
+                        CrossEffect::Arrival { router, slot, flit } => {
+                            let r = router as usize;
+                            let slot = slot as usize;
+                            {
+                                let Network {
+                                    routers,
+                                    free_pool,
+                                    materialized,
+                                    pristine,
+                                    cur_mask,
+                                    ..
+                                } = &mut *self;
+                                let down_router = materialize(
+                                    &mut routers[r],
+                                    free_pool,
+                                    materialized,
+                                    pristine,
+                                );
+                                down_router.push_flit(slot, flit);
+                                if cur_mask[r >> 6] >> (r & 63) & 1 == 1
+                                    && down_router.blocked[slot] == NOT_BLOCKED
+                                {
+                                    down_router.blocked[slot] = cycle;
+                                }
+                            }
+                            self.router_flits[r] += 1;
+                            self.wake(r);
+                        }
+                    }
+                }
+                effects.clear();
+                out.mail[dst] = effects;
+            }
+        }
+        // Deferred packet-table events, (shard, move) order — the
+        // sequential traversal's own mutation order.
+        for out in &mut outs {
+            let mut pk = std::mem::take(&mut out.pk);
+            for ev in &pk {
+                match *ev {
+                    PkEvent::Dateline { msg, mask } => match self.packets.get_mut(msg) {
+                        Some(st) => st.crossed_dateline |= mask,
+                        None => debug_assert!(false, "dateline hop by unregistered packet"),
+                    },
+                    PkEvent::Delivered { msg } => {
+                        let st = self.packets.remove(msg);
+                        debug_assert!(st.is_some(), "delivered packet must be registered");
+                    }
+                }
+            }
+            pk.clear();
+            out.pk = pk;
+        }
+        // Merge per-shard counter and observability deltas, published
+        // once — the hot loops stay free of shared-counter traffic.
+        let mut obs = ObsDeltas::default();
+        let mut moves_routed = 0u64;
+        for out in &outs {
+            self.counters.flits_moved += out.counters.flits_moved;
+            self.counters.flits_delivered += out.counters.flits_delivered;
+            self.counters.packets_delivered += out.counters.packets_delivered;
+            self.counters.packets_injected += out.counters.packets_injected;
+            self.counters.flits_injected += out.counters.flits_injected;
+            self.materialized += out.materialized;
+            obs.allocs += out.obs.allocs;
+            obs.stalls += out.obs.stalls;
+            obs.burst_flits += out.obs.burst_flits;
+            moves_routed += out.moves_routed;
+        }
+        mdd_obs::counter_add(CounterId::FlitsRouted, moves_routed);
+        mdd_obs::counter_add(CounterId::VcAllocs, obs.allocs);
+        mdd_obs::counter_add(CounterId::VcStalls, obs.stalls);
+        mdd_obs::counter_add(CounterId::LinkBurstFlits, obs.burst_flits);
+        mdd_obs::counter_add(CounterId::ShardMailboxFlits, mailbox_effects);
+        mdd_obs::counter_add(
+            CounterId::ShardBarrierWaits,
+            (nshards as u64).saturating_sub(1),
+        );
+        self.shard_scratch = outs;
+    }
 }
 
 /// What one full allocation attempt did — feeds the router's sleep
@@ -1432,6 +2283,45 @@ mod shadow {
         }
         fn deliver_packet(&mut self, nic: NicId, msg: MsgHandle, injected_at: u64, cycle: u64) {
             self.log.push(EjEvent::Packet { nic, msg, injected_at });
+            self.inner.deliver_packet(nic, msg, injected_at, cycle);
+        }
+    }
+
+    /// Per-shard endpoint recorder for [`Network::step_sharded`].
+    /// `can_accept` events and delivery events are kept in separate
+    /// logs: the sharded schedule runs each shard's allocation pass
+    /// before its traversal, so the global reference order is all
+    /// accepts (shard order == router-ascending) followed by all
+    /// deliveries (same) — [`Network::step_sharded`] concatenates the
+    /// logs accordingly before replaying the reference.
+    pub(super) struct ShardRecordEj<E> {
+        inner: E,
+        pub(super) accepts: Vec<EjEvent>,
+        pub(super) delivers: Vec<EjEvent>,
+    }
+
+    impl<E: EjectControl> ShardRecordEj<E> {
+        pub(super) fn new(inner: E) -> Self {
+            ShardRecordEj {
+                inner,
+                accepts: Vec::new(),
+                delivers: Vec::new(),
+            }
+        }
+    }
+
+    impl<E: EjectControl> EjectControl for ShardRecordEj<E> {
+        fn can_accept(&mut self, nic: NicId, msg: MsgHandle, cycle: u64) -> bool {
+            let ok = self.inner.can_accept(nic, msg, cycle);
+            self.accepts.push(EjEvent::Accept { nic, msg, ok });
+            ok
+        }
+        fn deliver_flit(&mut self, nic: NicId, msg: MsgHandle, cycle: u64) {
+            self.delivers.push(EjEvent::Flit { nic, msg });
+            self.inner.deliver_flit(nic, msg, cycle);
+        }
+        fn deliver_packet(&mut self, nic: NicId, msg: MsgHandle, injected_at: u64, cycle: u64) {
+            self.delivers.push(EjEvent::Packet { nic, msg, injected_at });
             self.inner.deliver_packet(nic, msg, injected_at, cycle);
         }
     }

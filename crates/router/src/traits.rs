@@ -79,6 +79,18 @@ pub trait EjectControl {
     fn deliver_packet(&mut self, nic: NicId, msg: MsgHandle, injected_at: u64, cycle: u64);
 }
 
+impl<T: EjectControl + ?Sized> EjectControl for &mut T {
+    fn can_accept(&mut self, nic: NicId, msg: MsgHandle, cycle: u64) -> bool {
+        (**self).can_accept(nic, msg, cycle)
+    }
+    fn deliver_flit(&mut self, nic: NicId, msg: MsgHandle, cycle: u64) {
+        (**self).deliver_flit(nic, msg, cycle);
+    }
+    fn deliver_packet(&mut self, nic: NicId, msg: MsgHandle, injected_at: u64, cycle: u64) {
+        (**self).deliver_packet(nic, msg, injected_at, cycle);
+    }
+}
+
 /// An [`EjectControl`] that accepts everything, for tests and drain-only
 /// scenarios.
 #[derive(Default, Debug)]

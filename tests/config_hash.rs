@@ -126,6 +126,19 @@ fn observability_knob_does_not_change_hash() {
     assert_eq!(reference.content_hash(), mutated.content_hash());
 }
 
+/// `shards` picks an execution strategy with bit-identical results at
+/// any count, so cached points must be shared across shard settings.
+#[test]
+fn shard_count_does_not_change_hash() {
+    let reference = base();
+    for shards in [2, 4, 7] {
+        let mut mutated = base();
+        mutated.shards = shards;
+        assert_eq!(reference.content_hash(), mutated.content_hash());
+        assert_eq!(reference.canonical_string(), mutated.canonical_string());
+    }
+}
+
 /// An explicit queue-organization override equal to the scheme default
 /// describes the same machine as no override, and hashes identically —
 /// while a genuinely different override does not.
